@@ -1,0 +1,99 @@
+// Command pbbf regenerates the tables and figures of "Exploring the
+// Energy-Latency Trade-off for Broadcasts in Energy-Saving Sensor
+// Networks" (Miller, Sengul, Gupta; ICDCS 2005) from this repository's
+// reimplementation.
+//
+// Usage:
+//
+//	pbbf -list
+//	pbbf -experiment fig8
+//	pbbf -experiment all -scale paper -format csv
+//
+// Scales: "quick" (CI-sized, seconds) and "paper" (the paper's
+// dimensions, minutes). Output is an aligned text table or CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pbbf/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pbbf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pbbf", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		experiment = fs.String("experiment", "", "experiment id (e.g. fig8) or \"all\"")
+		scaleName  = fs.String("scale", "quick", "experiment scale: quick or paper")
+		format     = fs.String("format", "table", "output format: table or csv")
+		seed       = fs.Uint64("seed", 1, "root random seed")
+		list       = fs.Bool("list", false, "list available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or paper)", *scaleName)
+	}
+	scale.Seed = *seed
+
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", *format)
+	}
+	if *experiment == "" {
+		return fmt.Errorf("missing -experiment (try -list)")
+	}
+
+	var selected []experiments.Experiment
+	if *experiment == "all" {
+		selected = experiments.All()
+	} else {
+		e, err := experiments.ByID(*experiment)
+		if err != nil {
+			return err
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	for i, e := range selected {
+		tbl, err := e.Run(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		switch *format {
+		case "table":
+			fmt.Fprint(out, tbl.Render())
+		case "csv":
+			fmt.Fprintf(out, "# %s\n", tbl.Title)
+			fmt.Fprint(out, tbl.CSV())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"fig4", "fig12", "fig18", "table1", "table2"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperimentTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "table1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 1") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunFigureCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig7", "-format", "csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "p,") || !strings.Contains(out, "99% Reliability") {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                      // missing -experiment
+		{"-experiment", "nope"}, // unknown experiment
+		{"-experiment", "fig4", "-scale", "huge"}, // unknown scale
+		{"-experiment", "fig4", "-format", "xml"}, // unknown format
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestSeedFlagChangesOutput(t *testing.T) {
+	outFor := func(seed string) string {
+		var sb strings.Builder
+		if err := run([]string{"-experiment", "fig6", "-seed", seed}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if outFor("1") == outFor("2") {
+		t.Fatal("different seeds produced identical Monte Carlo output")
+	}
+	if outFor("1") != outFor("1") {
+		t.Fatal("same seed produced different output")
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: broadcast one update across a small duty-cycled grid with
+// PBBF and print the reliability, latency, and energy the protocol
+// achieved, next to the PSM and always-on baselines.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pbbf/internal/core"
+	"pbbf/internal/idealsim"
+	"pbbf/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	grid, err := topo.NewGrid(25, 25)
+	if err != nil {
+		return err
+	}
+
+	configs := []core.Params{
+		core.PSM(),       // plain 802.11 power-save mode
+		{P: 0.5, Q: 0.6}, // PBBF just past the reliability boundary
+		core.AlwaysOn(),  // no power saving at all
+	}
+
+	fmt.Println("protocol    coverage  per-hop latency  energy/update")
+	for _, params := range configs {
+		cfg := idealsim.Defaults(grid, grid.Center())
+		cfg.Params = params
+		cfg.Updates = 10
+		cfg.Seed = 42
+		res, err := idealsim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s  %7.1f%%  %13.2f s  %11.2f J\n",
+			params.Label(),
+			res.MeanCoverage()*100,
+			res.PerHopLatency.Mean(),
+			res.EnergyPerUpdateJ)
+	}
+
+	fmt.Println()
+	fmt.Println("PBBF trades a little energy (q keeps some nodes awake) for a")
+	fmt.Println("large latency win over PSM while keeping coverage near 100%.")
+	return nil
+}

@@ -1,0 +1,57 @@
+// Tradeoff explorer: for each immediate-forwarding probability p, find the
+// smallest stay-awake probability q that crosses the 99% reliability
+// boundary (via the grid's bond-percolation threshold), then print the
+// energy-latency operating point PBBF offers there — the paper's Figure 12
+// as an interactive table, plus the analytical equations behind it.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pbbf/internal/core"
+	"pbbf/internal/percolation"
+	"pbbf/internal/rng"
+	"pbbf/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tradeoff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	grid, err := topo.NewGrid(30, 30)
+	if err != nil {
+		return err
+	}
+	pc, err := percolation.CriticalBondRatio(grid, grid.Center(), 0.99, 200, rng.New(1))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("99%%-reliability critical bond ratio on 30x30 grid: %.3f ± %.3f\n\n",
+		pc.Mean, pc.CI95)
+
+	timing := core.Timing{Active: time.Second, Frame: 10 * time.Second}
+	lats := core.Latencies{L1: 1500 * time.Millisecond, L2: timing.Frame}
+
+	fmt.Println("    p    min q   pedge   per-hop latency   relative energy")
+	for _, p := range []float64{0.05, 0.15, 0.25, 0.375, 0.5, 0.625, 0.75, 0.9} {
+		q := core.MinQForEdgeProbability(p, pc.Mean)
+		params := core.Params{P: p, Q: q}
+		perHop := core.ExpectedPerHopLatency(params, lats)
+		fmt.Printf("%5.2f  %6.3f  %6.3f  %13.2f s  %15.2fx\n",
+			p, q,
+			core.EdgeProbability(p, q),
+			perHop.Seconds(),
+			core.EnergyIncreaseFactor(timing, q))
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: moving down trades energy (q rises to keep")
+	fmt.Println("reliability) for latency (more hops are forwarded immediately).")
+	return nil
+}

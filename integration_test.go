@@ -1,0 +1,190 @@
+package pbbf
+
+// Cross-engine integration tests: the analysis (internal/core), the
+// percolation engine, the ideal simulator, and the fine-grained network
+// simulator must agree with each other where their domains overlap. These
+// are the consistency checks that give confidence the reproduced figures
+// mean what the paper's figures mean.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pbbf/internal/core"
+	"pbbf/internal/idealsim"
+	"pbbf/internal/mac"
+	"pbbf/internal/netsim"
+	"pbbf/internal/percolation"
+	"pbbf/internal/rng"
+	"pbbf/internal/topo"
+)
+
+// TestThresholdMatchesPercolation verifies Remark 1 end to end: the q at
+// which the ideal simulator's coverage crosses 50% must bracket the q
+// predicted by inverting pedge = 1 − p(1−q) at the measured critical bond
+// ratio.
+func TestThresholdMatchesPercolation(t *testing.T) {
+	g := topo.MustGrid(25, 25)
+	r := rng.New(3)
+	const p = 0.5
+	pc, err := percolation.CriticalBondRatio(g, g.Center(), 0.9, 60, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := core.MinQForEdgeProbability(p, pc.Mean)
+
+	coverageAt := func(q float64) float64 {
+		cfg := idealsim.Defaults(g, g.Center())
+		cfg.Params = core.Params{P: p, Q: q}
+		cfg.Updates = 10
+		cfg.Seed = 11
+		res, err := idealsim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanCoverage()
+	}
+	below := coverageAt(clamp(predicted-0.25, 0, 1))
+	above := coverageAt(clamp(predicted+0.25, 0, 1))
+	if below >= 0.9 {
+		t.Fatalf("coverage %.2f well below predicted threshold q=%.2f already supercritical", below, predicted)
+	}
+	if above < 0.9 {
+		t.Fatalf("coverage %.2f above predicted threshold q=%.2f still subcritical", above, predicted)
+	}
+}
+
+// TestEquation8AcrossEngines verifies the energy analysis against both
+// simulators at the PSM and always-on endpoints, where no stochastic
+// margin is needed.
+func TestEquation8AcrossEngines(t *testing.T) {
+	timing := core.Timing{Active: time.Second, Frame: 10 * time.Second}
+	period := 100.0 // seconds per update at λ=0.01
+
+	// Ideal simulator endpoints.
+	g := topo.MustGrid(15, 15)
+	for _, tc := range []struct {
+		params core.Params
+		wantW  float64
+	}{
+		{core.PSM(), 0.030 * core.EnergyPBBF(timing, 0)},
+		{core.AlwaysOn(), 0.030 * core.EnergyPBBF(timing, 1)},
+	} {
+		cfg := idealsim.Defaults(g, g.Center())
+		cfg.Params = tc.params
+		cfg.Seed = 5
+		res, err := idealsim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tc.wantW * period
+		if math.Abs(res.EnergyPerUpdateJ-want) > want*0.05+0.02 {
+			t.Fatalf("%s ideal energy %v J, analysis %v J", tc.params.Label(), res.EnergyPerUpdateJ, want)
+		}
+	}
+
+	// Fine-grained simulator: NO PSM matches the always-on analysis (the
+	// radio idles at PI all the time; TX surcharge is tiny). PSM sits above
+	// the zero-traffic analysis because ATIM receivers stay awake, but
+	// must stay well below half of always-on.
+	field, err := topo.NewConnectedRandomDisk(
+		topo.DiskConfig{N: 25, Range: 30, Area: topo.AreaForDensity(25, 30, 10)},
+		rng.New(9), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(params core.Params) float64 {
+		res, err := netsim.Run(netsim.Config{
+			Topo:     field,
+			Source:   0,
+			MAC:      mac.DefaultConfig(params),
+			Lambda:   0.01,
+			Duration: 300 * time.Second,
+			K:        1,
+			Seed:     9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.EnergyPerUpdateJ
+	}
+	on := run(core.AlwaysOn())
+	wantOn := 0.030 * period
+	if math.Abs(on-wantOn) > wantOn*0.05 {
+		t.Fatalf("NO PSM netsim energy %v J, analysis %v J", on, wantOn)
+	}
+	if psm := run(core.PSM()); psm > on/2 {
+		t.Fatalf("PSM netsim energy %v J not well below always-on %v J", psm, on)
+	}
+}
+
+// TestEquation9MatchesIdealSim verifies the per-hop latency analysis
+// against the ideal simulator at the deterministic endpoints.
+func TestEquation9MatchesIdealSim(t *testing.T) {
+	g := topo.MustGrid(21, 1) // a line: per-hop latency is unambiguous
+	cfg := idealsim.Defaults(g, 0)
+	cfg.Params = core.PSM()
+	cfg.Seed = 13
+	res, err := idealsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PSM per-hop latency converges to Tframe for long paths; the line's
+	// average over 20 hops sits between L1+Tactive and Tframe+L1.
+	got := res.PerHopLatency.Mean()
+	if got < 2.5 || got > 11.5 {
+		t.Fatalf("PSM line per-hop latency %v s", got)
+	}
+
+	cfg2 := idealsim.Defaults(g, 0)
+	cfg2.Params = core.AlwaysOn()
+	cfg2.Seed = 13
+	res2, err := idealsim.Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Always-on: every hop costs exactly L1 after the first; Equation 9
+	// gives L = L1 = 1.5 s.
+	if got := res2.PerHopLatency.Mean(); math.Abs(got-1.5) > 0.6 {
+		t.Fatalf("always-on per-hop latency %v s, Eq. 9 gives 1.5", got)
+	}
+}
+
+// TestMACLatencyConsistentWithIdealSim cross-validates the two engines:
+// at matching settings, PSM 2-hop latency in the fine-grained simulator
+// must land within the ideal simulator's AW..AW+2·BI window.
+func TestMACLatencyConsistentWithIdealSim(t *testing.T) {
+	field, err := topo.NewConnectedRandomDisk(
+		topo.DiskConfig{N: 30, Range: 30, Area: topo.AreaForDensity(30, 30, 10)},
+		rng.New(17), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := netsim.Run(netsim.Config{
+		Topo:      field,
+		Source:    0,
+		MAC:       mac.DefaultConfig(core.PSM()),
+		Lambda:    0.01,
+		Duration:  400 * time.Second,
+		K:         1,
+		TrackHops: []int{2},
+		Seed:      17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := res.LatencyAtHop[2]
+	if acc == nil || acc.N() == 0 {
+		t.Skip("no 2-hop nodes in this scenario")
+	}
+	got := acc.Mean()
+	// Expectation ≈ AW + BI = 11 s with spreading variance either side.
+	if got < 6 || got > 21 {
+		t.Fatalf("netsim 2-hop PSM latency %v s, expected ≈11", got)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}

@@ -1,0 +1,96 @@
+// Package codedist implements the paper's example application (Section
+// 5.1): code distribution over broadcast. One node is the update source;
+// new updates are generated deterministically at rate λ, and every
+// broadcast packet carries the k most recent updates, so a node can miss
+// k−1 consecutive packets and still learn every update.
+package codedist
+
+import (
+	"fmt"
+	"time"
+)
+
+// Update is one code update generated at the source.
+type Update struct {
+	// Seq is the source-assigned sequence number, starting at 0.
+	Seq int
+	// GeneratedAt is the simulation time the update was created.
+	GeneratedAt time.Duration
+}
+
+// Payload is the application content of one broadcast packet: the k most
+// recent updates at generation time.
+type Payload struct {
+	Updates []Update
+}
+
+// Source generates updates and builds packet payloads.
+type Source struct {
+	k      int
+	recent []Update
+	next   int
+}
+
+// NewSource returns a source batching the k most recent updates per packet
+// (Table 2 experiments use k=1).
+func NewSource(k int) (*Source, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("codedist: k %d must be positive", k)
+	}
+	return &Source{k: k, recent: make([]Update, 0, k)}, nil
+}
+
+// Generate creates the next update at time now and returns the payload to
+// broadcast (a copy; callers cannot alias internal state).
+func (s *Source) Generate(now time.Duration) Payload {
+	u := Update{Seq: s.next, GeneratedAt: now}
+	s.next++
+	s.recent = append(s.recent, u)
+	if len(s.recent) > s.k {
+		s.recent = s.recent[len(s.recent)-s.k:]
+	}
+	out := make([]Update, len(s.recent))
+	copy(out, s.recent)
+	return Payload{Updates: out}
+}
+
+// Generated returns the number of updates created so far.
+func (s *Source) Generated() int { return s.next }
+
+// Tracker records, per receiving node, when each update was first learned.
+type Tracker struct {
+	latency map[int]time.Duration
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{latency: make(map[int]time.Duration)}
+}
+
+// Observe processes a received payload at time now, recording first-sight
+// latency for updates not seen before.
+func (t *Tracker) Observe(p Payload, now time.Duration) {
+	for _, u := range p.Updates {
+		if _, ok := t.latency[u.Seq]; !ok {
+			t.latency[u.Seq] = now - u.GeneratedAt
+		}
+	}
+}
+
+// Received returns how many distinct updates the node has learned.
+func (t *Tracker) Received() int { return len(t.latency) }
+
+// Latency returns the first-sight latency of update seq.
+func (t *Tracker) Latency(seq int) (time.Duration, bool) {
+	d, ok := t.latency[seq]
+	return d, ok
+}
+
+// Latencies returns all recorded (seq, latency) pairs as a map copy.
+func (t *Tracker) Latencies() map[int]time.Duration {
+	out := make(map[int]time.Duration, len(t.latency))
+	for k, v := range t.latency {
+		out[k] = v
+	}
+	return out
+}

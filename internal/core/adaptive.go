@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// AdaptiveConfig tunes the AdaptiveController, the paper's future-work
+// extension (Section 6): nodes adjust p and q dynamically instead of using
+// fixed global values.
+type AdaptiveConfig struct {
+	// Initial is the starting operating point.
+	Initial Params
+	// Step is the multiplicative-increase / additive-decrease step size.
+	Step float64
+	// ActivityTarget is the neighbor-activity level (smoothed count of
+	// overheard transmissions per active period) above which p is raised:
+	// "when a node overhears more nodes involved in communication, p could
+	// be increased since more nodes will be active to receive the
+	// broadcast."
+	ActivityTarget float64
+	// LossTarget is the tolerated fraction of missed broadcasts; observed
+	// loss above it raises q: "the q parameter could be increased in
+	// response to a node detecting a large fraction of broadcast packets
+	// are not being received."
+	LossTarget float64
+	// Alpha is the EWMA smoothing factor in (0, 1] for both signals.
+	Alpha float64
+}
+
+// DefaultAdaptiveConfig returns a conservative configuration: start at the
+// reliability-safe corner (p=0.25, q=0.5), 0.05 steps, EWMA alpha 0.2.
+func DefaultAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{
+		Initial:        Params{P: 0.25, Q: 0.5},
+		Step:           0.05,
+		ActivityTarget: 2,
+		LossTarget:     0.01,
+		Alpha:          0.2,
+	}
+}
+
+// Validate checks the configuration invariants.
+func (c AdaptiveConfig) Validate() error {
+	if err := c.Initial.Validate(); err != nil {
+		return err
+	}
+	if c.Step <= 0 || c.Step > 1 {
+		return fmt.Errorf("core: adaptive step %v outside (0,1]", c.Step)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: adaptive alpha %v outside (0,1]", c.Alpha)
+	}
+	if c.ActivityTarget < 0 {
+		return fmt.Errorf("core: activity target %v negative", c.ActivityTarget)
+	}
+	if c.LossTarget < 0 || c.LossTarget >= 1 {
+		return fmt.Errorf("core: loss target %v outside [0,1)", c.LossTarget)
+	}
+	return nil
+}
+
+// AdaptiveController adjusts a node's local (p, q) from two observations:
+// overheard neighbor activity and broadcast delivery success. It is a pure
+// state machine; the MAC feeds it observations and reads Params.
+type AdaptiveController struct {
+	cfg      AdaptiveConfig
+	params   Params
+	activity float64 // EWMA of overheard transmissions per observation window
+	loss     float64 // EWMA of miss indicator
+	observed int
+}
+
+// NewAdaptiveController constructs a controller; the config must validate.
+func NewAdaptiveController(cfg AdaptiveConfig) (*AdaptiveController, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &AdaptiveController{cfg: cfg, params: cfg.Initial, loss: cfg.LossTarget}, nil
+}
+
+// Params returns the current operating point.
+func (a *AdaptiveController) Params() Params { return a.params }
+
+// Observations returns the smoothed activity and loss signals (diagnostics).
+func (a *AdaptiveController) Observations() (activity, loss float64) {
+	return a.activity, a.loss
+}
+
+// ObserveActivity feeds the number of distinct transmissions overheard in
+// the last active period. High activity means many neighbors are awake, so
+// immediate broadcasts are likely to be received: raise p — but only while
+// observed loss is under control (reliability-first: aggressive immediate
+// forwarding is never worth missing broadcasts). Low activity or excess
+// loss lowers p back toward the reliable normal-broadcast path.
+func (a *AdaptiveController) ObserveActivity(transmissions int) {
+	a.activity = (1-a.cfg.Alpha)*a.activity + a.cfg.Alpha*float64(transmissions)
+	switch {
+	case a.loss > a.cfg.LossTarget:
+		a.params.P = clamp01(a.params.P - a.cfg.Step)
+	case a.activity > a.cfg.ActivityTarget:
+		a.params.P = clamp01(a.params.P + a.cfg.Step)
+	case a.activity < a.cfg.ActivityTarget/2:
+		a.params.P = clamp01(a.params.P - a.cfg.Step)
+	}
+}
+
+// ObserveDelivery feeds one broadcast outcome: received=false means the
+// node learned (e.g. from a sequence-number gap) that it missed a
+// broadcast. Sustained loss above the target raises q; loss well under
+// the target lets q decay to save energy.
+func (a *AdaptiveController) ObserveDelivery(received bool) {
+	miss := 0.0
+	if !received {
+		miss = 1
+	}
+	a.loss = (1-a.cfg.Alpha)*a.loss + a.cfg.Alpha*miss
+	a.observed++
+	switch {
+	case a.loss > a.cfg.LossTarget:
+		a.params.Q = clamp01(a.params.Q + a.cfg.Step)
+	case a.loss < a.cfg.LossTarget/2:
+		a.params.Q = clamp01(a.params.Q - a.cfg.Step)
+	}
+}
+
+// Converged reports whether the controller has seen enough deliveries for
+// the loss EWMA to be meaningful (a fixed warm-up of 1/alpha samples).
+func (a *AdaptiveController) Converged() bool {
+	return float64(a.observed) >= 1/a.cfg.Alpha
+}
+
+func clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}

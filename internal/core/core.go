@@ -1,0 +1,263 @@
+// Package core implements the paper's primary contribution: PBBF
+// (Probability-Based Broadcast Forwarding), a MAC-layer probabilistic
+// broadcast scheme that can be integrated into any sleep scheduling
+// protocol (Section 3), together with the closed-form analysis of its
+// energy, latency, and reliability (Section 4, Equations 3–12).
+//
+// PBBF adds two parameters to a sleep-scheduling MAC:
+//
+//   - p: the probability that a node rebroadcasts a received broadcast
+//     immediately, without waiting for the next ATIM window that would
+//     guarantee all neighbors are awake.
+//   - q: the probability that a node stays awake through a sleep period it
+//     would otherwise sleep through, in the hope of catching an immediate
+//     rebroadcast.
+//
+// The original sleep-scheduling protocol is PBBF with p=0, q=0; always-on
+// operation is approximated by p=1, q=1.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pbbf/internal/rng"
+)
+
+// Params are the two PBBF knobs.
+type Params struct {
+	// P is the immediate-rebroadcast probability.
+	P float64
+	// Q is the stay-awake probability.
+	Q float64
+}
+
+// PSM returns the parameters reducing PBBF to the unmodified sleep
+// scheduling protocol (p=0, q=0).
+func PSM() Params { return Params{P: 0, Q: 0} }
+
+// AlwaysOn returns the parameters approximating a protocol with no
+// power-save mode (p=1, q=1). Per Section 3, this still differs from true
+// always-on by the beacon/ATIM overhead of the underlying protocol.
+func AlwaysOn() Params { return Params{P: 1, Q: 1} }
+
+// Validate checks that both probabilities lie in [0, 1].
+func (pr Params) Validate() error {
+	if pr.P < 0 || pr.P > 1 || math.IsNaN(pr.P) {
+		return fmt.Errorf("core: p=%v outside [0,1]", pr.P)
+	}
+	if pr.Q < 0 || pr.Q > 1 || math.IsNaN(pr.Q) {
+		return fmt.Errorf("core: q=%v outside [0,1]", pr.Q)
+	}
+	return nil
+}
+
+// Label renders the conventional series name used in the paper's figures:
+// "PSM" for (0,0), "NO PSM" for (1,1), else "PBBF-<p>".
+func (pr Params) Label() string {
+	switch {
+	case pr.P == 0 && pr.Q == 0:
+		return "PSM"
+	case pr.P == 1 && pr.Q == 1:
+		return "NO PSM"
+	default:
+		return fmt.Sprintf("PBBF-%v", pr.P)
+	}
+}
+
+// ForwardImmediately implements the Receive-Broadcast coin of Figure 3: on
+// packet reception, with probability p the packet is rebroadcast in the
+// current active time; otherwise it is queued for the next ATIM window.
+func (pr Params) ForwardImmediately(r *rng.Source) bool {
+	return r.Bool(pr.P)
+}
+
+// StayAwake implements the probabilistic branch of Sleep-Decision-Handler
+// in Figure 3: with probability q the node remains on through a sleep
+// period despite having no announced traffic.
+func (pr Params) StayAwake(r *rng.Source) bool {
+	return r.Bool(pr.Q)
+}
+
+// SleepDecision implements the full Sleep-Decision-Handler of Figure 3,
+// called at the end of each active time: a node stays on if it has data to
+// send or receive, and otherwise stays on with probability q.
+func (pr Params) SleepDecision(dataToSend, dataToRecv bool, r *rng.Source) bool {
+	if dataToSend || dataToRecv {
+		return true
+	}
+	return pr.StayAwake(r)
+}
+
+// EdgeProbability returns pedge = 1 − p·(1 − q), the probability that a
+// given directed link delivers a broadcast copy (Remark 1). The first term
+// of the underlying sum, p·q, is an immediate broadcast caught by an awake
+// neighbor; the second, 1−p, is a normal broadcast that all neighbors wake
+// for.
+func EdgeProbability(p, q float64) float64 {
+	return 1 - p*(1-q)
+}
+
+// MinQForEdgeProbability inverts EdgeProbability: the smallest q such that
+// 1 − p·(1−q) ≥ pedge, clamped to [0, 1]. For p ≤ 1−pedge any q works
+// (returns 0); for p = 0 the edge probability is 1 regardless of q.
+func MinQForEdgeProbability(p, pedge float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	q := 1 - (1-pedge)/p
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// Timing captures the sleep-schedule geometry of the underlying protocol.
+type Timing struct {
+	// Active is Tactive, the awake portion of each frame (the ATIM window
+	// in 802.11 PSM terms).
+	Active time.Duration
+	// Frame is Tframe = Tactive + Tsleep, the full beacon interval.
+	Frame time.Duration
+}
+
+// Validate checks 0 < Active <= Frame.
+func (t Timing) Validate() error {
+	if t.Active <= 0 {
+		return fmt.Errorf("core: Tactive %v must be positive", t.Active)
+	}
+	if t.Frame < t.Active {
+		return fmt.Errorf("core: Tframe %v < Tactive %v", t.Frame, t.Active)
+	}
+	return nil
+}
+
+// Sleep returns Tsleep = Tframe − Tactive.
+func (t Timing) Sleep() time.Duration { return t.Frame - t.Active }
+
+// EnergyOriginal is Equation 3: the relative energy consumption of the
+// unmodified sleep-scheduling protocol versus an always-on protocol,
+// Tactive/Tframe.
+func EnergyOriginal(t Timing) float64 {
+	return t.Active.Seconds() / t.Frame.Seconds()
+}
+
+// ActiveTimePBBF is Equation 5: expected awake time per frame under PBBF,
+// Tactive + q·Tsleep.
+func ActiveTimePBBF(t Timing, q float64) time.Duration {
+	return t.Active + time.Duration(q*float64(t.Sleep()))
+}
+
+// SleepTimePBBF is Equation 6: expected sleep time per frame under PBBF,
+// (1−q)·Tsleep.
+func SleepTimePBBF(t Timing, q float64) time.Duration {
+	return time.Duration((1 - q) * float64(t.Sleep()))
+}
+
+// EnergyPBBF is Equation 7: relative energy consumption of PBBF,
+// (Tactive + q·Tsleep)/Tframe. It does not depend on p.
+func EnergyPBBF(t Timing, q float64) float64 {
+	return ActiveTimePBBF(t, q).Seconds() / t.Frame.Seconds()
+}
+
+// EnergyIncreaseFactor is Equation 8: EPBBF/Eoriginal = 1 + q·Tsleep/Tactive.
+func EnergyIncreaseFactor(t Timing, q float64) float64 {
+	return 1 + q*t.Sleep().Seconds()/t.Active.Seconds()
+}
+
+// Latencies carries the two per-hop latency constituents of Equation 9.
+type Latencies struct {
+	// L1 is the channel-access time for an immediate data transmission
+	// (Table 1 uses ≈1.5 s, an empirical value from the simulations).
+	L1 time.Duration
+	// L2 is the additional delay of a normal broadcast — the time to wake
+	// all neighbors, i.e. waiting for the next beacon interval.
+	L2 time.Duration
+}
+
+// ExpectedPerHopLatency is Equation 9: the expected time between a node
+// sending a broadcast and a given neighbor receiving it, conditioned on
+// successful delivery over that link:
+//
+//	L = L1 + L2·(1−p)/(1−p+p·q)
+//
+// For p=1, q=0 the link never delivers (denominator 0); the function
+// returns L1 in that degenerate case, matching the limit of immediate-only
+// delivery.
+func ExpectedPerHopLatency(pr Params, l Latencies) time.Duration {
+	denom := 1 - pr.P + pr.P*pr.Q
+	if denom <= 0 {
+		return l.L1
+	}
+	return l.L1 + time.Duration(float64(l.L2)*(1-pr.P)/denom)
+}
+
+// LatencyToNode is Equation 10: source-to-node latency as per-hop latency
+// times the dissemination path length.
+func LatencyToNode(perHop time.Duration, pathHops float64) time.Duration {
+	return time.Duration(float64(perHop) * pathHops)
+}
+
+// LatencyUpperBoundHops is the loop-erased-random-walk exponent bound used
+// in Equation 11: on the uniform spanning tree built by a flood, the path
+// to a node at shortest distance d has expected length at most d^(5/4+o(1)).
+func LatencyUpperBoundHops(d float64) float64 {
+	return math.Pow(d, 1.25)
+}
+
+// EnergyForLatency is Equation 12: the direct energy–latency relation at
+// fixed p, obtained by eliminating q between Equations 8 and 9:
+//
+//	EPBBF = (1 + (L2+L1−L)/(L−L1) · (1−p)/p · Tsleep/Tactive) · Eoriginal
+//
+// Note: the paper prints this with a minus sign, which contradicts
+// Equations 8 and 9 (substituting q from Eq. 9 into Eq. 8 yields the plus
+// form, and only the plus form reproduces Eq. 8 numerically). We implement
+// the corrected formula; see EXPERIMENTS.md.
+//
+// L must exceed L1 (some normal-broadcast delay remains) and p must be in
+// (0, 1]; otherwise an error is returned.
+func EnergyForLatency(l Latencies, t Timing, p float64, perHop time.Duration) (float64, error) {
+	if p <= 0 || p > 1 {
+		return 0, fmt.Errorf("core: p=%v outside (0,1]", p)
+	}
+	if perHop <= l.L1 {
+		return 0, fmt.Errorf("core: latency %v must exceed L1 %v", perHop, l.L1)
+	}
+	lf := perHop.Seconds()
+	l1 := l.L1.Seconds()
+	l2 := l.L2.Seconds()
+	factor := 1 + (l2+l1-lf)/(lf-l1)*((1-p)/p)*(t.Sleep().Seconds()/t.Active.Seconds())
+	return factor * EnergyOriginal(t), nil
+}
+
+// QForLatency inverts Equation 9: the q achieving a target expected per-hop
+// latency at fixed p. Returns an error when the target is unreachable
+// (below L1, or above the p-determined maximum).
+func QForLatency(l Latencies, p float64, perHop time.Duration) (float64, error) {
+	if p <= 0 || p > 1 {
+		return 0, fmt.Errorf("core: p=%v outside (0,1]", p)
+	}
+	if perHop < l.L1 {
+		return 0, fmt.Errorf("core: latency %v below L1 %v", perHop, l.L1)
+	}
+	// L = L1 + L2(1-p)/(1-p+pq)  =>  1-p+pq = L2(1-p)/(L-L1)
+	excess := (perHop - l.L1).Seconds()
+	if excess == 0 {
+		// L = L1 exactly requires the normal-broadcast term to vanish,
+		// which only happens at p=1.
+		if p == 1 {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("core: latency L1 reachable only with p=1")
+	}
+	q := (l.L2.Seconds()*(1-p)/excess - (1 - p)) / p
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("core: required q=%v outside [0,1]", q)
+	}
+	return q, nil
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pbbf/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+var tableTiming = Timing{Active: time.Second, Frame: 10 * time.Second}
+
+func TestParamsValidate(t *testing.T) {
+	good := []Params{{0, 0}, {1, 1}, {0.5, 0.25}}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%+v rejected: %v", p, err)
+		}
+	}
+	bad := []Params{{-0.1, 0}, {1.1, 0}, {0, -0.1}, {0, 1.1}, {math.NaN(), 0}, {0, math.NaN()}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("%+v accepted", p)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cases := map[Params]string{
+		PSM():              "PSM",
+		AlwaysOn():         "NO PSM",
+		{P: 0.5, Q: 0.25}:  "PBBF-0.5",
+		{P: 0.05, Q: 0.25}: "PBBF-0.05",
+	}
+	for p, want := range cases {
+		if got := p.Label(); got != want {
+			t.Fatalf("%+v.Label() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestCoinFrequencies(t *testing.T) {
+	r := rng.New(1)
+	p := Params{P: 0.3, Q: 0.7}
+	const n = 100000
+	fwd, awake := 0, 0
+	for i := 0; i < n; i++ {
+		if p.ForwardImmediately(r) {
+			fwd++
+		}
+		if p.StayAwake(r) {
+			awake++
+		}
+	}
+	if got := float64(fwd) / n; !almostEqual(got, 0.3, 0.01) {
+		t.Fatalf("forward frequency %v", got)
+	}
+	if got := float64(awake) / n; !almostEqual(got, 0.7, 0.01) {
+		t.Fatalf("stay-awake frequency %v", got)
+	}
+}
+
+func TestSleepDecisionDataOverrides(t *testing.T) {
+	r := rng.New(2)
+	p := Params{P: 0, Q: 0}
+	for i := 0; i < 100; i++ {
+		if !p.SleepDecision(true, false, r) {
+			t.Fatal("node with data to send slept")
+		}
+		if !p.SleepDecision(false, true, r) {
+			t.Fatal("node with data to receive slept")
+		}
+		if p.SleepDecision(false, false, r) {
+			t.Fatal("q=0 node stayed awake without data")
+		}
+	}
+}
+
+func TestEdgeProbability(t *testing.T) {
+	cases := []struct {
+		p, q, want float64
+	}{
+		{0, 0, 1},     // PSM: every edge open
+		{1, 1, 1},     // always-on: every edge open
+		{1, 0, 0},     // immediate-only with everyone asleep: no edges
+		{0.5, 0, 0.5}, // Remark 1
+		{0.5, 0.5, 0.75},
+	}
+	for _, c := range cases {
+		if got := EdgeProbability(c.p, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("EdgeProbability(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestMinQForEdgeProbability(t *testing.T) {
+	// Round trip: pedge(p, MinQ(p, target)) >= target.
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 1} {
+		for _, target := range []float64{0.5, 0.7, 0.9, 0.99} {
+			q := MinQForEdgeProbability(p, target)
+			if q < 0 || q > 1 {
+				t.Fatalf("MinQ(%v,%v) = %v out of range", p, target, q)
+			}
+			got := EdgeProbability(p, q)
+			if got < target-1e-9 && q < 1 {
+				t.Fatalf("MinQ(%v,%v)=%v gives pedge %v < target", p, target, q, got)
+			}
+		}
+	}
+	if got := MinQForEdgeProbability(0, 0.99); got != 0 {
+		t.Fatalf("MinQ(0, .99) = %v, want 0 (p=0 always satisfies)", got)
+	}
+	// Small p needs no q at all when 1-p >= target.
+	if got := MinQForEdgeProbability(0.05, 0.9); got != 0 {
+		t.Fatalf("MinQ(0.05, 0.9) = %v, want 0", got)
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	if err := tableTiming.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Timing{
+		{Active: 0, Frame: time.Second},
+		{Active: 2 * time.Second, Frame: time.Second},
+		{Active: -time.Second, Frame: time.Second},
+	}
+	for _, tm := range bad {
+		if err := tm.Validate(); err == nil {
+			t.Fatalf("%+v accepted", tm)
+		}
+	}
+}
+
+func TestTimingSleep(t *testing.T) {
+	if got := tableTiming.Sleep(); got != 9*time.Second {
+		t.Fatalf("Tsleep = %v", got)
+	}
+}
+
+func TestEnergyEquations(t *testing.T) {
+	// Equation 3: Tactive/Tframe = 0.1 for Table 1 values.
+	if got := EnergyOriginal(tableTiming); !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("Eoriginal = %v", got)
+	}
+	// Equation 5/6 at q=0.5: active 1+4.5=5.5s, sleep 4.5s.
+	if got := ActiveTimePBBF(tableTiming, 0.5); got != 5500*time.Millisecond {
+		t.Fatalf("ActiveTimePBBF = %v", got)
+	}
+	if got := SleepTimePBBF(tableTiming, 0.5); got != 4500*time.Millisecond {
+		t.Fatalf("SleepTimePBBF = %v", got)
+	}
+	// Equation 7: 5.5/10.
+	if got := EnergyPBBF(tableTiming, 0.5); !almostEqual(got, 0.55, 1e-12) {
+		t.Fatalf("EPBBF = %v", got)
+	}
+	// Equation 8: 1 + 0.5*9 = 5.5.
+	if got := EnergyIncreaseFactor(tableTiming, 0.5); !almostEqual(got, 5.5, 1e-12) {
+		t.Fatalf("factor = %v", got)
+	}
+	// Endpoints: q=0 reduces to PSM, q=1 to always-on.
+	if got := EnergyPBBF(tableTiming, 0); !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("EPBBF(0) = %v", got)
+	}
+	if got := EnergyPBBF(tableTiming, 1); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("EPBBF(1) = %v", got)
+	}
+}
+
+func TestPerHopLatency(t *testing.T) {
+	l := Latencies{L1: 1500 * time.Millisecond, L2: 10 * time.Second}
+	// p=0: every hop is a normal broadcast, L = L1+L2.
+	if got := ExpectedPerHopLatency(Params{P: 0, Q: 0}, l); got != 11500*time.Millisecond {
+		t.Fatalf("PSM latency = %v", got)
+	}
+	// p=1, q=1: all immediate, L = L1.
+	if got := ExpectedPerHopLatency(Params{P: 1, Q: 1}, l); got != 1500*time.Millisecond {
+		t.Fatalf("always-on latency = %v", got)
+	}
+	// Degenerate p=1, q=0: returns L1.
+	if got := ExpectedPerHopLatency(Params{P: 1, Q: 0}, l); got != 1500*time.Millisecond {
+		t.Fatalf("degenerate latency = %v", got)
+	}
+	// Equation 9 midpoint: p=0.5, q=0.5 → L1 + L2*(0.5)/(0.75).
+	want := l.L1 + time.Duration(float64(l.L2)*0.5/0.75)
+	if got := ExpectedPerHopLatency(Params{P: 0.5, Q: 0.5}, l); got != want {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyMonotoneInPQ(t *testing.T) {
+	l := Latencies{L1: time.Second, L2: 10 * time.Second}
+	// Higher q at fixed p lowers latency (more immediate deliveries land).
+	prev := time.Duration(math.MaxInt64)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := ExpectedPerHopLatency(Params{P: 0.5, Q: q}, l)
+		if got > prev {
+			t.Fatalf("latency increased with q: %v after %v", got, prev)
+		}
+		prev = got
+	}
+	// Higher p at fixed q>0 lowers latency.
+	prev = time.Duration(math.MaxInt64)
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := ExpectedPerHopLatency(Params{P: p, Q: 0.5}, l)
+		if got > prev {
+			t.Fatalf("latency increased with p: %v after %v", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestLatencyToNode(t *testing.T) {
+	if got := LatencyToNode(2*time.Second, 5); got != 10*time.Second {
+		t.Fatalf("LatencyToNode = %v", got)
+	}
+}
+
+func TestLatencyUpperBoundHops(t *testing.T) {
+	if got := LatencyUpperBoundHops(16); !almostEqual(got, 32, 1e-9) {
+		t.Fatalf("bound(16) = %v, want 32 (16^1.25)", got)
+	}
+	if got := LatencyUpperBoundHops(1); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("bound(1) = %v", got)
+	}
+}
+
+func TestEnergyForLatencyConsistency(t *testing.T) {
+	// Pick (p, q), compute L from Eq 9 and E from Eq 8; Eq 12 must
+	// reproduce E from (p, L).
+	l := Latencies{L1: 1500 * time.Millisecond, L2: 10 * time.Second}
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		for _, q := range []float64{0.2, 0.5, 0.8} {
+			pr := Params{P: p, Q: q}
+			lat := ExpectedPerHopLatency(pr, l)
+			wantE := EnergyPBBF(tableTiming, q)
+			gotE, err := EnergyForLatency(l, tableTiming, p, lat)
+			if err != nil {
+				t.Fatalf("EnergyForLatency(%v,%v): %v", p, q, err)
+			}
+			if !almostEqual(gotE, wantE, 1e-6) {
+				t.Fatalf("Eq12 gives %v, Eq8 gives %v at p=%v q=%v", gotE, wantE, p, q)
+			}
+		}
+	}
+}
+
+func TestEnergyForLatencyValidation(t *testing.T) {
+	l := Latencies{L1: time.Second, L2: 10 * time.Second}
+	if _, err := EnergyForLatency(l, tableTiming, 0, 5*time.Second); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := EnergyForLatency(l, tableTiming, 0.5, time.Second); err == nil {
+		t.Fatal("latency <= L1 accepted")
+	}
+}
+
+func TestQForLatencyRoundTrip(t *testing.T) {
+	l := Latencies{L1: 1500 * time.Millisecond, L2: 10 * time.Second}
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			lat := ExpectedPerHopLatency(Params{P: p, Q: q}, l)
+			got, err := QForLatency(l, p, lat)
+			if err != nil {
+				t.Fatalf("QForLatency(%v): %v", p, err)
+			}
+			if !almostEqual(got, q, 1e-9) {
+				t.Fatalf("QForLatency round trip: got %v, want %v", got, q)
+			}
+		}
+	}
+}
+
+func TestQForLatencyErrors(t *testing.T) {
+	l := Latencies{L1: time.Second, L2: 10 * time.Second}
+	if _, err := QForLatency(l, 0, 5*time.Second); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := QForLatency(l, 0.5, 500*time.Millisecond); err == nil {
+		t.Fatal("latency below L1 accepted")
+	}
+	if _, err := QForLatency(l, 0.5, time.Second); err == nil {
+		t.Fatal("latency == L1 with p<1 accepted")
+	}
+	if q, err := QForLatency(l, 1, time.Second); err != nil || q != 0 {
+		t.Fatalf("p=1 at L1: q=%v err=%v", q, err)
+	}
+	// Latency longer than the p-maximum (q would be negative).
+	if _, err := QForLatency(l, 0.5, time.Hour); err == nil {
+		t.Fatal("unreachable long latency accepted")
+	}
+}
+
+// Property: energy (Eq 8) increases with q while latency (Eq 9) decreases —
+// the inverse relation the paper's title is about.
+func TestPropertyInverseTradeoff(t *testing.T) {
+	l := Latencies{L1: 1500 * time.Millisecond, L2: 10 * time.Second}
+	check := func(rawP, rawQ1, rawQ2 uint8) bool {
+		p := float64(rawP%90+10) / 100 // p in [0.1, 0.99]
+		q1 := float64(rawQ1%100) / 100
+		q2 := float64(rawQ2%100) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		if q1 == q2 {
+			return true
+		}
+		e1 := EnergyPBBF(tableTiming, q1)
+		e2 := EnergyPBBF(tableTiming, q2)
+		l1 := ExpectedPerHopLatency(Params{P: p, Q: q1}, l)
+		l2 := ExpectedPerHopLatency(Params{P: p, Q: q2}, l)
+		return e1 <= e2 && l1 >= l2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EdgeProbability is within [min(1-p, 1), 1] and MinQ inverts it.
+func TestPropertyEdgeProbabilityBounds(t *testing.T) {
+	check := func(rawP, rawQ uint8) bool {
+		p := float64(rawP%101) / 100
+		q := float64(rawQ%101) / 100
+		pe := EdgeProbability(p, q)
+		if pe < 0 || pe > 1 {
+			return false
+		}
+		if pe < 1-p-1e-12 {
+			return false
+		}
+		minQ := MinQForEdgeProbability(p, pe)
+		return EdgeProbability(p, minQ) >= pe-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+// PacketKey identifies a broadcast payload for duplicate suppression.
+// The paper's protocols drop duplicate broadcast packets, so each broadcast
+// traverses a link at most once and the dissemination forms a spanning tree.
+type PacketKey struct {
+	// Origin is the node that created the broadcast.
+	Origin int
+	// Seq is the origin-local sequence number.
+	Seq uint64
+}
+
+// DuplicateFilter remembers which broadcasts a node has already handled.
+// The zero value is not usable; construct with NewDuplicateFilter.
+type DuplicateFilter struct {
+	seen map[PacketKey]struct{}
+}
+
+// NewDuplicateFilter returns an empty filter.
+func NewDuplicateFilter() *DuplicateFilter {
+	return &DuplicateFilter{seen: make(map[PacketKey]struct{})}
+}
+
+// Seen reports whether key was already marked.
+func (f *DuplicateFilter) Seen(key PacketKey) bool {
+	_, ok := f.seen[key]
+	return ok
+}
+
+// MarkSeen records key and reports whether it was new (true = first sight).
+func (f *DuplicateFilter) MarkSeen(key PacketKey) bool {
+	if _, ok := f.seen[key]; ok {
+		return false
+	}
+	f.seen[key] = struct{}{}
+	return true
+}
+
+// Len returns the number of distinct broadcasts recorded.
+func (f *DuplicateFilter) Len() int { return len(f.seen) }
+
+// Reset clears the filter for reuse across simulation runs.
+func (f *DuplicateFilter) Reset() {
+	clear(f.seen)
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDuplicateFilterBasics(t *testing.T) {
+	f := NewDuplicateFilter()
+	key := PacketKey{Origin: 3, Seq: 7}
+	if f.Seen(key) {
+		t.Fatal("fresh filter reported seen")
+	}
+	if !f.MarkSeen(key) {
+		t.Fatal("first MarkSeen returned false")
+	}
+	if !f.Seen(key) {
+		t.Fatal("marked key not seen")
+	}
+	if f.MarkSeen(key) {
+		t.Fatal("second MarkSeen returned true")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("len = %d", f.Len())
+	}
+}
+
+func TestDuplicateFilterDistinguishesKeys(t *testing.T) {
+	f := NewDuplicateFilter()
+	f.MarkSeen(PacketKey{Origin: 1, Seq: 1})
+	if f.Seen(PacketKey{Origin: 1, Seq: 2}) {
+		t.Fatal("different seq reported seen")
+	}
+	if f.Seen(PacketKey{Origin: 2, Seq: 1}) {
+		t.Fatal("different origin reported seen")
+	}
+}
+
+func TestDuplicateFilterReset(t *testing.T) {
+	f := NewDuplicateFilter()
+	f.MarkSeen(PacketKey{Origin: 1, Seq: 1})
+	f.Reset()
+	if f.Len() != 0 {
+		t.Fatalf("len after reset = %d", f.Len())
+	}
+	if f.Seen(PacketKey{Origin: 1, Seq: 1}) {
+		t.Fatal("key survived reset")
+	}
+}
+
+// Property: MarkSeen returns true exactly once per distinct key.
+func TestPropertyMarkSeenOnce(t *testing.T) {
+	check := func(keys []uint16) bool {
+		f := NewDuplicateFilter()
+		firsts := map[PacketKey]int{}
+		for _, k := range keys {
+			key := PacketKey{Origin: int(k % 16), Seq: uint64(k / 16)}
+			if f.MarkSeen(key) {
+				firsts[key]++
+			}
+		}
+		for _, n := range firsts {
+			if n != 1 {
+				return false
+			}
+		}
+		return f.Len() == len(firsts)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package eventq implements the pending-event set of a discrete-event
+// simulator: an indexed binary min-heap of timed events supporting O(log n)
+// push, pop, and cancellation.
+//
+// Two events with equal timestamps are ordered by insertion sequence, which
+// makes simulation runs fully deterministic: the same schedule of calls
+// always dequeues in the same order regardless of heap internals.
+package eventq
+
+import "time"
+
+// Event is a scheduled callback. The queue owns the heap bookkeeping fields;
+// callers treat an *Event as an opaque cancellation handle.
+type Event struct {
+	// At is the simulation time at which the event fires.
+	At time.Duration
+	// Fn is invoked when the event is dequeued by the simulation loop.
+	Fn func()
+
+	seq   uint64
+	index int // position in the heap, -1 once removed
+}
+
+// Cancelled reports whether the event has been removed from its queue
+// (either fired or explicitly cancelled).
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+// Queue is a min-heap of events ordered by (At, insertion sequence).
+// The zero value is ready to use. Queue is not safe for concurrent use;
+// the simulation kernel is single-threaded by design.
+type Queue struct {
+	events  []*Event
+	nextSeq uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// Push schedules fn at time at and returns a handle usable with Cancel.
+func (q *Queue) Push(at time.Duration, fn func()) *Event {
+	e := &Event{At: at, Fn: fn, seq: q.nextSeq, index: len(q.events)}
+	q.nextSeq++
+	q.events = append(q.events, e)
+	q.up(e.index)
+	return e
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *Queue) Pop() *Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	top := q.events[0]
+	q.remove(0)
+	return top
+}
+
+// Peek returns the earliest event without removing it, or nil if empty.
+func (q *Queue) Peek() *Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	return q.events[0]
+}
+
+// Cancel removes e from the queue. It is a no-op if e already fired or was
+// cancelled, so callers may cancel unconditionally. Returns whether the
+// event was actually removed.
+func (q *Queue) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 || e.index >= len(q.events) || q.events[e.index] != e {
+		return false
+	}
+	q.remove(e.index)
+	return true
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.events[i], q.events[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.events[i], q.events[j] = q.events[j], q.events[i]
+	q.events[i].index = i
+	q.events[j].index = j
+}
+
+func (q *Queue) remove(i int) {
+	last := len(q.events) - 1
+	removed := q.events[i]
+	if i != last {
+		q.swap(i, last)
+	}
+	q.events[last] = nil
+	q.events = q.events[:last]
+	removed.index = -1
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.events)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,202 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pbbf/internal/rng"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatal("empty queue has nonzero length")
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty queue returned event")
+	}
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue returned event")
+	}
+}
+
+func TestOrderedPop(t *testing.T) {
+	var q Queue
+	times := []time.Duration{5, 1, 3, 2, 4}
+	for _, d := range times {
+		q.Push(d*time.Second, nil)
+	}
+	var got []time.Duration
+	for q.Len() > 0 {
+		got = append(got, q.Pop().At)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if len(got) != len(times) {
+		t.Fatalf("popped %d events, pushed %d", len(got), len(times))
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	var q Queue
+	const n = 50
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		q.Push(time.Second, func() { order = append(order, i) })
+	}
+	for q.Len() > 0 {
+		q.Pop().Fn()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	e1 := q.Push(1*time.Second, nil)
+	e2 := q.Push(2*time.Second, nil)
+	e3 := q.Push(3*time.Second, nil)
+	if !q.Cancel(e2) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if q.Cancel(e2) {
+		t.Fatal("double Cancel returned true")
+	}
+	if !e2.Cancelled() {
+		t.Fatal("cancelled event not marked cancelled")
+	}
+	if got := q.Pop(); got != e1 {
+		t.Fatalf("first pop = %v, want e1", got.At)
+	}
+	if got := q.Pop(); got != e3 {
+		t.Fatalf("second pop = %v, want e3", got.At)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty: %d", q.Len())
+	}
+}
+
+func TestCancelHead(t *testing.T) {
+	var q Queue
+	e1 := q.Push(1*time.Second, nil)
+	e2 := q.Push(2*time.Second, nil)
+	q.Cancel(e1)
+	if got := q.Peek(); got != e2 {
+		t.Fatal("head cancel did not promote next event")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	var q Queue
+	if q.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestPoppedEventCancelled(t *testing.T) {
+	var q Queue
+	e := q.Push(time.Second, nil)
+	q.Pop()
+	if !e.Cancelled() {
+		t.Fatal("popped event still claims to be pending")
+	}
+	if q.Cancel(e) {
+		t.Fatal("Cancel after Pop returned true")
+	}
+}
+
+// Property: interleaved pushes and cancels always drain in sorted order and
+// cancelled events never appear.
+func TestPropertyHeapOrder(t *testing.T) {
+	check := func(seed uint64, rawN uint8) bool {
+		r := rng.New(seed)
+		n := int(rawN)%200 + 1
+		var q Queue
+		handles := make([]*Event, 0, n)
+		for i := 0; i < n; i++ {
+			at := time.Duration(r.Intn(50)) * time.Millisecond
+			handles = append(handles, q.Push(at, nil))
+		}
+		cancelled := map[*Event]bool{}
+		for _, h := range handles {
+			if r.Bool(0.3) {
+				q.Cancel(h)
+				cancelled[h] = true
+			}
+		}
+		var want []time.Duration
+		for _, h := range handles {
+			if !cancelled[h] {
+				want = append(want, h.At)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := 0; q.Len() > 0; i++ {
+			e := q.Pop()
+			if cancelled[e] {
+				return false
+			}
+			if i >= len(want) || e.At != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sequence numbers preserve FIFO among equal timestamps even with
+// interleaved cancellations.
+func TestPropertyStableOrder(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		var q Queue
+		type tagged struct {
+			e   *Event
+			tag int
+		}
+		var items []tagged
+		for i := 0; i < 100; i++ {
+			at := time.Duration(r.Intn(5)) * time.Second
+			items = append(items, tagged{q.Push(at, nil), i})
+		}
+		byEvent := map[*Event]int{}
+		for _, it := range items {
+			byEvent[it.e] = it.tag
+		}
+		lastTagAtTime := map[time.Duration]int{}
+		for q.Len() > 0 {
+			e := q.Pop()
+			if prev, ok := lastTagAtTime[e.At]; ok && byEvent[e] < prev {
+				return false
+			}
+			lastTagAtTime[e.At] = byEvent[e]
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	r := rng.New(1)
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.Push(time.Duration(r.Intn(1000))*time.Millisecond, nil)
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

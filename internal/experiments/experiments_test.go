@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyScale is even smaller than QuickScale so the whole registry can be
+// exercised in one test run.
+func tinyScale() Scale {
+	s := QuickScale()
+	s.GridW, s.GridH = 15, 15
+	s.IdealUpdates = 2
+	s.PercTrials = 10
+	s.PercGrids = []int{10, 15}
+	s.NetNodes = 20
+	s.NetRuns = 1
+	s.NetDuration = 200 * time.Second
+	s.QSweep = []float64{0, 0.5, 1}
+	s.PSweepIdeal = []float64{0.25, 0.75}
+	s.PSweepNet = []float64{0.5}
+	s.DeltaSweep = []float64{10, 16}
+	s.HopNear = 4
+	s.HopFar = 8
+	return s
+}
+
+func TestScaleValidate(t *testing.T) {
+	for _, s := range []Scale{PaperScale(), QuickScale(), tinyScale()} {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := QuickScale()
+	bad.GridW = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero grid accepted")
+	}
+	bad2 := QuickScale()
+	bad2.QSweep = nil
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	bad3 := QuickScale()
+	bad3.HopFar = bad3.HopNear
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("HopFar == HopNear accepted")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	got := sweepRange(0, 1, 0.25)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(got) != len(want) {
+		t.Fatalf("sweep = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v", got)
+		}
+	}
+}
+
+func TestPointSeedDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for a := uint64(0); a < 10; a++ {
+		for b := uint64(0); b < 10; b++ {
+			s := pointSeed(1, a, b)
+			if seen[s] {
+				t.Fatalf("seed collision at (%d,%d)", a, b)
+			}
+			seen[s] = true
+		}
+	}
+	if pointSeed(1, 2, 3) == pointSeed(1, 3, 2) {
+		t.Fatal("pointSeed ignores argument order")
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fig4" {
+		t.Fatalf("ID = %q", e.ID)
+	}
+	if _, err := ByID("  FIG6 "); err != nil {
+		t.Fatalf("case/space-insensitive lookup failed: %v", err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAllIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	if len(seen) != 22 {
+		t.Fatalf("registry has %d entries, want 22 (2 tables + 15 figures + 5 extensions)", len(seen))
+	}
+}
+
+func TestTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := e.Run(tinyScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := tbl.Render()
+		if !strings.Contains(out, "Table") {
+			t.Fatalf("%s render missing title:\n%s", id, out)
+		}
+	}
+}
+
+func TestFig4ShowsThreshold(t *testing.T) {
+	tbl, err := Fig4(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PSM and NO PSM must be pinned at 1 for every q.
+	for _, name := range []string{"PSM", "NO PSM"} {
+		s := tbl.SeriesByName(name)
+		if s == nil {
+			t.Fatalf("missing series %q", name)
+		}
+		for i, y := range s.Y {
+			if y != 1 {
+				t.Fatalf("%s at x=%v is %v, want 1", name, s.X[i], y)
+			}
+		}
+	}
+	// PBBF-0.75 must be unreliable at q=0 and reliable at q=1.
+	s := tbl.SeriesByName("PBBF-0.75")
+	if s == nil {
+		t.Fatal("missing PBBF-0.75")
+	}
+	y0, ok0 := s.YAt(0)
+	y1, ok1 := s.YAt(1)
+	if !ok0 || !ok1 {
+		t.Fatal("sweep endpoints missing")
+	}
+	if y0 >= y1 || y1 < 0.99 {
+		t.Fatalf("no threshold: y(0)=%v y(1)=%v", y0, y1)
+	}
+}
+
+func TestFig6MonotoneReliability(t *testing.T) {
+	tbl, err := Fig6(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At each grid size, higher reliability needs at least as many bonds.
+	lo := tbl.SeriesByName("80% Reliability")
+	hi := tbl.SeriesByName("100% Reliability")
+	if lo == nil || hi == nil {
+		t.Fatal("missing reliability series")
+	}
+	for i := range lo.X {
+		yLo := lo.Y[i]
+		yHi, ok := hi.YAt(lo.X[i])
+		if !ok {
+			t.Fatalf("grid %v missing from 100%% series", lo.X[i])
+		}
+		if yHi < yLo {
+			t.Fatalf("100%% ratio %v below 80%% ratio %v at grid %v", yHi, yLo, lo.X[i])
+		}
+	}
+}
+
+func TestFig7FrontierMonotoneInP(t *testing.T) {
+	tbl, err := Fig7(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.SeriesByName("99% Reliability")
+	if s == nil {
+		t.Fatal("missing 99% series")
+	}
+	prev := -1.0
+	for i, y := range s.Y {
+		if y < prev-1e-9 {
+			t.Fatalf("min q decreased at p=%v: %v after %v", s.X[i], y, prev)
+		}
+		prev = y
+		if y < 0 || y > 1 {
+			t.Fatalf("min q %v out of range", y)
+		}
+	}
+}
+
+func TestFig8LinearEnergy(t *testing.T) {
+	tbl, err := Fig8(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All PBBF series overlap (p-independence): compare at q=0.5.
+	var at05 []float64
+	for _, s := range tbl.Series {
+		if strings.HasPrefix(s.Name, "PBBF") {
+			if y, ok := s.YAt(0.5); ok {
+				at05 = append(at05, y)
+			}
+		}
+	}
+	if len(at05) < 2 {
+		t.Fatal("not enough PBBF series")
+	}
+	for _, y := range at05[1:] {
+		if y < at05[0]*0.95 || y > at05[0]*1.05 {
+			t.Fatalf("energy depends on p: %v", at05)
+		}
+	}
+	// NO PSM ≈ 10x PSM at the Table 1 duty cycle.
+	psm, _ := tbl.SeriesByName("PSM").YAt(0.5)
+	on, _ := tbl.SeriesByName("NO PSM").YAt(0.5)
+	if on < psm*8 {
+		t.Fatalf("NO PSM %v not ≈10x PSM %v", on, psm)
+	}
+}
+
+func TestFig12TradeoffShape(t *testing.T) {
+	tbl, err := Fig12(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.Series[0]
+	if s.Len() < 2 {
+		t.Fatalf("trade-off has %d points", s.Len())
+	}
+	// Inverse relation: sort by latency, energy must not increase.
+	type pt struct{ x, y float64 }
+	pts := make([]pt, s.Len())
+	for i := range s.X {
+		pts[i] = pt{s.X[i], s.Y[i]}
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].x < pts[j].x && pts[i].y < pts[j].y-1e-9 {
+				t.Fatalf("not inverse: (%v,%v) vs (%v,%v)", pts[i].x, pts[i].y, pts[j].x, pts[j].y)
+			}
+		}
+	}
+}
+
+func TestFig13EnergyOrdering(t *testing.T) {
+	tbl, err := Fig13(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	psm, ok1 := tbl.SeriesByName("PSM").YAt(0.5)
+	on, ok2 := tbl.SeriesByName("NO PSM").YAt(0.5)
+	if !ok1 || !ok2 {
+		t.Fatal("baseline points missing")
+	}
+	if psm >= on {
+		t.Fatalf("PSM energy %v not below NO PSM %v", psm, on)
+	}
+	// PBBF energy at q=1 must approach NO PSM, at q=0 approach PSM.
+	pbbf := tbl.SeriesByName("PBBF-0.5")
+	if pbbf == nil {
+		t.Fatal("missing PBBF-0.5")
+	}
+	y0, _ := pbbf.YAt(0)
+	y1, _ := pbbf.YAt(1)
+	if y0 >= y1 {
+		t.Fatalf("PBBF energy not increasing in q: %v -> %v", y0, y1)
+	}
+}
+
+func TestFig16ReceivedBounds(t *testing.T) {
+	tbl, err := Fig16(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tbl.Series {
+		for i, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("%s at x=%v out of [0,1]: %v", s.Name, s.X[i], y)
+			}
+		}
+	}
+	// PSM stays near-perfect.
+	for _, y := range tbl.SeriesByName("PSM").Y {
+		if y < 0.9 {
+			t.Fatalf("PSM reliability dipped to %v", y)
+		}
+	}
+}
+
+func TestFig17LatencyFallsWithDensity(t *testing.T) {
+	tbl, err := Fig17(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.SeriesByName("PSM")
+	if s == nil || s.Len() < 2 {
+		t.Fatal("PSM series incomplete")
+	}
+	first, last := s.Y[0], s.Y[s.Len()-1]
+	if last > first*1.25 {
+		t.Fatalf("PSM latency rose with density: %v -> %v", first, last)
+	}
+}
+
+func TestRegistrySmokeAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := tinyScale()
+	for _, e := range All() {
+		tbl, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if tbl.Title == "" || len(tbl.Series) == 0 {
+			t.Fatalf("%s produced empty table", e.ID)
+		}
+		if out := tbl.Render(); len(out) == 0 || !strings.Contains(out, "#") {
+			t.Fatalf("%s render empty", e.ID)
+		}
+		if csv := tbl.CSV(); !strings.Contains(csv, ",") {
+			t.Fatalf("%s csv empty", e.ID)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pbbf/internal/core"
+	"pbbf/internal/idealsim"
+	"pbbf/internal/percolation"
+	"pbbf/internal/rng"
+	"pbbf/internal/stats"
+	"pbbf/internal/sweep"
+	"pbbf/internal/topo"
+)
+
+// idealProtocols returns the protocol set plotted in the Section 4
+// figures: PBBF at each p of the sweep, plus the PSM and NO PSM baselines.
+// For the baselines q is pinned (0 and 1); for PBBF the caller sweeps q.
+func idealProtocols(s Scale) []core.Params {
+	out := make([]core.Params, 0, len(s.PSweepIdeal)+2)
+	for _, p := range s.PSweepIdeal {
+		out = append(out, core.Params{P: p})
+	}
+	out = append(out, core.PSM(), core.AlwaysOn())
+	return out
+}
+
+// runIdealPoint executes one ideal-simulator run for (params) at the given
+// q (ignored for the fixed baselines) and returns its result.
+func runIdealPoint(s Scale, base core.Params, q float64, track []int, tag uint64) (*idealsim.Result, core.Params, error) {
+	params := base
+	fixed := base == core.PSM() || base == core.AlwaysOn()
+	if !fixed {
+		params.Q = q
+	}
+	g, err := topo.NewGrid(s.GridW, s.GridH)
+	if err != nil {
+		return nil, params, err
+	}
+	cfg := idealsim.Defaults(g, g.Center())
+	cfg.Params = params
+	cfg.Updates = s.IdealUpdates
+	cfg.TrackHopDistances = track
+	cfg.Seed = pointSeed(s.Seed, tag, fbits(base.P), fbits(q))
+	res, err := idealsim.Run(cfg)
+	return res, params, err
+}
+
+// qSweepIdeal renders a Section 4 q-sweep figure: one series per protocol,
+// y computed by metric from the run result. Points are independent (each
+// derives its own seed) and run on a bounded worker pool; results are
+// assembled in sweep order, so the output is deterministic.
+func qSweepIdeal(s Scale, title, ylabel string, track []int, tag uint64,
+	metric func(*idealsim.Result) (float64, bool)) (*stats.Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	protos := idealProtocols(s)
+	nQ := len(s.QSweep)
+	results, err := sweep.Map(len(protos)*nQ, 0, func(i int) (*idealsim.Result, error) {
+		proto, q := protos[i/nQ], s.QSweep[i%nQ]
+		res, _, err := runIdealPoint(s, proto, q, track, tag)
+		return res, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := &stats.Table{Title: title, XLabel: "q", YLabel: ylabel}
+	for pi, proto := range protos {
+		series := tbl.AddSeries(proto.Label())
+		for qi, q := range s.QSweep {
+			if y, ok := metric(results[pi*nQ+qi]); ok {
+				series.Append(q, y)
+			}
+		}
+	}
+	return tbl, nil
+}
+
+// Fig4 regenerates Figure 4: fraction of updates received by 90% of the
+// nodes as a function of q, exhibiting the percolation threshold.
+func Fig4(s Scale) (*stats.Table, error) {
+	return qSweepIdeal(s, "Figure 4: threshold behavior for 90% reliability",
+		"fraction of updates received by 90% of nodes", nil, 4,
+		func(r *idealsim.Result) (float64, bool) {
+			return r.FractionOfUpdatesReceivedBy(0.9), true
+		})
+}
+
+// Fig5 regenerates Figure 5: the same threshold at 99% reliability.
+func Fig5(s Scale) (*stats.Table, error) {
+	return qSweepIdeal(s, "Figure 5: threshold behavior for 99% reliability",
+		"fraction of updates received by 99% of nodes", nil, 5,
+		func(r *idealsim.Result) (float64, bool) {
+			return r.FractionOfUpdatesReceivedBy(0.99), true
+		})
+}
+
+// Fig8 regenerates Figure 8: average per-node energy per update versus q.
+// The paper's claims: linear in q, independent of p, PSM≈0.3 J and
+// NO PSM≈3 J at Table 1 settings.
+func Fig8(s Scale) (*stats.Table, error) {
+	return qSweepIdeal(s, "Figure 8: average energy consumption",
+		"joules consumed per update sent at source", nil, 8,
+		func(r *idealsim.Result) (float64, bool) {
+			return r.EnergyPerUpdateJ, true
+		})
+}
+
+// Fig9 regenerates Figure 9: average hops traveled by an update to reach
+// nodes HopNear away from the source (paper: 20).
+func Fig9(s Scale) (*stats.Table, error) {
+	return qSweepIdeal(s,
+		fmt.Sprintf("Figure 9: average %d-hop flooding hop count", s.HopNear),
+		fmt.Sprintf("average hops traveled to nodes %d hops from source", s.HopNear),
+		[]int{s.HopNear}, 9,
+		func(r *idealsim.Result) (float64, bool) {
+			acc := r.HopsAtDistance[s.HopNear]
+			if acc == nil || acc.N() == 0 {
+				return 0, false
+			}
+			return acc.Mean(), true
+		})
+}
+
+// Fig10 regenerates Figure 10: the same metric at HopFar (paper: 60).
+func Fig10(s Scale) (*stats.Table, error) {
+	return qSweepIdeal(s,
+		fmt.Sprintf("Figure 10: average %d-hop flooding hop count", s.HopFar),
+		fmt.Sprintf("average hops traveled to nodes %d hops from source", s.HopFar),
+		[]int{s.HopFar}, 10,
+		func(r *idealsim.Result) (float64, bool) {
+			acc := r.HopsAtDistance[s.HopFar]
+			if acc == nil || acc.N() == 0 {
+				return 0, false
+			}
+			return acc.Mean(), true
+		})
+}
+
+// Fig11 regenerates Figure 11: average per-hop update latency versus q.
+func Fig11(s Scale) (*stats.Table, error) {
+	return qSweepIdeal(s, "Figure 11: average per-hop update latency",
+		"average per-hop update latency (s)", nil, 11,
+		func(r *idealsim.Result) (float64, bool) {
+			if r.PerHopLatency.N() == 0 {
+				return 0, false
+			}
+			return r.PerHopLatency.Mean(), true
+		})
+}
+
+// Fig12 regenerates Figure 12: the energy–latency trade-off at 99%
+// reliability. For each p, the minimum q that crosses the 99% reliability
+// boundary is derived from the bond-percolation critical ratio of the grid
+// (Remark 1 inverted); energy then follows Equation 8 (scaled to joules
+// per update) and latency Equation 9 with L1 from Table 1 and L2 = Tframe.
+func Fig12(s Scale) (*stats.Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := topo.NewGrid(s.GridW, s.GridH)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(pointSeed(s.Seed, 12))
+	pc, err := percolation.CriticalBondRatio(g, g.Center(), 0.99, s.PercTrials, r)
+	if err != nil {
+		return nil, err
+	}
+	timing := core.Timing{Active: time.Second, Frame: 10 * time.Second}
+	lat := core.Latencies{L1: 1500 * time.Millisecond, L2: timing.Frame}
+	cfg := idealsim.Defaults(g, g.Center())
+	tbl := &stats.Table{
+		Title:  "Figure 12: energy-latency trade-off for 99% reliability",
+		XLabel: "average per-hop update latency (s)",
+		YLabel: "joules consumed per update sent at source",
+	}
+	series := tbl.AddSeries("PBBF @ 99% reliability boundary")
+	period := 1 / cfg.Lambda // seconds between updates
+	for _, p := range s.PSweepIdeal {
+		q := core.MinQForEdgeProbability(p, pc.Mean)
+		perHop := core.ExpectedPerHopLatency(core.Params{P: p, Q: q}, lat)
+		avgW := cfg.Profile.IdleW*core.EnergyPBBF(timing, q) +
+			cfg.Profile.SleepW*(1-core.EnergyPBBF(timing, q))
+		series.Append(perHop.Seconds(), avgW*period)
+	}
+	return tbl, nil
+}

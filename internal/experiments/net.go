@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pbbf/internal/core"
+	"pbbf/internal/mac"
+	"pbbf/internal/netsim"
+	"pbbf/internal/rng"
+	"pbbf/internal/stats"
+	"pbbf/internal/sweep"
+	"pbbf/internal/topo"
+)
+
+// netProtocols returns the Section 5 protocol set: PBBF at each p of the
+// net sweep plus the PSM and NO PSM baselines.
+func netProtocols(s Scale) []core.Params {
+	out := make([]core.Params, 0, len(s.PSweepNet)+2)
+	for _, p := range s.PSweepNet {
+		out = append(out, core.Params{P: p})
+	}
+	out = append(out, core.PSM(), core.AlwaysOn())
+	return out
+}
+
+// netPoint aggregates NetRuns scenarios for (params, delta): each run
+// draws a fresh connected random field and seed, mirroring the paper's
+// "each data point is averaged over ten runs".
+type netPoint struct {
+	Energy       stats.Accumulator
+	Received     stats.Accumulator
+	Latency      stats.Accumulator
+	LatencyAtHop map[int]*stats.Accumulator
+	NodesAtHop   map[int]float64 // mean per scenario
+}
+
+// netOpts are extension hooks for runNetPoint; the zero value reproduces
+// the paper's Table 2 settings.
+type netOpts struct {
+	k        int // updates per packet; 0 means 1
+	lossRate float64
+	adaptive *core.AdaptiveConfig
+}
+
+func runNetPoint(s Scale, params core.Params, delta float64, tag uint64, opts netOpts) (*netPoint, error) {
+	if opts.k == 0 {
+		opts.k = 1
+	}
+	point := &netPoint{
+		LatencyAtHop: make(map[int]*stats.Accumulator, len(s.NetTrackHops)),
+		NodesAtHop:   make(map[int]float64, len(s.NetTrackHops)),
+	}
+	for _, h := range s.NetTrackHops {
+		point.LatencyAtHop[h] = &stats.Accumulator{}
+	}
+	for run := 0; run < s.NetRuns; run++ {
+		seed := pointSeed(s.Seed, tag, fbits(params.P), fbits(params.Q), fbits(delta), uint64(run))
+		r := rng.New(seed)
+		diskCfg := topo.DiskConfig{
+			N:     s.NetNodes,
+			Range: 30,
+			Area:  topo.AreaForDensity(s.NetNodes, 30, delta),
+		}
+		field, err := topo.NewConnectedRandomDisk(diskCfg, r, 500)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: net point Δ=%v: %w", delta, err)
+		}
+		macCfg := mac.DefaultConfig(params)
+		macCfg.Adaptive = opts.adaptive
+		// The paper chooses one random node as source per scenario.
+		source := topo.NodeID(r.Intn(field.N()))
+		res, err := netsim.Run(netsim.Config{
+			Topo:      field,
+			Source:    source,
+			MAC:       macCfg,
+			Lambda:    0.01,
+			Duration:  s.NetDuration,
+			K:         opts.k,
+			TrackHops: s.NetTrackHops,
+			LossRate:  opts.lossRate,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		point.Energy.Add(res.EnergyPerUpdateJ)
+		point.Received.Add(res.UpdatesReceivedFraction)
+		if res.Latency.N() > 0 {
+			point.Latency.Add(res.Latency.Mean())
+		}
+		for _, h := range s.NetTrackHops {
+			if acc := res.LatencyAtHop[h]; acc != nil && acc.N() > 0 {
+				point.LatencyAtHop[h].Add(acc.Mean())
+			}
+			point.NodesAtHop[h] += float64(res.NodesAtHop[h]) / float64(s.NetRuns)
+		}
+	}
+	return point, nil
+}
+
+// qSweepNet renders a Section 5 q-sweep figure at Δ=10 (Table 2). Points
+// run on a bounded worker pool (each point derives its own seeds and
+// topologies) and are assembled in sweep order.
+func qSweepNet(s Scale, title, ylabel string, tag uint64,
+	metric func(*netPoint) (float64, bool)) (*stats.Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	protos := netProtocols(s)
+	nQ := len(s.QSweep)
+	points, err := sweep.Map(len(protos)*nQ, 0, func(i int) (*netPoint, error) {
+		proto, q := protos[i/nQ], s.QSweep[i%nQ]
+		params := proto
+		if proto != core.PSM() && proto != core.AlwaysOn() {
+			params.Q = q
+		}
+		return runNetPoint(s, params, 10, tag, netOpts{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := &stats.Table{Title: title, XLabel: "q", YLabel: ylabel}
+	for pi, proto := range protos {
+		series := tbl.AddSeries(proto.Label())
+		for qi, q := range s.QSweep {
+			if y, ok := metric(points[pi*nQ+qi]); ok {
+				series.Append(q, y)
+			}
+		}
+	}
+	return tbl, nil
+}
+
+// deltaSweepNet renders a Section 5 density-sweep figure at q=0.25
+// (Table 2).
+func deltaSweepNet(s Scale, title, ylabel string, tag uint64,
+	metric func(*netPoint) (float64, bool)) (*stats.Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	protos := netProtocols(s)
+	nD := len(s.DeltaSweep)
+	points, err := sweep.Map(len(protos)*nD, 0, func(i int) (*netPoint, error) {
+		proto, delta := protos[i/nD], s.DeltaSweep[i%nD]
+		params := proto
+		if proto != core.PSM() && proto != core.AlwaysOn() {
+			params.Q = 0.25
+		}
+		return runNetPoint(s, params, delta, tag, netOpts{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := &stats.Table{Title: title, XLabel: "delta", YLabel: ylabel}
+	for pi, proto := range protos {
+		series := tbl.AddSeries(proto.Label())
+		for di, delta := range s.DeltaSweep {
+			if y, ok := metric(points[pi*nD+di]); ok {
+				series.Append(delta, y)
+			}
+		}
+	}
+	return tbl, nil
+}
+
+// Fig13 regenerates Figure 13: per-update energy versus q under the
+// realistic MAC.
+func Fig13(s Scale) (*stats.Table, error) {
+	return qSweepNet(s, "Figure 13: average energy consumption (ns-style sim)",
+		"joules consumed per update sent at source", 13,
+		func(p *netPoint) (float64, bool) { return p.Energy.Mean(), p.Energy.N() > 0 })
+}
+
+// Fig14 regenerates Figure 14: 2-hop average update latency versus q.
+func Fig14(s Scale) (*stats.Table, error) {
+	return qSweepNet(s, "Figure 14: 2-hop average update latency",
+		"average 2-hop latency (s)", 14,
+		func(p *netPoint) (float64, bool) {
+			acc := p.LatencyAtHop[2]
+			return acc.Mean(), acc.N() > 0
+		})
+}
+
+// Fig15 regenerates Figure 15: 5-hop average update latency versus q.
+func Fig15(s Scale) (*stats.Table, error) {
+	return qSweepNet(s, "Figure 15: 5-hop average update latency",
+		"average 5-hop latency (s)", 15,
+		func(p *netPoint) (float64, bool) {
+			acc := p.LatencyAtHop[5]
+			return acc.Mean(), acc.N() > 0
+		})
+}
+
+// Fig16 regenerates Figure 16: fraction of updates received versus q.
+func Fig16(s Scale) (*stats.Table, error) {
+	return qSweepNet(s, "Figure 16: average updates received",
+		"updates received / total updates sent at source", 16,
+		func(p *netPoint) (float64, bool) { return p.Received.Mean(), p.Received.N() > 0 })
+}
+
+// Fig17 regenerates Figure 17: average update latency versus density Δ.
+func Fig17(s Scale) (*stats.Table, error) {
+	return deltaSweepNet(s, "Figure 17: average update latency vs density",
+		"average update latency (s)", 17,
+		func(p *netPoint) (float64, bool) { return p.Latency.Mean(), p.Latency.N() > 0 })
+}
+
+// Fig18 regenerates Figure 18: fraction of updates received versus Δ.
+func Fig18(s Scale) (*stats.Table, error) {
+	return deltaSweepNet(s, "Figure 18: average updates received vs density",
+		"updates received / total updates sent at source", 18,
+		func(p *netPoint) (float64, bool) { return p.Received.Mean(), p.Received.N() > 0 })
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pbbf/internal/core"
+	"pbbf/internal/percolation"
+	"pbbf/internal/rng"
+	"pbbf/internal/stats"
+	"pbbf/internal/topo"
+)
+
+// reliabilityLevels are the reliability targets of Figures 6 and 7.
+var reliabilityLevels = []float64{0.8, 0.9, 0.99, 1.0}
+
+// Fig6 regenerates Figure 6: the critical fraction of occupied bonds
+// needed for the source's cluster to cover each reliability level, across
+// grid sizes, via the Newman–Ziff fast Monte Carlo algorithm.
+func Fig6(s Scale) (*stats.Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tbl := &stats.Table{
+		Title:  "Figure 6: critical bond ratio for various grid sizes",
+		XLabel: "grid side length",
+		YLabel: "fraction of occupied bonds",
+	}
+	for _, rel := range reliabilityLevels {
+		series := tbl.AddSeries(fmt.Sprintf("%g%% Reliability", rel*100))
+		for _, side := range s.PercGrids {
+			g, err := topo.NewGrid(side, side)
+			if err != nil {
+				return nil, err
+			}
+			r := rng.New(pointSeed(s.Seed, 6, uint64(side), fbits(rel)))
+			res, err := percolation.CriticalBondRatio(g, g.Center(), rel, s.PercTrials, r)
+			if err != nil {
+				return nil, err
+			}
+			series.Append(float64(side), res.Mean)
+		}
+	}
+	return tbl, nil
+}
+
+// Fig7 regenerates Figure 7: for each p, the minimum q that pushes the
+// edge probability pedge = 1 − p(1 − q) past the critical bond ratio of a
+// 30×30 grid, per reliability level.
+func Fig7(s Scale) (*stats.Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	const side = 30 // the paper fixes Figure 7 to a 30×30 grid
+	g, err := topo.NewGrid(side, side)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &stats.Table{
+		Title:  "Figure 7: p-q relationship per reliability level (30x30 grid)",
+		XLabel: "p",
+		YLabel: "minimum q crossing the reliability threshold",
+	}
+	for _, rel := range reliabilityLevels {
+		r := rng.New(pointSeed(s.Seed, 7, fbits(rel)))
+		pc, err := percolation.CriticalBondRatio(g, g.Center(), rel, s.PercTrials, r)
+		if err != nil {
+			return nil, err
+		}
+		series := tbl.AddSeries(fmt.Sprintf("%g%% Reliability", rel*100))
+		for _, p := range sweepRange(0, 1, 0.1) {
+			series.Append(p, core.MinQForEdgeProbability(p, pc.Mean))
+		}
+	}
+	return tbl, nil
+}

@@ -1,0 +1,115 @@
+// Package gossip implements the gossip-based probabilistic flooding
+// baseline the paper positions PBBF against (Section 2.1, Haas et al.):
+// on first reception, a node forwards the broadcast to *all* neighbors
+// with probability pg, and stays silent otherwise. This is a site
+// percolation process — the coin removes the whole node from the
+// dissemination — in contrast to PBBF's bond percolation, where each
+// (link, time) pair flips its own coin.
+//
+// Gossip exhibits the same bimodal coverage but offers no energy-latency
+// knob: it does not interact with sleep scheduling at all, so every hop
+// pays the full sleep-induced delay and there is nothing to trade. The
+// extension experiment extgossip contrasts the two thresholds.
+package gossip
+
+import (
+	"fmt"
+
+	"pbbf/internal/rng"
+	"pbbf/internal/stats"
+	"pbbf/internal/topo"
+)
+
+// Result summarizes a batch of gossip floods.
+type Result struct {
+	// Coverage is the distribution of per-flood covered fraction.
+	Coverage stats.Accumulator
+	// Forwarders is the distribution of per-flood forwarding node counts
+	// (the energy proxy: each forwarder transmits once).
+	Forwarders stats.Accumulator
+	// PathStretch is the distribution of (tree path length / BFS
+	// distance) over covered nodes.
+	PathStretch stats.Accumulator
+}
+
+// Flood runs trials independent gossip floods from src with forwarding
+// probability pg and returns aggregate metrics. The source always
+// forwards (as in the gossip-routing literature).
+func Flood(t topo.Topology, src topo.NodeID, pg float64, trials int, r *rng.Source) (*Result, error) {
+	if pg < 0 || pg > 1 {
+		return nil, fmt.Errorf("gossip: pg %v outside [0,1]", pg)
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("gossip: trials %d must be positive", trials)
+	}
+	if t == nil || t.N() == 0 {
+		return nil, fmt.Errorf("gossip: empty topology")
+	}
+	if int(src) < 0 || int(src) >= t.N() {
+		return nil, fmt.Errorf("gossip: source %d outside [0,%d)", src, t.N())
+	}
+	dist := topo.HopDistances(t, src)
+	res := &Result{}
+	hops := make([]int, t.N())
+	received := make([]bool, t.N())
+	for trial := 0; trial < trials; trial++ {
+		for i := range received {
+			received[i] = false
+			hops[i] = 0
+		}
+		received[src] = true
+		queue := []topo.NodeID{src}
+		covered := 1
+		forwarders := 0
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			// Site percolation: the node either rebroadcasts to every
+			// neighbor or stays silent. The source always forwards.
+			if cur != src && !r.Bool(pg) {
+				continue
+			}
+			forwarders++
+			for _, nb := range t.Neighbors(cur) {
+				if received[nb] {
+					continue
+				}
+				received[nb] = true
+				hops[nb] = hops[cur] + 1
+				covered++
+				queue = append(queue, nb)
+			}
+		}
+		res.Coverage.Add(float64(covered) / float64(t.N()))
+		res.Forwarders.Add(float64(forwarders))
+		for id := range received {
+			if received[id] && dist[id] > 0 {
+				res.PathStretch.Add(float64(hops[id]) / float64(dist[id]))
+			}
+		}
+	}
+	return res, nil
+}
+
+// CriticalForwardRatio estimates, by bisection over pg, the smallest
+// forwarding probability whose mean coverage reaches the target fraction.
+// It is the site-percolation analogue of percolation.CriticalBondRatio.
+func CriticalForwardRatio(t topo.Topology, src topo.NodeID, target float64, trials int, r *rng.Source) (float64, error) {
+	if target <= 0 || target > 1 {
+		return 0, fmt.Errorf("gossip: target %v outside (0,1]", target)
+	}
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 20; iter++ {
+		mid := (lo + hi) / 2
+		res, err := Flood(t, src, mid, trials, r)
+		if err != nil {
+			return 0, err
+		}
+		if res.Coverage.Mean() >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

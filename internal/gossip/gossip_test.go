@@ -1,0 +1,165 @@
+package gossip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pbbf/internal/rng"
+	"pbbf/internal/topo"
+)
+
+func TestFloodValidation(t *testing.T) {
+	g := topo.MustGrid(5, 5)
+	r := rng.New(1)
+	if _, err := Flood(g, 0, -0.1, 5, r); err == nil {
+		t.Fatal("negative pg accepted")
+	}
+	if _, err := Flood(g, 0, 1.1, 5, r); err == nil {
+		t.Fatal("pg > 1 accepted")
+	}
+	if _, err := Flood(g, 0, 0.5, 0, r); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := Flood(g, -1, 0.5, 5, r); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := Flood(nil, 0, 0.5, 5, r); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+}
+
+func TestFloodExtremes(t *testing.T) {
+	g := topo.MustGrid(10, 10)
+	r := rng.New(2)
+	// pg=1 is plain flooding: full coverage, every node forwards.
+	full, err := Flood(g, g.Center(), 1, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Coverage.Mean() != 1 {
+		t.Fatalf("pg=1 coverage %v", full.Coverage.Mean())
+	}
+	if full.Forwarders.Mean() != 100 {
+		t.Fatalf("pg=1 forwarders %v, want 100", full.Forwarders.Mean())
+	}
+	// pg=0: only the source forwards; coverage is 1 + deg(src) nodes.
+	none, err := Flood(g, g.Center(), 0, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5.0 / 100; none.Coverage.Mean() != want {
+		t.Fatalf("pg=0 coverage %v, want %v", none.Coverage.Mean(), want)
+	}
+}
+
+func TestFloodPathsAreShortestAtFullGossip(t *testing.T) {
+	g := topo.MustGrid(9, 9)
+	r := rng.New(3)
+	res, err := Flood(g, g.Center(), 1, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS flooding: every path is shortest, stretch exactly 1.
+	if res.PathStretch.Mean() != 1 || res.PathStretch.Max() != 1 {
+		t.Fatalf("full-flood stretch mean=%v max=%v", res.PathStretch.Mean(), res.PathStretch.Max())
+	}
+}
+
+func TestBimodalCoverage(t *testing.T) {
+	// The paper's §2.1: gossip coverage is bimodal in pg. The 4-neighbor
+	// grid site-percolation threshold is ≈0.593.
+	g := topo.MustGrid(30, 30)
+	r := rng.New(4)
+	low, err := Flood(g, g.Center(), 0.4, 30, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Flood(g, g.Center(), 0.85, 30, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Coverage.Mean() > 0.25 {
+		t.Fatalf("subcritical gossip coverage %v", low.Coverage.Mean())
+	}
+	if high.Coverage.Mean() < 0.8 {
+		t.Fatalf("supercritical gossip coverage %v", high.Coverage.Mean())
+	}
+}
+
+func TestFewerForwardersThanFlooding(t *testing.T) {
+	g := topo.MustGrid(20, 20)
+	r := rng.New(5)
+	res, err := Flood(g, g.Center(), 0.8, 20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forwarders.Mean() >= 400*0.95 {
+		t.Fatalf("gossip at 0.8 forwards %v times, expected savings", res.Forwarders.Mean())
+	}
+	if res.Coverage.Mean() < 0.85 {
+		t.Fatalf("coverage %v too low for the savings comparison", res.Coverage.Mean())
+	}
+}
+
+func TestCriticalForwardRatio(t *testing.T) {
+	g := topo.MustGrid(25, 25)
+	r := rng.New(6)
+	pc, err := CriticalForwardRatio(g, g.Center(), 0.8, 20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site percolation threshold on the square lattice is ≈0.593; the
+	// 80%-coverage finite-size ratio sits somewhat above it.
+	if pc < 0.55 || pc > 0.9 {
+		t.Fatalf("critical forward ratio %v outside [0.55, 0.9]", pc)
+	}
+}
+
+func TestCriticalForwardRatioValidation(t *testing.T) {
+	g := topo.MustGrid(5, 5)
+	if _, err := CriticalForwardRatio(g, 0, 0, 5, rng.New(1)); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+	if _, err := CriticalForwardRatio(g, 0, 1.5, 5, rng.New(1)); err == nil {
+		t.Fatal("target >1 accepted")
+	}
+}
+
+// Property: coverage is monotone (within noise) in pg, and all metrics
+// stay within their ranges.
+func TestPropertyCoverageMonotone(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := topo.MustGrid(12, 12)
+		r := rng.New(seed)
+		prev := -1.0
+		for _, pg := range []float64{0.2, 0.5, 0.8, 1} {
+			res, err := Flood(g, g.Center(), pg, 20, r)
+			if err != nil {
+				return false
+			}
+			c := res.Coverage.Mean()
+			if c < 0 || c > 1 || c < prev-0.1 {
+				return false
+			}
+			if res.PathStretch.N() > 0 && res.PathStretch.Min() < 1 {
+				return false // a path shorter than BFS distance is impossible
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFlood30(b *testing.B) {
+	g := topo.MustGrid(30, 30)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Flood(g, g.Center(), 0.7, 1, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package idealsim
+
+import (
+	"testing"
+	"time"
+
+	"pbbf/internal/core"
+	"pbbf/internal/topo"
+)
+
+func TestExtendOnReceiveValidation(t *testing.T) {
+	cfg := testConfig(10, 10, core.PSM(), 1)
+	cfg.ExtendOnReceive = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative extension accepted")
+	}
+}
+
+func TestTMACExtensionImprovesCoverage(t *testing.T) {
+	// p=1, q=0 over plain PSM: immediate broadcasts find everyone asleep
+	// and the flood dies at hop 1. A T-MAC-style extension lets nodes that
+	// heard the ATIM-announced first hop stay awake, so immediate chains
+	// can ride the extension window.
+	psm := testConfig(15, 15, core.Params{P: 1, Q: 0}, 5)
+	resPSM, err := Run(psm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmac := testConfig(15, 15, core.Params{P: 1, Q: 0}, 5)
+	tmac.ExtendOnReceive = 3200 * time.Millisecond
+	resTMAC, err := Run(tmac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resTMAC.MeanCoverage() <= resPSM.MeanCoverage() {
+		t.Fatalf("extension did not help: PSM=%v TMAC=%v",
+			resPSM.MeanCoverage(), resTMAC.MeanCoverage())
+	}
+}
+
+func TestTMACExtensionCostsEnergy(t *testing.T) {
+	base := testConfig(15, 15, core.Params{P: 0.75, Q: 0.25}, 6)
+	resBase, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := testConfig(15, 15, core.Params{P: 0.75, Q: 0.25}, 6)
+	ext.ExtendOnReceive = 3 * time.Second
+	resExt, err := Run(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resExt.EnergyPerUpdateJ <= resBase.EnergyPerUpdateJ {
+		t.Fatalf("extension energy %v not above baseline %v",
+			resExt.EnergyPerUpdateJ, resBase.EnergyPerUpdateJ)
+	}
+	// The extension is bounded: a few seconds per reception per update
+	// cannot exceed the always-on bound.
+	on := testConfig(15, 15, core.AlwaysOn(), 6)
+	resOn, err := Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resExt.EnergyPerUpdateJ > resOn.EnergyPerUpdateJ*1.01 {
+		t.Fatalf("extension energy %v exceeds always-on %v",
+			resExt.EnergyPerUpdateJ, resOn.EnergyPerUpdateJ)
+	}
+}
+
+func TestTMACZeroExtensionIsPSM(t *testing.T) {
+	a := testConfig(12, 12, core.Params{P: 0.5, Q: 0.5}, 7)
+	resA, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testConfig(12, 12, core.Params{P: 0.5, Q: 0.5}, 7)
+	b.ExtendOnReceive = 0
+	resB, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.EnergyPerUpdateJ != resB.EnergyPerUpdateJ ||
+		resA.MeanCoverage() != resB.MeanCoverage() {
+		t.Fatal("zero extension changed behaviour")
+	}
+}
+
+func TestTMACExtensionDeterministic(t *testing.T) {
+	run := func() (float64, float64) {
+		cfg := testConfig(12, 12, core.Params{P: 0.75, Q: 0.1}, 8)
+		cfg.ExtendOnReceive = 2 * time.Second
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanCoverage(), res.EnergyPerUpdateJ
+	}
+	c1, e1 := run()
+	c2, e2 := run()
+	if c1 != c2 || e1 != e2 {
+		t.Fatal("T-MAC runs with identical seeds diverged")
+	}
+}
+
+func TestTMACEnergyAccountingCharged(t *testing.T) {
+	// With q=0 the only awake time beyond the ATIM window is the
+	// extension; energy must exceed plain PSM's whenever coverage did.
+	cfg := testConfig(12, 12, core.Params{P: 1, Q: 0}, 9)
+	cfg.ExtendOnReceive = 5 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psm := testConfig(12, 12, core.PSM(), 9)
+	resPSM, err := Run(psm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCoverage() > resPSM.MeanCoverage()*0.2 &&
+		res.EnergyPerUpdateJ <= resPSM.EnergyPerUpdateJ {
+		t.Fatalf("extension time not charged: ext=%v psm=%v",
+			res.EnergyPerUpdateJ, resPSM.EnergyPerUpdateJ)
+	}
+}
+
+// dummy reference to topo to keep the import used if tests shrink.
+var _ = topo.NodeID(0)

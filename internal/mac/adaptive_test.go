@@ -1,0 +1,103 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"pbbf/internal/core"
+)
+
+func adaptiveConfig(initial core.Params) Config {
+	cfg := DefaultConfig(initial)
+	ac := core.DefaultAdaptiveConfig()
+	ac.Initial = initial
+	cfg.Adaptive = &ac
+	return cfg
+}
+
+func TestAdaptiveConfigValidated(t *testing.T) {
+	cfg := DefaultConfig(core.PSM())
+	bad := core.DefaultAdaptiveConfig()
+	bad.Step = -1
+	cfg.Adaptive = &bad
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("invalid adaptive config accepted")
+	}
+}
+
+func TestParamsStaticVsAdaptive(t *testing.T) {
+	static := newHarness(t, 2, 1, DefaultConfig(core.Params{P: 0.3, Q: 0.4}), 1)
+	if got := static.nodes[0].Params(); got != (core.Params{P: 0.3, Q: 0.4}) {
+		t.Fatalf("static params = %+v", got)
+	}
+	adaptive := newHarness(t, 2, 1, adaptiveConfig(core.Params{P: 0.3, Q: 0.4}), 1)
+	if got := adaptive.nodes[0].Params(); got != (core.Params{P: 0.3, Q: 0.4}) {
+		t.Fatalf("adaptive initial params = %+v", got)
+	}
+}
+
+func TestAdaptiveQuietNetworkLowersP(t *testing.T) {
+	// 20 beacon intervals with no traffic at all: activity EWMA sits at 0,
+	// so the controller walks p down.
+	cfg := adaptiveConfig(core.Params{P: 0.5, Q: 0.25})
+	h := newHarness(t, 3, 3, cfg, 2)
+	h.run(20 * cfg.Timing.Frame)
+	got := h.nodes[4].Params()
+	if got.P >= 0.5 {
+		t.Fatalf("p did not decay in a quiet network: %v", got.P)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveGapRaisesQ(t *testing.T) {
+	// Source emits sequences 0 and 5 as immediate-only broadcasts the
+	// neighbor happens to catch; the gap (1..4 missing) must push the
+	// neighbor's q up.
+	cfg := adaptiveConfig(core.Params{P: 0, Q: 1}) // neighbor always awake
+	h := newHarness(t, 2, 1, cfg, 3)
+	h.kernel.ScheduleAt(0, func() {
+		h.nodes[0].Broadcast(Packet{Key: PacketKeyFor(0, 0)})
+	})
+	h.kernel.ScheduleAt(3*cfg.Timing.Frame, func() {
+		h.nodes[0].Broadcast(Packet{Key: PacketKeyFor(0, 5)})
+	})
+	h.run(6 * cfg.Timing.Frame)
+	if len(h.got[1]) != 2 {
+		t.Fatalf("neighbor deliveries = %d, want 2", len(h.got[1]))
+	}
+	got := h.nodes[1].Params()
+	if got.Q <= 0.95 {
+		// q starts at 1 (clamped); gaps must keep it pinned high while a
+		// clean stream would have decayed it. Re-run a clean stream to
+		// contrast.
+		t.Fatalf("q fell to %v despite sequence gaps", got.Q)
+	}
+	clean := newHarness(t, 2, 1, cfg, 3)
+	for seq := uint64(0); seq < 6; seq++ {
+		at := time.Duration(seq) * clean.cfg.Timing.Frame
+		clean.kernel.ScheduleAt(at, func() {
+			clean.nodes[0].Broadcast(Packet{Key: PacketKeyFor(0, seq)})
+		})
+	}
+	clean.run(8 * clean.cfg.Timing.Frame)
+	if cleanQ := clean.nodes[1].Params().Q; cleanQ >= got.Q {
+		t.Fatalf("clean stream q %v not below gappy stream q %v", cleanQ, got.Q)
+	}
+}
+
+func TestAdaptiveDeterministic(t *testing.T) {
+	run := func() core.Params {
+		cfg := adaptiveConfig(core.Params{P: 0.25, Q: 0.25})
+		h := newHarness(t, 3, 3, cfg, 9)
+		h.kernel.ScheduleAt(0, func() {
+			h.nodes[4].Broadcast(Packet{Key: PacketKeyFor(4, 0)})
+		})
+		h.run(10 * cfg.Timing.Frame)
+		return h.nodes[0].Params()
+	}
+	if run() != run() {
+		t.Fatal("adaptive runs with identical seeds diverged")
+	}
+}

@@ -1,0 +1,533 @@
+// Package mac implements the fine-grained MAC layer of the Section 5
+// simulations: IEEE 802.11 power-save mode (PSM) with ATIM windows,
+// CSMA/CA channel access, and PBBF integrated exactly as in Figure 3.
+//
+// # Protocol model
+//
+// Time is divided into beacon intervals (BI = Tframe); nodes are perfectly
+// synchronized (the paper assumes this too). The first Tactive of each BI
+// is the ATIM window, during which every node is awake and data frames may
+// not be sent. A node with queued broadcast traffic transmits a broadcast
+// ATIM during the window; every node that decodes the ATIM stays awake for
+// the whole beacon interval to receive the announced data, which is
+// transmitted after the window ends (Figure 1 of the paper).
+//
+// PBBF modifies two decisions (Figure 3):
+//
+//   - Sleep-Decision-Handler: at the end of the ATIM window a node with no
+//     traffic stays awake anyway with probability q.
+//   - Receive-Broadcast: a node receiving a new broadcast data frame
+//     rebroadcasts it immediately with probability p (CSMA, no ATIM, even
+//     during the sleep period); otherwise it queues the packet for
+//     announcement in the next ATIM window.
+//
+// # Channel access
+//
+// Broadcast frames use carrier sense with a DIFS and a uniform random
+// backoff drawn from a fixed contention window; there are no ACKs, RTS/CTS,
+// or retransmissions for broadcasts, matching 802.11 broadcast semantics.
+// Backoff freezing is simplified to re-contention: if the medium is busy
+// when the backoff expires, the node re-draws a backoff. Collisions emerge
+// naturally when two nodes draw overlapping slots or are hidden from each
+// other.
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"pbbf/internal/core"
+	"pbbf/internal/energy"
+	"pbbf/internal/phy"
+	"pbbf/internal/rng"
+	"pbbf/internal/sim"
+	"pbbf/internal/topo"
+)
+
+// Config parameterizes the MAC.
+type Config struct {
+	// Timing is the PSM schedule: Active = ATIM window, Frame = beacon
+	// interval (Table 1: 1 s / 10 s).
+	Timing core.Timing
+	// Params are the PBBF knobs.
+	Params core.Params
+	// BitrateBps is the radio bit rate (Section 5: 19.2 kbps).
+	BitrateBps int
+	// DataFrameBytes is the total size of one data frame (Table 2: 64 B).
+	DataFrameBytes int
+	// ATIMFrameBytes is the size of an ATIM announcement frame.
+	ATIMFrameBytes int
+	// DIFS is the inter-frame space sensed idle before backoff.
+	DIFS time.Duration
+	// Slot is the backoff slot duration.
+	Slot time.Duration
+	// CWSlots is the contention window: backoff is uniform in [0, CWSlots).
+	CWSlots int
+	// Profile is the radio power model.
+	Profile energy.Profile
+	// Adaptive, when non-nil, replaces the static Params with a per-node
+	// controller that adjusts p from overheard activity and q from
+	// detected broadcast losses — the paper's future-work extension
+	// (Section 6). Params still seeds validation and labels.
+	Adaptive *core.AdaptiveConfig
+}
+
+// DefaultConfig returns the Section 5 parameters (Tables 1 and 2) with the
+// given PBBF knobs.
+func DefaultConfig(params core.Params) Config {
+	return Config{
+		Timing:         core.Timing{Active: time.Second, Frame: 10 * time.Second},
+		Params:         params,
+		BitrateBps:     19200,
+		DataFrameBytes: 64,
+		ATIMFrameBytes: 28,
+		DIFS:           5 * time.Millisecond,
+		Slot:           time.Millisecond,
+		CWSlots:        32,
+		Profile:        energy.Mica2(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.BitrateBps <= 0 {
+		return fmt.Errorf("mac: bitrate %d must be positive", c.BitrateBps)
+	}
+	if c.DataFrameBytes <= 0 || c.ATIMFrameBytes <= 0 {
+		return fmt.Errorf("mac: frame sizes must be positive, got data=%d atim=%d",
+			c.DataFrameBytes, c.ATIMFrameBytes)
+	}
+	if c.DIFS < 0 || c.Slot <= 0 || c.CWSlots <= 0 {
+		return fmt.Errorf("mac: bad contention parameters DIFS=%v slot=%v cw=%d",
+			c.DIFS, c.Slot, c.CWSlots)
+	}
+	if c.ATIMAirtime() >= c.Timing.Active {
+		return fmt.Errorf("mac: ATIM airtime %v does not fit the ATIM window %v",
+			c.ATIMAirtime(), c.Timing.Active)
+	}
+	if c.Adaptive != nil {
+		if err := c.Adaptive.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// airtime converts a frame size to on-air time at the configured bit rate.
+func (c Config) airtime(bytes int) time.Duration {
+	return time.Duration(float64(bytes*8) / float64(c.BitrateBps) * float64(time.Second))
+}
+
+// DataAirtime returns the on-air time of a data frame (64 B at 19.2 kbps ≈
+// 26.7 ms).
+func (c Config) DataAirtime() time.Duration { return c.airtime(c.DataFrameBytes) }
+
+// ATIMAirtime returns the on-air time of an ATIM frame.
+func (c Config) ATIMAirtime() time.Duration { return c.airtime(c.ATIMFrameBytes) }
+
+// PacketKeyFor builds the duplicate-suppression key for a broadcast
+// originated by the given node with an origin-local sequence number.
+func PacketKeyFor(origin topo.NodeID, seq uint64) core.PacketKey {
+	return core.PacketKey{Origin: int(origin), Seq: seq}
+}
+
+// Packet is a broadcast MAC SDU.
+type Packet struct {
+	// Key identifies the broadcast for duplicate suppression.
+	Key core.PacketKey
+	// Hops counts MAC hops from the originator (0 at the source).
+	Hops int
+	// Payload is the application content (opaque to the MAC).
+	Payload any
+}
+
+// frameKind discriminates the two on-air frame types.
+type frameKind int
+
+const (
+	frameATIM frameKind = iota + 1
+	frameData
+)
+
+// wire is the channel payload.
+type wire struct {
+	kind frameKind
+	pkt  Packet // valid for frameData only
+}
+
+// DeliveryFunc is the application upcall, invoked once per *new* packet.
+type DeliveryFunc func(pkt Packet, from topo.NodeID, now time.Duration)
+
+// Stats counts per-node MAC events.
+type Stats struct {
+	ATIMSent      int
+	ATIMReceived  int
+	ATIMAborted   int // ATIM could not fit in the window and was deferred
+	DataSent      int
+	ImmediateSent int // subset of DataSent triggered by the p coin
+	DataReceived  int
+	Duplicates    int
+	StayAwakeWins int // q-coin kept the node awake
+}
+
+// Node is one PSM+PBBF MAC instance. Create with NewNode; the simulation
+// driver must call StartFrame at every beacon and EndATIMWindow when the
+// ATIM window closes.
+type Node struct {
+	id      topo.NodeID
+	cfg     Config
+	kernel  *sim.Kernel
+	channel *phy.Channel
+	rng     *rng.Source
+	meter   *energy.Meter
+	deliver DeliveryFunc
+	seen    *core.DuplicateFilter
+
+	awake    bool
+	mustStay bool // ATIM sent/received or traffic pending this BI
+	atimOK   bool // this frame's ATIM made it onto the air
+
+	pendingNormal []Packet // waiting for the next ATIM window
+	announced     []Packet // announced this BI; data goes out after the window
+
+	txQueue []wire
+	txBusy  bool
+
+	// Adaptive-mode state (nil/zero when running static PBBF).
+	adaptive *core.AdaptiveController
+	frameRx  int              // frames decoded in the current beacon interval
+	lastSeq  map[int]uint64   // per-origin highest data sequence seen
+	seqSeen  map[int]struct{} // origins with at least one sequence recorded
+
+	stats Stats
+}
+
+var _ phy.Receiver = (*Node)(nil)
+
+// NewNode constructs a MAC node and registers it with the channel. The
+// node starts awake (simulation begins at a beacon).
+func NewNode(id topo.NodeID, cfg Config, kernel *sim.Kernel, channel *phy.Channel,
+	r *rng.Source, deliver DeliveryFunc) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if deliver == nil {
+		return nil, fmt.Errorf("mac: nil delivery callback")
+	}
+	n := &Node{
+		id:      id,
+		cfg:     cfg,
+		kernel:  kernel,
+		channel: channel,
+		rng:     r,
+		meter:   energy.NewMeter(cfg.Profile, energy.Idle, kernel.Now()),
+		deliver: deliver,
+		seen:    core.NewDuplicateFilter(),
+		awake:   true,
+	}
+	if cfg.Adaptive != nil {
+		ctrl, err := core.NewAdaptiveController(*cfg.Adaptive)
+		if err != nil {
+			return nil, err
+		}
+		n.adaptive = ctrl
+		n.lastSeq = make(map[int]uint64)
+		n.seqSeen = make(map[int]struct{})
+	}
+	channel.Register(id, n)
+	return n, nil
+}
+
+// Params returns the node's current PBBF operating point: the static
+// configuration, or the adaptive controller's live values.
+func (n *Node) Params() core.Params {
+	if n.adaptive != nil {
+		return n.adaptive.Params()
+	}
+	return n.cfg.Params
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() topo.NodeID { return n.id }
+
+// Stats returns a copy of the node's MAC counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Awake reports whether the radio is on.
+func (n *Node) Awake() bool { return n.awake }
+
+// EnergyAt returns the node's cumulative energy use at time now.
+func (n *Node) EnergyAt(now time.Duration) float64 { return n.meter.EnergyAt(now) }
+
+// Meter exposes the energy meter for detailed breakdowns in experiments.
+func (n *Node) Meter() *energy.Meter { return n.meter }
+
+// Listening implements phy.Receiver: a node decodes frames only while
+// awake and not transmitting.
+func (n *Node) Listening() bool {
+	return n.awake && !n.channel.Transmitting(n.id)
+}
+
+// Broadcast originates a new broadcast from this node (application call).
+// The PBBF p coin applies at origination as well (Figure 2: the source may
+// send immediately instead of waiting for the next ATIM window).
+func (n *Node) Broadcast(pkt Packet) {
+	n.seen.MarkSeen(pkt.Key) // never re-forward our own packet
+	n.routePacket(pkt)
+}
+
+// routePacket applies the Receive-Broadcast decision of Figure 3.
+func (n *Node) routePacket(pkt Packet) {
+	if n.Params().ForwardImmediately(n.rng) {
+		n.wakeForTraffic()
+		n.enqueueTx(wire{kind: frameData, pkt: pkt}, true)
+		return
+	}
+	n.pendingNormal = append(n.pendingNormal, pkt)
+}
+
+// wakeForTraffic turns the radio on mid-interval (Figure 3: DataToSend
+// keeps a node awake). Only originators can hit this while asleep — a
+// sleeping node cannot receive.
+func (n *Node) wakeForTraffic() {
+	n.mustStay = true
+	if !n.awake {
+		n.awake = true
+		n.meter.SetState(energy.Idle, n.kernel.Now())
+	}
+}
+
+// StartFrame begins a new beacon interval: every node wakes for the ATIM
+// window, pending normal traffic is promoted for announcement, and the
+// ATIM (if any) contends for the channel.
+func (n *Node) StartFrame() {
+	now := n.kernel.Now()
+	n.awake = true
+	n.meter.SetState(energy.Idle, now)
+	n.mustStay = false
+	n.atimOK = false
+	if n.adaptive != nil {
+		// Feed last interval's overheard traffic into the p controller.
+		n.adaptive.ObserveActivity(n.frameRx)
+		n.frameRx = 0
+	}
+	if len(n.pendingNormal) > 0 {
+		n.announced = append(n.announced, n.pendingNormal...)
+		n.pendingNormal = n.pendingNormal[:0]
+	}
+	if len(n.announced) > 0 {
+		n.mustStay = true
+		// Draw the ATIM transmission time uniformly within the window.
+		// Announcers are beacon-synchronized, so contending at the window
+		// start would make hidden-terminal ATIM collisions near-certain;
+		// spreading keeps the collision rate at the level the paper's
+		// ns-2 PSM exhibits (PSM reliability ≈ 1).
+		slack := n.cfg.ATIMAirtime() + n.cfg.DIFS + time.Duration(n.cfg.CWSlots)*n.cfg.Slot
+		span := n.cfg.Timing.Active - slack
+		if span < 0 {
+			span = 0
+		}
+		offset := time.Duration(n.rng.Float64() * float64(span))
+		n.kernel.Schedule(offset, func() {
+			n.enqueueTx(wire{kind: frameATIM}, false)
+		})
+	}
+}
+
+// EndATIMWindow applies the Sleep-Decision-Handler of Figure 3 and, if the
+// node announced traffic, releases the data frames to contend for the
+// channel.
+func (n *Node) EndATIMWindow() {
+	now := n.kernel.Now()
+	stay := n.mustStay || n.txBusy || len(n.txQueue) > 0
+	if !stay && n.Params().StayAwake(n.rng) {
+		stay = true
+		n.stats.StayAwakeWins++
+	}
+	if !stay {
+		n.awake = false
+		n.meter.SetState(energy.Sleep, now)
+	}
+	if n.atimOK && len(n.announced) > 0 {
+		// Announced receivers stay awake for the whole beacon interval, so
+		// the data transmission time is drawn uniformly across it. As with
+		// ATIMs, this de-synchronizes the per-hop rebroadcast storm (every
+		// node at hop distance h forwards in the same beacon interval).
+		slack := n.cfg.DataAirtime() + n.cfg.DIFS + time.Duration(n.cfg.CWSlots)*n.cfg.Slot
+		span := n.cfg.Timing.Sleep() - slack
+		if span < 0 {
+			span = 0
+		}
+		for _, pkt := range n.announced {
+			pkt := pkt
+			offset := time.Duration(n.rng.Float64() * float64(span))
+			n.kernel.Schedule(offset, func() {
+				n.enqueueTx(wire{kind: frameData, pkt: pkt}, false)
+			})
+		}
+		n.announced = n.announced[:0]
+	} else if len(n.announced) > 0 {
+		// The ATIM never made it out (contention): neighbors were not told
+		// to stay awake, so sending data now would be pointless. Re-queue
+		// for the next window.
+		n.stats.ATIMAborted++
+		n.pendingNormal = append(n.pendingNormal, n.announced...)
+		n.announced = n.announced[:0]
+	}
+}
+
+// Deliver implements phy.Receiver.
+func (n *Node) Deliver(f phy.Frame) {
+	w, ok := f.Payload.(wire)
+	if !ok {
+		return // foreign payload: ignore
+	}
+	switch w.kind {
+	case frameATIM:
+		n.stats.ATIMReceived++
+		n.frameRx++
+		// Stay awake the whole beacon interval to receive announced data.
+		n.mustStay = true
+	case frameData:
+		n.stats.DataReceived++
+		n.frameRx++
+		if !n.seen.MarkSeen(w.pkt.Key) {
+			n.stats.Duplicates++
+			return
+		}
+		n.observeSequence(w.pkt.Key)
+		pkt := w.pkt
+		pkt.Hops++
+		n.deliver(pkt, f.Sender, n.kernel.Now())
+		n.routePacket(pkt)
+	}
+}
+
+// observeSequence feeds the adaptive q controller: a gap in an origin's
+// sequence numbers means broadcasts were missed (Section 6: "a node
+// detecting a large fraction of broadcast packets are not being
+// received").
+func (n *Node) observeSequence(key core.PacketKey) {
+	if n.adaptive == nil {
+		return
+	}
+	if _, ok := n.seqSeen[key.Origin]; ok {
+		last := n.lastSeq[key.Origin]
+		if key.Seq > last {
+			for missed := last + 1; missed < key.Seq; missed++ {
+				n.adaptive.ObserveDelivery(false)
+			}
+			n.lastSeq[key.Origin] = key.Seq
+		}
+	} else {
+		n.seqSeen[key.Origin] = struct{}{}
+		n.lastSeq[key.Origin] = key.Seq
+	}
+	n.adaptive.ObserveDelivery(true)
+}
+
+// enqueueTx appends a frame to the node's transmit queue and starts the
+// CSMA machinery if idle. immediate marks p-coin data frames for stats.
+func (n *Node) enqueueTx(w wire, immediate bool) {
+	if immediate {
+		n.stats.ImmediateSent++
+	}
+	n.txQueue = append(n.txQueue, w)
+	if !n.txBusy {
+		n.txBusy = true
+		n.attemptTx()
+	}
+}
+
+// frameStart returns the beginning of the beacon interval containing t.
+func (n *Node) frameStart(t time.Duration) time.Duration {
+	return t / n.cfg.Timing.Frame * n.cfg.Timing.Frame
+}
+
+// inATIMWindow reports whether t is inside the ATIM window of its frame.
+func (n *Node) inATIMWindow(t time.Duration) bool {
+	return t-n.frameStart(t) < n.cfg.Timing.Active
+}
+
+// attemptTx runs one CSMA attempt for the head of the transmit queue.
+func (n *Node) attemptTx() {
+	if len(n.txQueue) == 0 {
+		n.txBusy = false
+		return
+	}
+	now := n.kernel.Now()
+	head := n.txQueue[0]
+
+	if head.kind == frameData && n.inATIMWindow(now) {
+		// Data may not be sent during the ATIM window; wait it out.
+		windowEnd := n.frameStart(now) + n.cfg.Timing.Active
+		n.kernel.ScheduleAt(windowEnd, n.attemptTx)
+		return
+	}
+
+	backoff := n.cfg.DIFS + time.Duration(n.rng.Intn(n.cfg.CWSlots))*n.cfg.Slot
+
+	if head.kind == frameATIM {
+		windowEnd := n.frameStart(now) + n.cfg.Timing.Active
+		if !n.inATIMWindow(now) || now+backoff+n.cfg.ATIMAirtime() > windowEnd {
+			// Can't fit this window; EndATIMWindow will re-queue the
+			// packets. Drop the ATIM frame itself.
+			n.txQueue = n.txQueue[0:copy(n.txQueue, n.txQueue[1:])]
+			n.attemptTx()
+			return
+		}
+	}
+
+	if n.channel.CarrierBusy(n.id) {
+		n.kernel.Schedule(backoff, n.attemptTx)
+		return
+	}
+	n.kernel.Schedule(backoff, func() {
+		if n.channel.CarrierBusy(n.id) {
+			n.attemptTx() // medium got busy during backoff: re-contend
+			return
+		}
+		n.transmitHead()
+	})
+}
+
+// transmitHead puts the head frame on the air.
+func (n *Node) transmitHead() {
+	if len(n.txQueue) == 0 {
+		n.txBusy = false
+		return
+	}
+	head := n.txQueue[0]
+	n.txQueue = n.txQueue[0:copy(n.txQueue, n.txQueue[1:])]
+	var airtime time.Duration
+	switch head.kind {
+	case frameATIM:
+		airtime = n.cfg.ATIMAirtime()
+		n.stats.ATIMSent++
+		n.atimOK = true
+	case frameData:
+		airtime = n.cfg.DataAirtime()
+		n.stats.DataSent++
+	}
+	n.meter.SetState(energy.Transmit, n.kernel.Now())
+	err := n.channel.Transmit(phy.Frame{Sender: n.id, Payload: head, Airtime: airtime}, func() {
+		n.meter.SetState(energy.Idle, n.kernel.Now())
+		n.attemptTx()
+	})
+	if err != nil {
+		// The MAC serializes its own transmissions, so this is a bug, not
+		// a runtime condition; surface it loudly in simulation runs.
+		panic(fmt.Sprintf("mac: node %d transmit: %v", n.id, err))
+	}
+}
+
+// FinishMetering closes the node's energy accounting at time now.
+func (n *Node) FinishMetering(now time.Duration) {
+	n.meter.Finish(now)
+}

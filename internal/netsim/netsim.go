@@ -1,0 +1,222 @@
+// Package netsim runs the fine-grained Section 5 simulations: a random
+// sensor field, the full PSM+PBBF MAC over a collision-prone channel, and
+// the code distribution application on top. It produces the metrics behind
+// Figures 13–18: per-update energy, per-hop-distance update latency, and
+// the fraction of updates received.
+//
+// The paper used ns-2 with a modified 802.11 PSM MAC; this package is the
+// equivalent substrate built on internal/sim + internal/phy + internal/mac
+// (see DESIGN.md for the substitution rationale).
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"pbbf/internal/codedist"
+	"pbbf/internal/mac"
+	"pbbf/internal/phy"
+	"pbbf/internal/rng"
+	"pbbf/internal/sim"
+	"pbbf/internal/stats"
+	"pbbf/internal/topo"
+)
+
+// Config parameterizes one scenario run (one topology, one seed).
+type Config struct {
+	// Topo is the deployment; Section 5 uses 50 nodes placed uniformly at
+	// random with density Δ (Table 2).
+	Topo topo.Topology
+	// Source is the broadcast/code-distribution origin.
+	Source topo.NodeID
+	// MAC holds the PSM timing, PBBF knobs, bit rate, and frame sizes.
+	MAC mac.Config
+	// Lambda is the update generation rate (Table 1: 0.01 updates/s).
+	Lambda float64
+	// Duration is the simulated time (Section 5: 500 s).
+	Duration time.Duration
+	// K is the number of recent updates batched per packet (Table 2: 1).
+	K int
+	// TrackHops lists BFS distances from the source at which latency is
+	// reported separately (Figures 14/15 use 2 and 5).
+	TrackHops []int
+	// LossRate injects independent per-reception frame loss at the PHY
+	// (0 = the paper's collision-only channel).
+	LossRate float64
+	// Seed drives every coin in the run.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Topo == nil || c.Topo.N() == 0 {
+		return fmt.Errorf("netsim: empty topology")
+	}
+	if int(c.Source) < 0 || int(c.Source) >= c.Topo.N() {
+		return fmt.Errorf("netsim: source %d outside [0,%d)", c.Source, c.Topo.N())
+	}
+	if err := c.MAC.Validate(); err != nil {
+		return err
+	}
+	if c.Lambda <= 0 {
+		return fmt.Errorf("netsim: lambda %v must be positive", c.Lambda)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("netsim: duration %v must be positive", c.Duration)
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("netsim: k %d must be positive", c.K)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("netsim: loss rate %v outside [0,1)", c.LossRate)
+	}
+	return nil
+}
+
+// Result aggregates one run's metrics.
+type Result struct {
+	// UpdatesGenerated is the number of updates the source created.
+	UpdatesGenerated int
+	// EnergyPerUpdateJ is mean per-node energy divided by updates.
+	EnergyPerUpdateJ float64
+	// UpdatesReceivedFraction is the mean over non-source nodes of
+	// (updates received / updates generated) — Figures 16/18.
+	UpdatesReceivedFraction float64
+	// Latency accumulates first-sight update latency (seconds) over all
+	// non-source nodes — Figure 17.
+	Latency stats.Accumulator
+	// LatencyAtHop holds the same metric restricted to nodes at each
+	// tracked BFS distance — Figures 14/15.
+	LatencyAtHop map[int]*stats.Accumulator
+	// NodesAtHop counts nodes at each tracked distance in this scenario.
+	NodesAtHop map[int]int
+	// Channel-level counters (diagnostics).
+	FramesStarted, FramesDelivered, FramesCollided int
+}
+
+// Run executes one scenario.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kernel := sim.NewKernel()
+	channel := phy.NewChannel(kernel, cfg.Topo)
+	base := rng.New(cfg.Seed)
+	if cfg.LossRate > 0 {
+		if err := channel.SetLoss(cfg.LossRate, base.Split()); err != nil {
+			return nil, err
+		}
+	}
+
+	n := cfg.Topo.N()
+	trackers := make([]*codedist.Tracker, n)
+	nodes := make([]*mac.Node, n)
+	for i := 0; i < n; i++ {
+		trackers[i] = codedist.NewTracker()
+		tracker := trackers[i]
+		node, err := mac.NewNode(topo.NodeID(i), cfg.MAC, kernel, channel, base.Split(),
+			func(pkt mac.Packet, _ topo.NodeID, now time.Duration) {
+				if payload, ok := pkt.Payload.(codedist.Payload); ok {
+					tracker.Observe(payload, now)
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+	}
+
+	// Update generation: deterministic at rate λ, starting at t=0 (frame
+	// boundaries, so updates arrive during the ATIM window). These events
+	// are scheduled before the frame ticks and therefore fire first at
+	// equal timestamps, letting the source announce in the same window.
+	source, err := codedist.NewSource(cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Lambda)
+	for at := time.Duration(0); at < cfg.Duration; at += interval {
+		kernel.ScheduleAt(at, func() {
+			payload := source.Generate(kernel.Now())
+			trackers[cfg.Source].Observe(payload, kernel.Now())
+			nodes[cfg.Source].Broadcast(mac.Packet{
+				Key:     mac.PacketKeyFor(cfg.Source, uint64(source.Generated()-1)),
+				Payload: payload,
+			})
+		})
+	}
+
+	// Beacon schedule: StartFrame for every node at each beacon, then
+	// EndATIMWindow when the window closes. Nodes are visited in ID order,
+	// keeping runs deterministic.
+	var tick func()
+	tick = func() {
+		for _, node := range nodes {
+			node.StartFrame()
+		}
+		kernel.Schedule(cfg.MAC.Timing.Active, func() {
+			for _, node := range nodes {
+				node.EndATIMWindow()
+			}
+		})
+		kernel.Schedule(cfg.MAC.Timing.Frame, tick)
+	}
+	kernel.ScheduleAt(0, tick)
+
+	if err := kernel.Run(cfg.Duration); err != nil {
+		return nil, err
+	}
+
+	return harvest(cfg, nodes, trackers, channel, source.Generated()), nil
+}
+
+// harvest computes the Result from final simulation state.
+func harvest(cfg Config, nodes []*mac.Node, trackers []*codedist.Tracker,
+	channel *phy.Channel, generated int) *Result {
+	res := &Result{
+		UpdatesGenerated: generated,
+		LatencyAtHop:     make(map[int]*stats.Accumulator, len(cfg.TrackHops)),
+		NodesAtHop:       make(map[int]int, len(cfg.TrackHops)),
+	}
+	dist := topo.HopDistances(cfg.Topo, cfg.Source)
+	for _, h := range cfg.TrackHops {
+		res.LatencyAtHop[h] = &stats.Accumulator{}
+		for _, d := range dist {
+			if d == h {
+				res.NodesAtHop[h]++
+			}
+		}
+	}
+
+	var energyTotal float64
+	var fraction stats.Accumulator
+	for i, node := range nodes {
+		node.FinishMetering(cfg.Duration)
+		energyTotal += node.EnergyAt(cfg.Duration)
+		if topo.NodeID(i) == cfg.Source {
+			continue
+		}
+		tr := trackers[i]
+		if generated > 0 {
+			fraction.Add(float64(tr.Received()) / float64(generated))
+		}
+		// Iterate by sequence number: map order would make the floating-
+		// point accumulation (and hence the run) nondeterministic.
+		for seq := 0; seq < generated; seq++ {
+			lat, ok := tr.Latency(seq)
+			if !ok {
+				continue
+			}
+			res.Latency.Add(lat.Seconds())
+			if acc, ok := res.LatencyAtHop[dist[i]]; ok {
+				acc.Add(lat.Seconds())
+			}
+		}
+	}
+	if generated > 0 {
+		res.EnergyPerUpdateJ = energyTotal / float64(len(nodes)) / float64(generated)
+	}
+	res.UpdatesReceivedFraction = fraction.Mean()
+	res.FramesStarted, res.FramesDelivered, res.FramesCollided = channel.Stats()
+	return res
+}

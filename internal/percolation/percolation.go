@@ -1,0 +1,172 @@
+// Package percolation implements the bond-percolation machinery behind the
+// paper's reliability analysis (Section 4.1).
+//
+// PBBF's reliability is a bond percolation problem: each directed link is
+// "open" with probability pedge = 1 − p·(1 − q) (Remark 1), and a broadcast
+// from the source reaches the nodes in the source's open cluster. Two
+// questions matter for the experiments:
+//
+//  1. Figure 6 — for a finite W×H grid, what fraction of occupied bonds is
+//     needed before the source's cluster covers a target fraction
+//     (80/90/99/100%) of the nodes? This is computed with the fast Monte
+//     Carlo algorithm of Newman & Ziff: bonds are added one at a time in
+//     random order while a union-find structure tracks cluster sizes, so a
+//     full sweep over all bond counts costs O(M α(N)) per realization.
+//
+//  2. Figure 7 — given that critical ratio, which (p, q) pairs achieve it?
+//     The inversion lives in internal/core (MinQForEdgeProbability); this
+//     package also provides a direct check, ReachedFraction, that opens
+//     each bond independently with probability pedge.
+package percolation
+
+import (
+	"fmt"
+	"math"
+
+	"pbbf/internal/rng"
+	"pbbf/internal/stats"
+	"pbbf/internal/topo"
+	"pbbf/internal/unionfind"
+)
+
+// Edge is an undirected bond between two nodes.
+type Edge struct {
+	A, B topo.NodeID
+}
+
+// Edges extracts the undirected edge list of a topology (each pair once).
+func Edges(t topo.Topology) []Edge {
+	var edges []Edge
+	for id := 0; id < t.N(); id++ {
+		for _, nb := range t.Neighbors(topo.NodeID(id)) {
+			if topo.NodeID(id) < nb {
+				edges = append(edges, Edge{A: topo.NodeID(id), B: nb})
+			}
+		}
+	}
+	return edges
+}
+
+// Result is a Monte Carlo estimate with a 95% confidence half-width.
+type Result struct {
+	Mean float64
+	CI95 float64
+	N    int
+}
+
+// CriticalBondRatio estimates, over trials random bond orderings, the mean
+// fraction of occupied bonds at which the cluster containing src first
+// covers at least reliability×N nodes (Newman–Ziff sweep). reliability must
+// be in (0, 1].
+func CriticalBondRatio(t topo.Topology, src topo.NodeID, reliability float64, trials int, r *rng.Source) (Result, error) {
+	if reliability <= 0 || reliability > 1 {
+		return Result{}, fmt.Errorf("percolation: reliability %v outside (0,1]", reliability)
+	}
+	if trials <= 0 {
+		return Result{}, fmt.Errorf("percolation: trials must be positive, got %d", trials)
+	}
+	edges := Edges(t)
+	if len(edges) == 0 {
+		return Result{}, fmt.Errorf("percolation: topology has no edges")
+	}
+	target := int(math.Ceil(reliability * float64(t.N())))
+	if target < 1 {
+		target = 1
+	}
+	uf := unionfind.Must(t.N())
+	order := make([]int, len(edges))
+	for i := range order {
+		order[i] = i
+	}
+	var acc stats.Accumulator
+	for trial := 0; trial < trials; trial++ {
+		uf.Reset()
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		added := 0
+		reached := uf.SetSize(int(src)) >= target
+		for _, idx := range order {
+			if reached {
+				break
+			}
+			e := edges[idx]
+			uf.Union(int(e.A), int(e.B))
+			added++
+			if uf.SetSize(int(src)) >= target {
+				reached = true
+			}
+		}
+		if !reached {
+			// All bonds added and still short: the target exceeds the
+			// component containing src (disconnected topology). Count the
+			// full bond set; the ratio is 1 by definition.
+			added = len(edges)
+		}
+		acc.Add(float64(added) / float64(len(edges)))
+	}
+	return Result{Mean: acc.Mean(), CI95: acc.CI95(), N: acc.N()}, nil
+}
+
+// ReachedFraction opens each undirected bond independently with probability
+// pedge and returns the average fraction of nodes in src's cluster over the
+// given number of trials. This is the direct Monte Carlo counterpart of
+// Remark 1, used to validate the p–q frontier.
+func ReachedFraction(t topo.Topology, src topo.NodeID, pedge float64, trials int, r *rng.Source) (Result, error) {
+	if pedge < 0 || pedge > 1 {
+		return Result{}, fmt.Errorf("percolation: pedge %v outside [0,1]", pedge)
+	}
+	if trials <= 0 {
+		return Result{}, fmt.Errorf("percolation: trials must be positive, got %d", trials)
+	}
+	edges := Edges(t)
+	uf := unionfind.Must(t.N())
+	var acc stats.Accumulator
+	for trial := 0; trial < trials; trial++ {
+		uf.Reset()
+		for _, e := range edges {
+			if r.Bool(pedge) {
+				uf.Union(int(e.A), int(e.B))
+			}
+		}
+		acc.Add(float64(uf.SetSize(int(src))) / float64(t.N()))
+	}
+	return Result{Mean: acc.Mean(), CI95: acc.CI95(), N: acc.N()}, nil
+}
+
+// ReliabilityProbability estimates the probability that a single broadcast
+// reaches at least reliability×N nodes when bonds open with probability
+// pedge — the quantity plotted on the y axis of Figures 4 and 5 in the
+// percolation abstraction.
+func ReliabilityProbability(t topo.Topology, src topo.NodeID, pedge, reliability float64, trials int, r *rng.Source) (Result, error) {
+	if pedge < 0 || pedge > 1 {
+		return Result{}, fmt.Errorf("percolation: pedge %v outside [0,1]", pedge)
+	}
+	if reliability <= 0 || reliability > 1 {
+		return Result{}, fmt.Errorf("percolation: reliability %v outside (0,1]", reliability)
+	}
+	if trials <= 0 {
+		return Result{}, fmt.Errorf("percolation: trials must be positive, got %d", trials)
+	}
+	edges := Edges(t)
+	uf := unionfind.Must(t.N())
+	target := int(math.Ceil(reliability * float64(t.N())))
+	var acc stats.Accumulator
+	for trial := 0; trial < trials; trial++ {
+		uf.Reset()
+		for _, e := range edges {
+			if r.Bool(pedge) {
+				uf.Union(int(e.A), int(e.B))
+			}
+		}
+		if uf.SetSize(int(src)) >= target {
+			acc.Add(1)
+		} else {
+			acc.Add(0)
+		}
+	}
+	return Result{Mean: acc.Mean(), CI95: acc.CI95(), N: acc.N()}, nil
+}
+
+// SquareLatticeBondPc is the exact critical bond probability of the infinite
+// square lattice (1/2, Kesten 1980), used as a sanity anchor in tests and in
+// EXPERIMENTS.md commentary.
+const SquareLatticeBondPc = 0.5

@@ -1,0 +1,248 @@
+package percolation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pbbf/internal/rng"
+	"pbbf/internal/topo"
+)
+
+func TestEdgesGridCount(t *testing.T) {
+	g := topo.MustGrid(10, 10)
+	edges := Edges(g)
+	// 10×10 grid: 10*9*2 = 180 edges.
+	if len(edges) != 180 {
+		t.Fatalf("edges = %d, want 180", len(edges))
+	}
+	seen := map[Edge]bool{}
+	for _, e := range edges {
+		if e.A >= e.B {
+			t.Fatalf("edge %v not canonical", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestCriticalBondRatioValidation(t *testing.T) {
+	g := topo.MustGrid(5, 5)
+	r := rng.New(1)
+	if _, err := CriticalBondRatio(g, g.Center(), 0, 10, r); err == nil {
+		t.Fatal("reliability 0 accepted")
+	}
+	if _, err := CriticalBondRatio(g, g.Center(), 1.5, 10, r); err == nil {
+		t.Fatal("reliability 1.5 accepted")
+	}
+	if _, err := CriticalBondRatio(g, g.Center(), 0.9, 0, r); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestCriticalBondRatioNearKesten(t *testing.T) {
+	// On a 30×30 grid the bond ratio for full coverage sits above the
+	// infinite-lattice pc=0.5 (finite-size effect: every node, including
+	// degree-2 corners, must join). 50% coverage should cost well below
+	// full coverage.
+	g := topo.MustGrid(30, 30)
+	r := rng.New(42)
+	full, err := CriticalBondRatio(g, g.Center(), 1.0, 40, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full coverage costs far more than the infinite-lattice pc=0.5: the
+	// ratio is dominated by the last low-degree boundary node attaching
+	// (coupon-collector effect), empirically ≈0.87 on 30×30.
+	if full.Mean < 0.5 || full.Mean > 0.95 {
+		t.Fatalf("100%% critical ratio %v outside [0.5, 0.95]", full.Mean)
+	}
+	half, err := CriticalBondRatio(g, g.Center(), 0.5, 40, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Mean >= full.Mean {
+		t.Fatalf("50%% ratio %v not below 100%% ratio %v", half.Mean, full.Mean)
+	}
+	if half.Mean < 0.3 || half.Mean > 0.6 {
+		t.Fatalf("50%% critical ratio %v outside [0.3, 0.6]", half.Mean)
+	}
+}
+
+func TestCriticalBondRatioMonotoneInReliability(t *testing.T) {
+	g := topo.MustGrid(20, 20)
+	r := rng.New(7)
+	prev := 0.0
+	for _, rel := range []float64{0.8, 0.9, 0.99, 1.0} {
+		res, err := CriticalBondRatio(g, g.Center(), rel, 60, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mean < prev-0.02 { // allow tiny Monte Carlo noise
+			t.Fatalf("critical ratio decreased: rel=%v got %v after %v", rel, res.Mean, prev)
+		}
+		prev = res.Mean
+	}
+}
+
+func TestCriticalBondRatioTrivialTarget(t *testing.T) {
+	// Reliability so low that the source alone satisfies it → 0 bonds.
+	g := topo.MustGrid(10, 10)
+	r := rng.New(3)
+	res, err := CriticalBondRatio(g, g.Center(), 0.005, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean != 0 {
+		t.Fatalf("trivial target ratio = %v, want 0", res.Mean)
+	}
+}
+
+func TestReachedFractionExtremes(t *testing.T) {
+	g := topo.MustGrid(10, 10)
+	r := rng.New(4)
+	zero, err := ReachedFraction(g, g.Center(), 0, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Mean != 1.0/100 {
+		t.Fatalf("pedge=0 fraction = %v, want 0.01 (source only)", zero.Mean)
+	}
+	one, err := ReachedFraction(g, g.Center(), 1, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Mean != 1 {
+		t.Fatalf("pedge=1 fraction = %v, want 1", one.Mean)
+	}
+}
+
+func TestReachedFractionValidation(t *testing.T) {
+	g := topo.MustGrid(5, 5)
+	r := rng.New(1)
+	if _, err := ReachedFraction(g, 0, -0.1, 5, r); err == nil {
+		t.Fatal("negative pedge accepted")
+	}
+	if _, err := ReachedFraction(g, 0, 0.5, 0, r); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestReachedFractionThresholdBehavior(t *testing.T) {
+	// Below pc the cluster is tiny; above it, nearly everything. This is
+	// the bimodal behaviour the paper leans on.
+	g := topo.MustGrid(30, 30)
+	r := rng.New(5)
+	low, err := ReachedFraction(g, g.Center(), 0.3, 30, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := ReachedFraction(g, g.Center(), 0.8, 30, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Mean > 0.2 {
+		t.Fatalf("subcritical fraction %v too high", low.Mean)
+	}
+	if high.Mean < 0.9 {
+		t.Fatalf("supercritical fraction %v too low", high.Mean)
+	}
+}
+
+func TestReliabilityProbabilityThreshold(t *testing.T) {
+	g := topo.MustGrid(20, 20)
+	r := rng.New(6)
+	low, err := ReliabilityProbability(g, g.Center(), 0.35, 0.9, 30, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := ReliabilityProbability(g, g.Center(), 0.9, 0.9, 30, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Mean > 0.1 {
+		t.Fatalf("subcritical reliability prob %v", low.Mean)
+	}
+	if high.Mean < 0.95 {
+		t.Fatalf("supercritical reliability prob %v", high.Mean)
+	}
+}
+
+func TestReliabilityProbabilityValidation(t *testing.T) {
+	g := topo.MustGrid(5, 5)
+	r := rng.New(1)
+	if _, err := ReliabilityProbability(g, 0, 2, 0.9, 5, r); err == nil {
+		t.Fatal("pedge 2 accepted")
+	}
+	if _, err := ReliabilityProbability(g, 0, 0.5, 0, 5, r); err == nil {
+		t.Fatal("reliability 0 accepted")
+	}
+	if _, err := ReliabilityProbability(g, 0, 0.5, 0.9, 0, r); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	g := topo.MustGrid(15, 15)
+	a, err := CriticalBondRatio(g, g.Center(), 0.9, 20, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CriticalBondRatio(g, g.Center(), 0.9, 20, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean {
+		t.Fatalf("same seed gave %v and %v", a.Mean, b.Mean)
+	}
+}
+
+// Property: ReachedFraction is monotone (within noise) in pedge; we verify
+// on coarse probes with generous trials.
+func TestPropertyReachedFractionMonotone(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := topo.MustGrid(15, 15)
+		r := rng.New(seed)
+		prev := -1.0
+		for _, pe := range []float64{0.1, 0.4, 0.7, 1.0} {
+			res, err := ReachedFraction(g, g.Center(), pe, 30, r)
+			if err != nil {
+				return false
+			}
+			if res.Mean < prev-0.05 {
+				return false
+			}
+			prev = res.Mean
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: critical ratio estimates always lie in [0, 1].
+func TestPropertyCriticalRatioBounded(t *testing.T) {
+	check := func(seed uint64, rawRel uint8) bool {
+		rel := float64(int(rawRel)%100+1) / 100
+		g := topo.MustGrid(10, 10)
+		res, err := CriticalBondRatio(g, g.Center(), rel, 5, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		return res.Mean >= 0 && res.Mean <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCriticalBondRatio30(b *testing.B) {
+	g := topo.MustGrid(30, 30)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = CriticalBondRatio(g, g.Center(), 0.99, 1, r)
+	}
+}

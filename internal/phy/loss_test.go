@@ -1,0 +1,94 @@
+package phy
+
+import (
+	"testing"
+	"time"
+
+	"pbbf/internal/rng"
+	"pbbf/internal/sim"
+	"pbbf/internal/topo"
+)
+
+func TestSetLossValidation(t *testing.T) {
+	g := topo.MustGrid(2, 1)
+	c := NewChannel(nil, g)
+	if err := c.SetLoss(-0.1, rng.New(1)); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := c.SetLoss(1, rng.New(1)); err == nil {
+		t.Fatal("rate 1 accepted")
+	}
+	if err := c.SetLoss(0.5, nil); err == nil {
+		t.Fatal("nil rng accepted with positive rate")
+	}
+	if err := c.SetLoss(0, nil); err != nil {
+		t.Fatalf("disabling loss rejected: %v", err)
+	}
+	if err := c.SetLoss(0.5, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossDropsExpectedFraction(t *testing.T) {
+	g := topo.MustGrid(2, 1)
+	k := sim.NewKernel()
+	c := NewChannel(k, g)
+	got := 0
+	c.Register(0, &stubReceiver{listening: true})
+	c.Register(1, &funcReceiver{fn: func(Frame) { got++ }})
+	if err := c.SetLoss(0.4, rng.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	const sends = 2000
+	for i := 0; i < sends; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		k.ScheduleAt(at, func() {
+			if err := c.Transmit(Frame{Sender: 0, Airtime: time.Millisecond}, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(got) / sends
+	if frac < 0.55 || frac > 0.65 {
+		t.Fatalf("delivered fraction %v, want ≈0.6 at 40%% loss", frac)
+	}
+	if c.Faded() != sends-got {
+		t.Fatalf("faded count %d, want %d", c.Faded(), sends-got)
+	}
+}
+
+func TestZeroLossDeliversEverything(t *testing.T) {
+	g := topo.MustGrid(2, 1)
+	k := sim.NewKernel()
+	c := NewChannel(k, g)
+	got := 0
+	c.Register(0, &stubReceiver{listening: true})
+	c.Register(1, &funcReceiver{fn: func(Frame) { got++ }})
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		k.ScheduleAt(at, func() {
+			if err := c.Transmit(Frame{Sender: 0, Airtime: time.Millisecond}, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 || c.Faded() != 0 {
+		t.Fatalf("got=%d faded=%d", got, c.Faded())
+	}
+}
+
+// funcReceiver adapts a function to the Receiver interface.
+type funcReceiver struct {
+	fn func(Frame)
+}
+
+func (f *funcReceiver) Listening() bool { return true }
+func (f *funcReceiver) Deliver(fr Frame) {
+	f.fn(fr)
+}

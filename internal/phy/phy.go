@@ -1,0 +1,177 @@
+// Package phy models the wireless channel for the fine-grained simulator
+// (Section 5): unit-disk propagation over a topology, carrier sensing, and
+// per-receiver collision detection.
+//
+// The model matches the abstraction level of the ns-2 802.11 stack the
+// paper used: a frame occupies the channel at every neighbor of the sender
+// for its full on-air time; a receiver that hears two temporally
+// overlapping frames decodes neither (no capture effect); a receiver that
+// is not listening when a frame starts never decodes it. Propagation delay
+// is negligible at sensor ranges and is modelled as zero.
+package phy
+
+import (
+	"fmt"
+	"time"
+
+	"pbbf/internal/rng"
+	"pbbf/internal/sim"
+	"pbbf/internal/topo"
+)
+
+// Frame is one on-air transmission. Payload is opaque to the channel.
+type Frame struct {
+	// Sender is the transmitting node.
+	Sender topo.NodeID
+	// Payload is the MAC frame content.
+	Payload any
+	// Airtime is the frame's on-air duration.
+	Airtime time.Duration
+}
+
+// Receiver is the per-node upcall surface the MAC registers with the
+// channel.
+type Receiver interface {
+	// Listening reports whether the node's radio can begin decoding a
+	// frame right now (awake and not transmitting).
+	Listening() bool
+	// Deliver hands a successfully decoded frame to the node.
+	Deliver(f Frame)
+}
+
+// reception tracks one in-progress decode at a receiver.
+type reception struct {
+	frame     Frame
+	corrupted bool
+}
+
+// Channel connects the nodes of a topology. Create with NewChannel, then
+// Register a Receiver for every node before any Transmit call.
+type Channel struct {
+	kernel    *sim.Kernel
+	topo      topo.Topology
+	receivers []Receiver
+	// busy counts in-range active transmissions per node (carrier sense).
+	busy []int
+	// rx is the frame currently being decoded at each node, if any.
+	rx []*reception
+	// transmitting marks nodes whose own radio is in TX mode.
+	transmitting []bool
+
+	// lossRate drops otherwise-successful receptions independently with
+	// this probability (fading/noise injection; 0 = ideal channel).
+	lossRate float64
+	lossRNG  *rng.Source
+
+	// Stats counters (whole-network, for diagnostics and tests).
+	started   int
+	delivered int
+	collided  int
+	faded     int
+}
+
+// NewChannel returns a channel over the given topology.
+func NewChannel(kernel *sim.Kernel, t topo.Topology) *Channel {
+	return &Channel{
+		kernel:       kernel,
+		topo:         t,
+		receivers:    make([]Receiver, t.N()),
+		busy:         make([]int, t.N()),
+		rx:           make([]*reception, t.N()),
+		transmitting: make([]bool, t.N()),
+	}
+}
+
+// Register installs the receiver upcall for a node.
+func (c *Channel) Register(id topo.NodeID, r Receiver) {
+	c.receivers[id] = r
+}
+
+// CarrierBusy reports whether node senses energy on the channel (an
+// in-range transmission is in progress). A node's own transmission also
+// counts as busy.
+func (c *Channel) CarrierBusy(id topo.NodeID) bool {
+	return c.busy[id] > 0 || c.transmitting[id]
+}
+
+// Transmitting reports whether the node's radio is currently in TX mode.
+func (c *Channel) Transmitting(id topo.NodeID) bool { return c.transmitting[id] }
+
+// SetLoss enables independent per-reception frame loss with the given
+// probability (failure injection for robustness experiments). rate must be
+// in [0, 1); r must be non-nil when rate > 0.
+func (c *Channel) SetLoss(rate float64, r *rng.Source) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("phy: loss rate %v outside [0,1)", rate)
+	}
+	if rate > 0 && r == nil {
+		return fmt.Errorf("phy: loss injection requires a random source")
+	}
+	c.lossRate = rate
+	c.lossRNG = r
+	return nil
+}
+
+// Stats returns cumulative counts of frames started, frames delivered
+// (across all receivers), and receptions lost to collisions.
+func (c *Channel) Stats() (started, delivered, collided int) {
+	return c.started, c.delivered, c.collided
+}
+
+// Faded returns how many receptions were dropped by loss injection.
+func (c *Channel) Faded() int { return c.faded }
+
+// Transmit puts f on the air now. onDone, if non-nil, runs when the frame's
+// airtime ends (after deliveries). Returns an error if the sender is
+// already transmitting — the MAC must serialize its own transmissions.
+func (c *Channel) Transmit(f Frame, onDone func()) error {
+	if f.Airtime <= 0 {
+		return fmt.Errorf("phy: airtime %v must be positive", f.Airtime)
+	}
+	if c.transmitting[f.Sender] {
+		return fmt.Errorf("phy: node %d already transmitting", f.Sender)
+	}
+	c.started++
+	c.transmitting[f.Sender] = true
+	neighbors := c.topo.Neighbors(f.Sender)
+	for _, nb := range neighbors {
+		c.busy[nb]++
+		switch {
+		case c.rx[nb] != nil:
+			// Overlap with an in-progress decode: both are lost.
+			c.rx[nb].corrupted = true
+		case c.busy[nb] == 1 && c.receivers[nb] != nil && c.receivers[nb].Listening():
+			c.rx[nb] = &reception{frame: f}
+		default:
+			// Channel already busy or radio not listening: frame lost at
+			// this receiver. Nothing to record; busy bookkeeping suffices.
+		}
+	}
+	c.kernel.Schedule(f.Airtime, func() {
+		c.transmitting[f.Sender] = false
+		for _, nb := range neighbors {
+			c.busy[nb]--
+			r := c.rx[nb]
+			if r == nil || r.frame.Sender != f.Sender {
+				continue
+			}
+			c.rx[nb] = nil
+			if r.corrupted {
+				c.collided++
+				continue
+			}
+			if c.receivers[nb] != nil && c.receivers[nb].Listening() {
+				if c.lossRate > 0 && c.lossRNG.Bool(c.lossRate) {
+					c.faded++
+					continue
+				}
+				c.delivered++
+				c.receivers[nb].Deliver(f)
+			}
+		}
+		if onDone != nil {
+			onDone()
+		}
+	})
+	return nil
+}

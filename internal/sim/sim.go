@@ -1,0 +1,158 @@
+// Package sim provides the discrete-event simulation kernel shared by the
+// ideal (Section 4) and fine-grained (Section 5) simulators.
+//
+// The kernel is deliberately single-threaded: wireless MAC behaviour depends
+// on exact event ordering, and a sequential event loop with a deterministic
+// tie-break is both faster and reproducible. All simulated time is
+// time.Duration from the start of the run.
+package sim
+
+import (
+	"errors"
+	"time"
+
+	"pbbf/internal/eventq"
+)
+
+// ErrStopped is returned by Run when Stop was called before the horizon.
+var ErrStopped = errors.New("sim: stopped")
+
+// Kernel is a discrete-event simulation executive. Create with NewKernel.
+type Kernel struct {
+	queue   eventq.Queue
+	now     time.Duration
+	stopped bool
+	fired   uint64
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Fired returns the number of events executed so far (diagnostics).
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of scheduled events not yet executed.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// Timer is a cancellable handle for a scheduled callback.
+type Timer struct {
+	kernel *Kernel
+	event  *eventq.Event
+}
+
+// Cancel removes the timer from the schedule; safe to call repeatedly and
+// after the timer fired. Reports whether a pending event was removed.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.event == nil {
+		return false
+	}
+	return t.kernel.queue.Cancel(t.event)
+}
+
+// Pending reports whether the timer is still scheduled.
+func (t *Timer) Pending() bool { return t != nil && t.event != nil && !t.event.Cancelled() }
+
+// At returns the absolute firing time the timer was scheduled for.
+func (t *Timer) At() time.Duration { return t.event.At }
+
+// Schedule runs fn after delay d (>= 0) of simulated time. A negative delay
+// is clamped to zero so that "fire now" races cannot schedule into the past.
+func (k *Kernel) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.ScheduleAt(k.now+d, fn)
+}
+
+// ScheduleAt runs fn at absolute time at; times before Now are clamped.
+func (k *Kernel) ScheduleAt(at time.Duration, fn func()) *Timer {
+	if at < k.now {
+		at = k.now
+	}
+	return &Timer{kernel: k, event: k.queue.Push(at, fn)}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty or the
+// clock would pass horizon. Events scheduled exactly at the horizon still
+// execute. Returns ErrStopped if Stop was called, nil otherwise.
+func (k *Kernel) Run(horizon time.Duration) error {
+	k.stopped = false
+	for {
+		if k.stopped {
+			return ErrStopped
+		}
+		head := k.queue.Peek()
+		if head == nil {
+			// Drained: advance the clock to the horizon so that a
+			// subsequent Run continues from a consistent point.
+			if k.now < horizon {
+				k.now = horizon
+			}
+			return nil
+		}
+		if head.At > horizon {
+			k.now = horizon
+			return nil
+		}
+		e := k.queue.Pop()
+		k.now = e.At
+		k.fired++
+		if e.Fn != nil {
+			e.Fn()
+		}
+	}
+}
+
+// RunUntilIdle executes every scheduled event regardless of time. Intended
+// for simulations that terminate naturally (e.g. a single broadcast flood).
+func (k *Kernel) RunUntilIdle() error {
+	k.stopped = false
+	for {
+		if k.stopped {
+			return ErrStopped
+		}
+		e := k.queue.Pop()
+		if e == nil {
+			return nil
+		}
+		k.now = e.At
+		k.fired++
+		if e.Fn != nil {
+			e.Fn()
+		}
+	}
+}
+
+// Ticker invokes fn every period until cancelled, starting at Now+period.
+// It returns a cancel function. The callback may itself call the cancel
+// function to stop future ticks.
+func (k *Kernel) Ticker(period time.Duration, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic("sim: Ticker with non-positive period")
+	}
+	stopped := false
+	var tick func()
+	var timer *Timer
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			timer = k.Schedule(period, tick)
+		}
+	}
+	timer = k.Schedule(period, tick)
+	return func() {
+		stopped = true
+		timer.Cancel()
+	}
+}

@@ -1,0 +1,282 @@
+// Package stats provides the small statistics and tabulation toolkit the
+// experiment harness uses: streaming accumulators, confidence intervals,
+// x/y series, and rendering of figure data as aligned text tables or CSV.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accumulator collects samples and reports summary statistics in streaming
+// fashion (Welford's algorithm, numerically stable).
+type Accumulator struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasSamples bool
+}
+
+// Add incorporates one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+	if !a.hasSamples || x < a.min {
+		a.min = x
+	}
+	if !a.hasSamples || x > a.max {
+		a.max = x
+	}
+	a.hasSamples = true
+}
+
+// AddN incorporates x as if added n times.
+func (a *Accumulator) AddN(x float64, n int) {
+	for i := 0; i < n; i++ {
+		a.Add(x)
+	}
+}
+
+// N returns the sample count.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 if empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 if fewer than 2 samples).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest sample (0 if empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 if empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval on the mean. With fewer than 2 samples it returns 0.
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Merge folds other's samples into a.
+func (a *Accumulator) Merge(other *Accumulator) {
+	if other.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *other
+		return
+	}
+	total := a.n + other.n
+	delta := other.mean - a.mean
+	mean := a.mean + delta*float64(other.n)/float64(total)
+	m2 := a.m2 + other.m2 + delta*delta*float64(a.n)*float64(other.n)/float64(total)
+	min, max := a.min, a.max
+	if other.min < min {
+		min = other.min
+	}
+	if other.max > max {
+		max = other.max
+	}
+	*a = Accumulator{n: total, mean: mean, m2: m2, min: min, max: max, hasSamples: true}
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of the samples using linear
+// interpolation. Unlike Accumulator it needs the full sample set.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Series is a named sequence of (x, y) points — one plotted line of a paper
+// figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value for the given x, or (0, false) when absent.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Table is the machine-readable form of one paper figure or table: a shared
+// x column plus one y column per series.
+type Table struct {
+	// Title identifies the figure, e.g. "Figure 8: average energy consumption".
+	Title string
+	// XLabel names the x column, e.g. "q".
+	XLabel string
+	// YLabel names the measured quantity (units included).
+	YLabel string
+	// Series holds one column per plotted line.
+	Series []*Series
+}
+
+// AddSeries creates, registers, and returns a new named series.
+func (t *Table) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	t.Series = append(t.Series, s)
+	return s
+}
+
+// SeriesByName returns the series with the given name, or nil.
+func (t *Table) SeriesByName(name string) *Series {
+	for _, s := range t.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// xValues returns the sorted union of all series' x coordinates.
+func (t *Table) xValues() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Render formats the table with aligned columns for terminal output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	if t.YLabel != "" {
+		fmt.Fprintf(&b, "# y: %s\n", t.YLabel)
+	}
+	xs := t.xValues()
+	headers := make([]string, 0, len(t.Series)+1)
+	headers = append(headers, t.XLabel)
+	for _, s := range t.Series {
+		headers = append(headers, s.Name)
+	}
+	rows := make([][]string, 0, len(xs)+1)
+	rows = append(rows, headers)
+	for _, x := range xs {
+		row := make([]string, 0, len(headers))
+		row = append(row, trimFloat(x))
+		for _, s := range t.Series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, trimFloat(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xValues() {
+		b.WriteString(trimFloat(x))
+		for _, s := range t.Series {
+			b.WriteByte(',')
+			if y, ok := s.YAt(x); ok {
+				b.WriteString(trimFloat(y))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// trimFloat renders a float compactly with up to 4 significant decimals.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}

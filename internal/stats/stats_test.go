@@ -1,0 +1,270 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pbbf/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.CI95() != 0 {
+		t.Fatal("empty accumulator not all-zero")
+	}
+}
+
+func TestAccumulatorKnownValues(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("n = %d", a.N())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", a.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almostEqual(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", a.Variance())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSingleSample(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Variance() != 0 || a.StdDev() != 0 {
+		t.Fatal("single-sample stats wrong")
+	}
+	if a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Fatal("single-sample min/max wrong")
+	}
+}
+
+func TestAccumulatorAddN(t *testing.T) {
+	var a, b Accumulator
+	a.AddN(2, 3)
+	for i := 0; i < 3; i++ {
+		b.Add(2)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() {
+		t.Fatal("AddN diverges from repeated Add")
+	}
+}
+
+func TestCI95ShrinksWithSamples(t *testing.T) {
+	r := rng.New(1)
+	var small, large Accumulator
+	for i := 0; i < 10; i++ {
+		small.Add(r.NormFloat64())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(r.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: small=%v large=%v", small.CI95(), large.CI95())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	r := rng.New(2)
+	var all, left, right Accumulator
+	for i := 0; i < 500; i++ {
+		x := r.Float64() * 10
+		all.Add(x)
+		if i%2 == 0 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(&right)
+	if left.N() != all.N() {
+		t.Fatalf("merged n = %d, want %d", left.N(), all.N())
+	}
+	if !almostEqual(left.Mean(), all.Mean(), 1e-9) {
+		t.Fatalf("merged mean %v vs %v", left.Mean(), all.Mean())
+	}
+	if !almostEqual(left.Variance(), all.Variance(), 1e-9) {
+		t.Fatalf("merged variance %v vs %v", left.Variance(), all.Variance())
+	}
+	if left.Min() != all.Min() || left.Max() != all.Max() {
+		t.Fatal("merged min/max wrong")
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var a, empty Accumulator
+	a.Add(1)
+	a.Merge(&empty)
+	if a.N() != 1 {
+		t.Fatal("merge with empty changed count")
+	}
+	var b Accumulator
+	b.Merge(&a)
+	if b.N() != 1 || b.Mean() != 1 {
+		t.Fatal("merge into empty lost data")
+	}
+}
+
+// Property: merging any split equals adding everything to one accumulator.
+func TestPropertyMergeEquivalence(t *testing.T) {
+	check := func(seed uint64, cut uint8) bool {
+		r := rng.New(seed)
+		n := 100
+		k := int(cut) % n
+		var whole, a, b Accumulator
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64() * 5
+			whole.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		return a.N() == whole.N() &&
+			almostEqual(a.Mean(), whole.Mean(), 1e-9) &&
+			almostEqual(a.Variance(), whole.Variance(), 1e-7)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(samples, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile not 0")
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); !almostEqual(got, 1.5, 1e-12) {
+		t.Fatalf("interpolated median = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	samples := []float64{3, 1, 2}
+	Quantile(samples, 0.5)
+	if samples[0] != 3 || samples[1] != 1 || samples[2] != 2 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(0.1, 5)
+	s.Append(0.2, 7)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if y, ok := s.YAt(0.2); !ok || y != 7 {
+		t.Fatalf("YAt(0.2) = %v,%v", y, ok)
+	}
+	if _, ok := s.YAt(0.3); ok {
+		t.Fatal("YAt on missing x returned ok")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "Figure X", XLabel: "q", YLabel: "J"}
+	a := tbl.AddSeries("PSM")
+	b := tbl.AddSeries("NoPSM")
+	a.Append(0, 1)
+	a.Append(0.5, 2)
+	b.Append(0.5, 3)
+	out := tbl.Render()
+	for _, want := range []string{"Figure X", "q", "PSM", "NoPSM", "0.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cell renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing-cell marker absent:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Title: "T", XLabel: "x"}
+	s := tbl.AddSeries("a,b")
+	s.Append(1, 2)
+	csv := tbl.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != `x,"a,b"` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,2" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestTableSeriesByName(t *testing.T) {
+	tbl := &Table{}
+	s := tbl.AddSeries("hello")
+	if tbl.SeriesByName("hello") != s {
+		t.Fatal("lookup failed")
+	}
+	if tbl.SeriesByName("nope") != nil {
+		t.Fatal("lookup of missing series non-nil")
+	}
+}
+
+func TestTableXUnionSorted(t *testing.T) {
+	tbl := &Table{XLabel: "x"}
+	a := tbl.AddSeries("a")
+	b := tbl.AddSeries("b")
+	a.Append(3, 1)
+	a.Append(1, 1)
+	b.Append(2, 1)
+	xs := tbl.xValues()
+	if len(xs) != 3 || xs[0] != 1 || xs[1] != 2 || xs[2] != 3 {
+		t.Fatalf("xValues = %v", xs)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"},
+		{1.5, "1.5"},
+		{0.1234567, "0.1235"},
+		{-2, "-2"},
+		{0.5000, "0.5"},
+	}
+	for _, c := range cases {
+		if got := trimFloat(c.in); got != c.want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	var a Accumulator
+	for i := 0; i < b.N; i++ {
+		a.Add(float64(i))
+	}
+}

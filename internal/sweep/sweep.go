@@ -1,0 +1,73 @@
+// Package sweep runs independent experiment points concurrently with a
+// bounded worker pool. Every data point in this repository derives its own
+// seed and builds its own state, so points can execute in any order; the
+// results are returned in index order, keeping experiment output
+// deterministic regardless of scheduling.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map evaluates fn(0..n-1) across at most workers goroutines and returns
+// the results in index order. If any invocation fails, Map still waits for
+// all in-flight work and returns the error from the smallest failing index
+// (deterministic error reporting). workers <= 0 selects GOMAXPROCS.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative point count %d", n)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil point function")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, nil
+	}
+
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,133 @@
+package sweep
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapOrdering(t *testing.T) {
+	got, err := Map(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d", i, v)
+		}
+	}
+}
+
+func TestMapZeroPoints(t *testing.T) {
+	got, err := Map(0, 4, func(int) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestMapNegativeN(t *testing.T) {
+	if _, err := Map(-1, 4, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestMapNilFn(t *testing.T) {
+	if _, err := Map[int](5, 4, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	got, err := Map(10, 0, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := Map(10, 4, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errA
+		case 7:
+			return 0, errB
+		default:
+			return i, nil
+		}
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the smallest-index error", err)
+	}
+}
+
+func TestMapRunsEveryPointOnce(t *testing.T) {
+	var counts [64]int32
+	_, err := Map(len(counts), 8, func(i int) (struct{}, error) {
+		atomic.AddInt32(&counts[i], 1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("point %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak int32
+	_, err := Map(50, workers, func(i int) (int, error) {
+		cur := atomic.AddInt32(&active, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if cur <= old || atomic.CompareAndSwapInt32(&peak, old, cur) {
+				break
+			}
+		}
+		// Busy-yield to give other workers a chance to overlap.
+		for j := 0; j < 1000; j++ {
+			_ = j
+		}
+		atomic.AddInt32(&active, -1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt32(&peak); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// Property: results equal the sequential evaluation for any (n, workers).
+func TestPropertyMatchesSequential(t *testing.T) {
+	check := func(rawN, rawW uint8) bool {
+		n := int(rawN) % 50
+		w := int(rawW)%8 + 1
+		got, err := Map(n, w, func(i int) (int, error) { return 3*i + 1, nil })
+		if err != nil {
+			return false
+		}
+		for i, v := range got {
+			if v != 3*i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pbbf/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Fatal("New(-1) succeeded")
+	}
+	u, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 0 || u.Count() != 0 {
+		t.Fatal("empty forest wrong counts")
+	}
+}
+
+func TestSingletons(t *testing.T) {
+	u := Must(5)
+	if u.Count() != 5 {
+		t.Fatalf("count = %d", u.Count())
+	}
+	for i := 0; i < 5; i++ {
+		if u.Find(i) != i {
+			t.Fatalf("Find(%d) = %d", i, u.Find(i))
+		}
+		if u.SetSize(i) != 1 {
+			t.Fatalf("SetSize(%d) = %d", i, u.SetSize(i))
+		}
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	u := Must(4)
+	if !u.Union(0, 1) {
+		t.Fatal("first union reported no-op")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("repeat union reported merge")
+	}
+	if !u.Connected(0, 1) {
+		t.Fatal("0 and 1 not connected")
+	}
+	if u.Connected(0, 2) {
+		t.Fatal("0 and 2 spuriously connected")
+	}
+	if u.Count() != 3 {
+		t.Fatalf("count = %d, want 3", u.Count())
+	}
+	if u.SetSize(0) != 2 || u.SetSize(1) != 2 {
+		t.Fatal("merged set size wrong")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	u := Must(6)
+	u.Union(0, 1)
+	u.Union(2, 3)
+	u.Union(1, 2)
+	if !u.Connected(0, 3) {
+		t.Fatal("transitive connection missing")
+	}
+	if u.SetSize(3) != 4 {
+		t.Fatalf("set size = %d, want 4", u.SetSize(3))
+	}
+}
+
+func TestReset(t *testing.T) {
+	u := Must(10)
+	for i := 0; i < 9; i++ {
+		u.Union(i, i+1)
+	}
+	if u.Count() != 1 {
+		t.Fatalf("count = %d before reset", u.Count())
+	}
+	u.Reset()
+	if u.Count() != 10 {
+		t.Fatalf("count = %d after reset", u.Count())
+	}
+	for i := 0; i < 10; i++ {
+		if u.SetSize(i) != 1 {
+			t.Fatalf("SetSize(%d) = %d after reset", i, u.SetSize(i))
+		}
+	}
+	if u.Connected(0, 1) {
+		t.Fatal("stale connection after reset")
+	}
+}
+
+// Property: count decreases by exactly 1 per successful union, and total
+// mass of distinct sets is n.
+func TestPropertyCountAndMass(t *testing.T) {
+	check := func(seed uint64, rawN uint8) bool {
+		r := rng.New(seed)
+		n := int(rawN)%100 + 2
+		u := Must(n)
+		merges := 0
+		for i := 0; i < n*2; i++ {
+			if u.Union(r.Intn(n), r.Intn(n)) {
+				merges++
+			}
+		}
+		if u.Count() != n-merges {
+			return false
+		}
+		mass := 0
+		seen := map[int]bool{}
+		for i := 0; i < n; i++ {
+			root := u.Find(i)
+			if !seen[root] {
+				seen[root] = true
+				mass += u.SetSize(root)
+			}
+		}
+		return mass == n && len(seen) == u.Count()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Connected agrees with reachability computed by brute force on a
+// recorded edge list.
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 30
+		u := Must(n)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for i := 0; i < 40; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			u.Union(a, b)
+			adj[a][b], adj[b][a] = true, true
+		}
+		// Floyd-Warshall style closure.
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = make([]bool, n)
+			reach[i][i] = true
+			copy(reach[i], adj[i])
+			reach[i][i] = true
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				if !reach[i][k] {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Connected(i, j) != reach[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	r := rng.New(1)
+	u := Must(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Union(r.Intn(10000), r.Intn(10000))
+		if i%10000 == 9999 {
+			u.Reset()
+		}
+	}
+}
