@@ -1,7 +1,7 @@
 // Package pbbf's root benchmark harness: one testing.B benchmark per table
 // and figure of the paper, each regenerating the artifact's data at
 // QuickScale (reduced dimensions, same shapes), plus ablation benchmarks
-// for the design choices called out in DESIGN.md. Run with:
+// for the repository's design choices. Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -16,6 +16,7 @@ import (
 	"pbbf/internal/experiments"
 	"pbbf/internal/idealsim"
 	"pbbf/internal/rng"
+	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
 	"pbbf/internal/topo"
 )
@@ -68,6 +69,25 @@ func BenchmarkExtGossip(b *testing.B)            { benchExperiment(b, experiment
 func BenchmarkExtKBatching(b *testing.B)         { benchExperiment(b, experiments.ExtK) }
 func BenchmarkExtAdaptive(b *testing.B)          { benchExperiment(b, experiments.ExtAdaptive) }
 func BenchmarkExtLossInjection(b *testing.B)     { benchExperiment(b, experiments.ExtLoss) }
+func BenchmarkExtWakeupDutyCycle(b *testing.B)   { benchExperiment(b, experiments.ExtWakeup) }
+
+// BenchmarkRegistryAllFlattened runs the entire scenario registry through
+// the flattened parallel sweep — the `pbbf -experiment all` hot path.
+func BenchmarkRegistryAllFlattened(b *testing.B) {
+	s := benchScale()
+	scenarios := experiments.Registry().All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Seed = uint64(i + 1)
+		outs, err := scenario.RunAll(scenarios, s, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outs) != len(scenarios) {
+			b.Fatalf("got %d outputs", len(outs))
+		}
+	}
+}
 
 // --- Ablations -----------------------------------------------------------
 

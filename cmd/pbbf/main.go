@@ -1,25 +1,32 @@
 // Command pbbf regenerates the tables and figures of "Exploring the
 // Energy-Latency Trade-off for Broadcasts in Energy-Saving Sensor
-// Networks" (Miller, Sengul, Gupta; ICDCS 2005) from this repository's
-// reimplementation.
+// Networks" (Miller, Sengul, Gupta; ICDCS 2005) — plus this repository's
+// extension scenarios — from the unified scenario registry.
 //
 // Usage:
 //
 //	pbbf -list
 //	pbbf -experiment fig8
 //	pbbf -experiment all -scale paper -format csv
+//	pbbf -experiment all -scale quick -format json
 //
 // Scales: "quick" (CI-sized, seconds) and "paper" (the paper's
-// dimensions, minutes). Output is an aligned text table or CSV.
+// dimensions, minutes). With -experiment all, every parameter point of
+// every scenario fans out across one bounded worker pool; output order is
+// deterministic regardless of scheduling. Formats: an aligned text table,
+// CSV, or JSON (scenario metadata, the assembled table, and per-point
+// energy/latency/delivery results).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"pbbf/internal/experiments"
+	"pbbf/internal/scenario"
 )
 
 func main() {
@@ -33,66 +40,88 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pbbf", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		experiment = fs.String("experiment", "", "experiment id (e.g. fig8) or \"all\"")
-		scaleName  = fs.String("scale", "quick", "experiment scale: quick or paper")
-		format     = fs.String("format", "table", "output format: table or csv")
+		experiment = fs.String("experiment", "", "scenario id (e.g. fig8) or \"all\"")
+		scaleName  = fs.String("scale", "quick", "scenario scale: quick or paper")
+		format     = fs.String("format", "table", "output format: table, csv, or json")
 		seed       = fs.Uint64("seed", 1, "root random seed")
-		list       = fs.Bool("list", false, "list available experiments and exit")
+		workers    = fs.Int("workers", 0, "worker pool size for the point sweep (0 = GOMAXPROCS)")
+		list       = fs.Bool("list", false, "list available scenarios with their metadata and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	reg := experiments.Registry()
 	if *list {
-		for _, e := range experiments.All() {
-			fmt.Fprintf(out, "%-8s %s\n", e.ID, e.Title)
-		}
-		return nil
+		return printList(out, reg)
 	}
 
-	var scale experiments.Scale
-	switch *scaleName {
-	case "quick":
-		scale = experiments.QuickScale()
-	case "paper":
-		scale = experiments.PaperScale()
-	default:
-		return fmt.Errorf("unknown scale %q (want quick or paper)", *scaleName)
+	scale, err := scenario.ByName(*scaleName)
+	if err != nil {
+		return err
 	}
 	scale.Seed = *seed
 
-	if *format != "table" && *format != "csv" {
-		return fmt.Errorf("unknown format %q (want table or csv)", *format)
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv, or json)", *format)
 	}
 	if *experiment == "" {
 		return fmt.Errorf("missing -experiment (try -list)")
 	}
 
-	var selected []experiments.Experiment
+	var selected []scenario.Scenario
 	if *experiment == "all" {
-		selected = experiments.All()
+		selected = reg.All()
 	} else {
-		e, err := experiments.ByID(*experiment)
+		sc, err := reg.ByID(*experiment)
 		if err != nil {
 			return err
 		}
-		selected = []experiments.Experiment{e}
+		selected = []scenario.Scenario{sc}
 	}
 
-	for i, e := range selected {
-		tbl, err := e.Run(scale)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	outputs, err := scenario.RunAll(selected, scale, *workers)
+	if err != nil {
+		return err
+	}
+	return emit(out, *format, outputs)
+}
+
+// printList renders the registry with its metadata: ID, paper artifact,
+// title, and the documented parameter space.
+func printList(out io.Writer, reg *scenario.Registry) error {
+	for _, sc := range reg.All() {
+		if _, err := fmt.Fprintf(out, "%-12s %-10s %s\n", sc.ID, sc.Artifact, sc.Title); err != nil {
+			return err
 		}
+		for _, p := range sc.Params {
+			if _, err := fmt.Fprintf(out, "%-12s   %s: %s\n", "", p.Name, p.Desc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emit renders the run outputs in the requested format.
+func emit(out io.Writer, format string, outputs []scenario.Output) error {
+	if format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(outputs)
+	}
+	for i, o := range outputs {
 		if i > 0 {
 			fmt.Fprintln(out)
 		}
-		switch *format {
+		switch format {
 		case "table":
-			fmt.Fprint(out, tbl.Render())
+			fmt.Fprint(out, o.Table.Render())
 		case "csv":
-			fmt.Fprintf(out, "# %s\n", tbl.Title)
-			fmt.Fprint(out, tbl.CSV())
+			fmt.Fprintf(out, "# %s\n", o.Table.Title)
+			fmt.Fprint(out, o.Table.CSV())
 		}
 	}
 	return nil

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"pbbf/internal/scenario"
 )
 
 func TestList(t *testing.T) {
@@ -11,10 +14,51 @@ func TestList(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, id := range []string{"fig4", "fig12", "fig18", "table1", "table2"} {
+	for _, id := range []string{"fig4", "fig12", "fig18", "table1", "table2", "extwakeup"} {
 		if !strings.Contains(out, id) {
 			t.Fatalf("list missing %s:\n%s", id, out)
 		}
+	}
+	// Metadata must be visible: the paper-artifact column and parameter docs.
+	for _, meta := range []string{"Figure 8", "Table 2", "stay-awake probability"} {
+		if !strings.Contains(out, meta) {
+			t.Fatalf("list missing metadata %q:\n%s", meta, out)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig6", "-format", "json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var outputs []scenario.Output
+	if err := json.Unmarshal([]byte(sb.String()), &outputs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(outputs) != 1 || outputs[0].Scenario.ID != "fig6" {
+		t.Fatalf("outputs: %+v", outputs)
+	}
+	o := outputs[0]
+	if o.Table == nil || len(o.Table.Series) == 0 {
+		t.Fatalf("JSON output lost the table: %+v", o)
+	}
+	if len(o.Points) == 0 || o.Points[0].Params["side"] == 0 {
+		t.Fatalf("JSON output lost the per-point results: %+v", o.Points)
+	}
+}
+
+func TestWorkersFlagDeterministic(t *testing.T) {
+	outFor := func(workers string) string {
+		var sb strings.Builder
+		args := []string{"-experiment", "fig6", "-workers", workers}
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if outFor("1") != outFor("4") {
+		t.Fatal("worker count changed experiment output")
 	}
 }
 

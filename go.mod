@@ -1,0 +1,3 @@
+module pbbf
+
+go 1.24

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"pbbf/internal/scenario"
 )
 
 // tinyScale is even smaller than QuickScale so the whole registry can be
@@ -105,8 +107,87 @@ func TestAllIDsUnique(t *testing.T) {
 			t.Fatalf("experiment %q incomplete", e.ID)
 		}
 	}
-	if len(seen) != 22 {
-		t.Fatalf("registry has %d entries, want 22 (2 tables + 15 figures + 5 extensions)", len(seen))
+	if len(seen) != 23 {
+		t.Fatalf("registry has %d entries, want 23 (2 tables + 15 figures + 6 extensions)", len(seen))
+	}
+}
+
+// TestRegistryMetadataComplete enforces the scenario metadata contract:
+// every registered scenario carries an artifact mapping, a summary, and —
+// for point-based scenarios — documentation for every parameter its
+// points emit.
+func TestRegistryMetadataComplete(t *testing.T) {
+	s := tinyScale()
+	for _, sc := range Registry().All() {
+		if sc.Artifact == "" || sc.Summary == "" || sc.Title == "" {
+			t.Fatalf("%s: incomplete metadata: %+v", sc.ID, sc)
+		}
+		if sc.Points == nil {
+			continue
+		}
+		if len(sc.Params) == 0 {
+			t.Fatalf("%s: point-based scenario without parameter docs", sc.ID)
+		}
+		docs := map[string]bool{}
+		for _, d := range sc.Params {
+			docs[d.Name] = true
+		}
+		pts, err := sc.Points(s)
+		if err != nil {
+			t.Fatalf("%s: Points: %v", sc.ID, err)
+		}
+		if len(pts) == 0 {
+			t.Fatalf("%s: empty parameter space", sc.ID)
+		}
+		for _, pt := range pts {
+			if pt.Series == "" {
+				t.Fatalf("%s: point %+v without series", sc.ID, pt)
+			}
+			for name := range pt.Params {
+				if !docs[name] {
+					t.Fatalf("%s: parameter %q undocumented", sc.ID, name)
+				}
+			}
+		}
+	}
+}
+
+// TestExtWakeupDutyCycleTradeoff checks the new duty-cycle scenario: for
+// PSM, stretching the frame (lower duty cycle) must cost per-hop latency,
+// and the energy carried in the result triple must grow with the duty
+// cycle — the wakeup schedule's own time-vs-energy trade-off.
+func TestExtWakeupDutyCycleTradeoff(t *testing.T) {
+	s := tinyScale()
+	sc, err := Registry().ByID("extwakeup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := scenario.RunAll([]scenario.Scenario{sc}, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := outs[0]
+	psm := out.Table.SeriesByName("PSM")
+	if psm == nil || psm.Len() < 2 {
+		t.Fatalf("PSM series incomplete: %+v", out.Table)
+	}
+	// Latency at the lowest duty cycle must exceed latency at the highest.
+	first, last := psm.Y[0], psm.Y[psm.Len()-1]
+	if first <= last {
+		t.Fatalf("PSM per-hop latency not decreasing with duty cycle: %v -> %v", first, last)
+	}
+	// Energy must rise with the duty cycle within each series.
+	byDuty := map[string][]float64{}
+	for _, po := range out.Points {
+		byDuty[po.Series] = append(byDuty[po.Series], po.Result.EnergyJ)
+	}
+	for series, energies := range byDuty {
+		if len(energies) != len(s.DutySweep) {
+			t.Fatalf("%s: %d energy points, want %d", series, len(energies), len(s.DutySweep))
+		}
+		if energies[0] >= energies[len(energies)-1] {
+			t.Fatalf("%s: energy not increasing with duty cycle: %v", series, energies)
+		}
 	}
 }
 

@@ -8,10 +8,18 @@ import (
 	"pbbf/internal/idealsim"
 	"pbbf/internal/percolation"
 	"pbbf/internal/rng"
+	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
-	"pbbf/internal/sweep"
 	"pbbf/internal/topo"
 )
+
+// pqDocs documents the protocol q-sweep parameter space shared by every
+// Section 4/5 figure: one PBBF line per p, the PSM and NO PSM baselines,
+// and q on the x axis.
+var pqDocs = []scenario.ParamDoc{
+	{Name: "p", Desc: "PBBF immediate-rebroadcast probability (0 pins PSM, 1 pins NO PSM)"},
+	{Name: "q", Desc: "PBBF stay-awake probability; swept on the x axis, pinned for the baselines"},
+}
 
 // idealProtocols returns the protocol set plotted in the Section 4
 // figures: PBBF at each p of the sweep, plus the PSM and NO PSM baselines.
@@ -25,165 +33,201 @@ func idealProtocols(s Scale) []core.Params {
 	return out
 }
 
-// runIdealPoint executes one ideal-simulator run for (params) at the given
-// q (ignored for the fixed baselines) and returns its result.
-func runIdealPoint(s Scale, base core.Params, q float64, track []int, tag uint64) (*idealsim.Result, core.Params, error) {
-	params := base
-	fixed := base == core.PSM() || base == core.AlwaysOn()
-	if !fixed {
-		params.Q = q
-	}
-	g, err := topo.NewGrid(s.GridW, s.GridH)
-	if err != nil {
-		return nil, params, err
-	}
-	cfg := idealsim.Defaults(g, g.Center())
-	cfg.Params = params
-	cfg.Updates = s.IdealUpdates
-	cfg.TrackHopDistances = track
-	cfg.Seed = pointSeed(s.Seed, tag, fbits(base.P), fbits(q))
-	res, err := idealsim.Run(cfg)
-	return res, params, err
-}
-
-// qSweepIdeal renders a Section 4 q-sweep figure: one series per protocol,
-// y computed by metric from the run result. Points are independent (each
-// derives its own seed) and run on a bounded worker pool; results are
-// assembled in sweep order, so the output is deterministic.
-func qSweepIdeal(s Scale, title, ylabel string, track []int, tag uint64,
-	metric func(*idealsim.Result) (float64, bool)) (*stats.Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	protos := idealProtocols(s)
-	nQ := len(s.QSweep)
-	results, err := sweep.Map(len(protos)*nQ, 0, func(i int) (*idealsim.Result, error) {
-		proto, q := protos[i/nQ], s.QSweep[i%nQ]
-		res, _, err := runIdealPoint(s, proto, q, track, tag)
-		return res, err
-	})
-	if err != nil {
-		return nil, err
-	}
-	tbl := &stats.Table{Title: title, XLabel: "q", YLabel: ylabel}
-	for pi, proto := range protos {
-		series := tbl.AddSeries(proto.Label())
-		for qi, q := range s.QSweep {
-			if y, ok := metric(results[pi*nQ+qi]); ok {
-				series.Append(q, y)
+// protocolQPoints enumerates the (protocol, q) grid behind every q-sweep
+// figure: one series per protocol, one point per q. Baselines keep their
+// pinned parameters but still appear at every x so the lines span the plot.
+func protocolQPoints(protos []core.Params, qs []float64) []scenario.Point {
+	pts := make([]scenario.Point, 0, len(protos)*len(qs))
+	for _, proto := range protos {
+		fixed := proto == core.PSM() || proto == core.AlwaysOn()
+		for _, q := range qs {
+			params := proto
+			if !fixed {
+				params.Q = q
 			}
+			pts = append(pts, scenario.Point{
+				Series: proto.Label(),
+				X:      q,
+				Params: map[string]float64{"p": params.P, "q": params.Q},
+			})
 		}
 	}
-	return tbl, nil
+	return pts
 }
 
-// Fig4 regenerates Figure 4: fraction of updates received by 90% of the
-// nodes as a function of q, exhibiting the percolation threshold.
-func Fig4(s Scale) (*stats.Table, error) {
-	return qSweepIdeal(s, "Figure 4: threshold behavior for 90% reliability",
-		"fraction of updates received by 90% of nodes", nil, 4,
-		func(r *idealsim.Result) (float64, bool) {
-			return r.FractionOfUpdatesReceivedBy(0.9), true
-		})
-}
-
-// Fig5 regenerates Figure 5: the same threshold at 99% reliability.
-func Fig5(s Scale) (*stats.Table, error) {
-	return qSweepIdeal(s, "Figure 5: threshold behavior for 99% reliability",
-		"fraction of updates received by 99% of nodes", nil, 5,
-		func(r *idealsim.Result) (float64, bool) {
-			return r.FractionOfUpdatesReceivedBy(0.99), true
-		})
-}
-
-// Fig8 regenerates Figure 8: average per-node energy per update versus q.
-// The paper's claims: linear in q, independent of p, PSM≈0.3 J and
-// NO PSM≈3 J at Table 1 settings.
-func Fig8(s Scale) (*stats.Table, error) {
-	return qSweepIdeal(s, "Figure 8: average energy consumption",
-		"joules consumed per update sent at source", nil, 8,
-		func(r *idealsim.Result) (float64, bool) {
-			return r.EnergyPerUpdateJ, true
-		})
-}
-
-// Fig9 regenerates Figure 9: average hops traveled by an update to reach
-// nodes HopNear away from the source (paper: 20).
-func Fig9(s Scale) (*stats.Table, error) {
-	return qSweepIdeal(s,
-		fmt.Sprintf("Figure 9: average %d-hop flooding hop count", s.HopNear),
-		fmt.Sprintf("average hops traveled to nodes %d hops from source", s.HopNear),
-		[]int{s.HopNear}, 9,
-		func(r *idealsim.Result) (float64, bool) {
-			acc := r.HopsAtDistance[s.HopNear]
-			if acc == nil || acc.N() == 0 {
-				return 0, false
+// idealQSweep builds a Section 4 q-sweep scenario: one ideal-simulator run
+// per (protocol, q) point, y computed by metric from the run result. Every
+// point derives its own seed, so the engine can run them in any order.
+func idealQSweep(id, artifact, title, summary, ylabel string, tag uint64,
+	track func(Scale) []int,
+	metric func(Scale, *idealsim.Result) (float64, bool)) scenario.Scenario {
+	if track == nil {
+		track = func(Scale) []int { return nil }
+	}
+	return scenario.Scenario{
+		ID:       id,
+		Title:    title,
+		Artifact: artifact,
+		Summary:  summary,
+		Params:   pqDocs,
+		XLabel:   "q",
+		YLabel:   ylabel,
+		Points: func(s Scale) ([]scenario.Point, error) {
+			return protocolQPoints(idealProtocols(s), s.QSweep), nil
+		},
+		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+			g, err := topo.NewGrid(s.GridW, s.GridH)
+			if err != nil {
+				return scenario.Result{}, err
 			}
-			return acc.Mean(), true
-		})
-}
-
-// Fig10 regenerates Figure 10: the same metric at HopFar (paper: 60).
-func Fig10(s Scale) (*stats.Table, error) {
-	return qSweepIdeal(s,
-		fmt.Sprintf("Figure 10: average %d-hop flooding hop count", s.HopFar),
-		fmt.Sprintf("average hops traveled to nodes %d hops from source", s.HopFar),
-		[]int{s.HopFar}, 10,
-		func(r *idealsim.Result) (float64, bool) {
-			acc := r.HopsAtDistance[s.HopFar]
-			if acc == nil || acc.N() == 0 {
-				return 0, false
+			cfg := idealsim.Defaults(g, g.Center())
+			cfg.Params = core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
+			cfg.Updates = s.IdealUpdates
+			cfg.TrackHopDistances = track(s)
+			cfg.Seed = pointSeed(s.Seed, tag, fbits(cfg.Params.P), fbits(pt.X))
+			res, err := idealsim.Run(cfg)
+			if err != nil {
+				return scenario.Result{}, err
 			}
-			return acc.Mean(), true
-		})
-}
-
-// Fig11 regenerates Figure 11: average per-hop update latency versus q.
-func Fig11(s Scale) (*stats.Table, error) {
-	return qSweepIdeal(s, "Figure 11: average per-hop update latency",
-		"average per-hop update latency (s)", nil, 11,
-		func(r *idealsim.Result) (float64, bool) {
-			if r.PerHopLatency.N() == 0 {
-				return 0, false
+			y, ok := metric(s, res)
+			out := scenario.Result{
+				Y:        y,
+				Skip:     !ok,
+				EnergyJ:  res.EnergyPerUpdateJ,
+				Delivery: res.MeanCoverage(),
 			}
-			return r.PerHopLatency.Mean(), true
-		})
+			if res.PerHopLatency.N() > 0 {
+				out.LatencyS = res.PerHopLatency.Mean()
+			}
+			return out, nil
+		},
+	}
 }
 
-// Fig12 regenerates Figure 12: the energy–latency trade-off at 99%
+// hopStretchMetric reads the mean dissemination-tree path length at one
+// tracked BFS distance (Figures 9/10).
+func hopStretchMetric(dist func(Scale) int) func(Scale, *idealsim.Result) (float64, bool) {
+	return func(s Scale, r *idealsim.Result) (float64, bool) {
+		acc := r.HopsAtDistance[dist(s)]
+		if acc == nil || acc.N() == 0 {
+			return 0, false
+		}
+		return acc.Mean(), true
+	}
+}
+
+// hopStretchScenario builds Figure 9 or 10: the q-sweep of hop stretch at
+// one tracked BFS distance, with titles and labels localized to the
+// distance the scale actually tracks (paper: 20 near, 60 far).
+func hopStretchScenario(id, artifact, title, summary string, tag uint64,
+	dist func(Scale) int) scenario.Scenario {
+	sc := idealQSweep(id, artifact, title, summary,
+		"average hops traveled to nodes at the tracked distance", tag,
+		func(s Scale) []int { return []int{dist(s)} },
+		hopStretchMetric(dist))
+	sc.Localize = func(s Scale, tbl *stats.Table) {
+		tbl.Title = fmt.Sprintf("%s: average %d-hop flooding hop count", artifact, dist(s))
+		tbl.YLabel = fmt.Sprintf("average hops traveled to nodes %d hops from source", dist(s))
+	}
+	return sc
+}
+
+// section4Scenarios returns the Section 4 scenarios in the paper's
+// presentation order: the threshold figures, the percolation analysis
+// (Figures 6/7), and the energy/latency/trade-off figures.
+func section4Scenarios() []scenario.Scenario {
+	return []scenario.Scenario{
+		idealQSweep("fig4", "Figure 4",
+			"Figure 4: threshold behavior for 90% reliability",
+			"Fraction of broadcasts reaching ≥90% of nodes versus q; exhibits the bond-percolation threshold predicted by Remark 1.",
+			"fraction of updates received by 90% of nodes", 4, nil,
+			func(_ Scale, r *idealsim.Result) (float64, bool) {
+				return r.FractionOfUpdatesReceivedBy(0.9), true
+			}),
+		idealQSweep("fig5", "Figure 5",
+			"Figure 5: threshold behavior for 99% reliability",
+			"The Figure 4 threshold at the stricter 99% reliability target.",
+			"fraction of updates received by 99% of nodes", 5, nil,
+			func(_ Scale, r *idealsim.Result) (float64, bool) {
+				return r.FractionOfUpdatesReceivedBy(0.99), true
+			}),
+		fig6Scenario(),
+		fig7Scenario(),
+		idealQSweep("fig8", "Figure 8",
+			"Figure 8: average energy consumption",
+			"Per-node energy per update versus q: linear in q, independent of p, bracketed by the PSM and NO PSM baselines (Equation 8).",
+			"joules consumed per update sent at source", 8, nil,
+			func(_ Scale, r *idealsim.Result) (float64, bool) {
+				return r.EnergyPerUpdateJ, true
+			}),
+		hopStretchScenario("fig9", "Figure 9",
+			"Figure 9: hop stretch at the near tracked distance",
+			"Average hops traveled by a broadcast to reach nodes HopNear (paper: 20) BFS hops from the source.", 9,
+			func(s Scale) int { return s.HopNear }),
+		hopStretchScenario("fig10", "Figure 10",
+			"Figure 10: hop stretch at the far tracked distance",
+			"The Figure 9 metric at HopFar (paper: 60) hops, where detours accumulate.", 10,
+			func(s Scale) int { return s.HopFar }),
+		idealQSweep("fig11", "Figure 11",
+			"Figure 11: average per-hop update latency",
+			"Latency divided by tree hops, averaged over every (update, node) pair, versus q (Equation 9's simulated counterpart).",
+			"average per-hop update latency (s)", 11, nil,
+			func(_ Scale, r *idealsim.Result) (float64, bool) {
+				if r.PerHopLatency.N() == 0 {
+					return 0, false
+				}
+				return r.PerHopLatency.Mean(), true
+			}),
+		fig12Scenario(),
+	}
+}
+
+// fig12Scenario regenerates Figure 12: the energy–latency trade-off at 99%
 // reliability. For each p, the minimum q that crosses the 99% reliability
 // boundary is derived from the bond-percolation critical ratio of the grid
 // (Remark 1 inverted); energy then follows Equation 8 (scaled to joules
 // per update) and latency Equation 9 with L1 from Table 1 and L2 = Tframe.
-func Fig12(s Scale) (*stats.Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	g, err := topo.NewGrid(s.GridW, s.GridH)
-	if err != nil {
-		return nil, err
-	}
-	r := rng.New(pointSeed(s.Seed, 12))
-	pc, err := percolation.CriticalBondRatio(g, g.Center(), 0.99, s.PercTrials, r)
-	if err != nil {
-		return nil, err
-	}
-	timing := core.Timing{Active: time.Second, Frame: 10 * time.Second}
-	lat := core.Latencies{L1: 1500 * time.Millisecond, L2: timing.Frame}
-	cfg := idealsim.Defaults(g, g.Center())
-	tbl := &stats.Table{
-		Title:  "Figure 12: energy-latency trade-off for 99% reliability",
+// Analytic except for one Monte Carlo threshold estimate, so it runs as a
+// whole-table scenario rather than a point sweep.
+func fig12Scenario() scenario.Scenario {
+	return scenario.Scenario{
+		ID:       "fig12",
+		Title:    "Figure 12: energy-latency trade-off for 99% reliability",
+		Artifact: "Figure 12",
+		Summary:  "The paper's headline curve: for each p, the cheapest q meeting 99% reliability, plotted as energy versus per-hop latency (Equations 8/9 at the percolation boundary).",
+		Params: []scenario.ParamDoc{
+			{Name: "p", Desc: "PBBF immediate-rebroadcast probability; sweeps the frontier"},
+		},
 		XLabel: "average per-hop update latency (s)",
 		YLabel: "joules consumed per update sent at source",
+		TableFn: func(s Scale) (*stats.Table, error) {
+			g, err := topo.NewGrid(s.GridW, s.GridH)
+			if err != nil {
+				return nil, err
+			}
+			r := rng.New(pointSeed(s.Seed, 12))
+			pc, err := percolation.CriticalBondRatio(g, g.Center(), 0.99, s.PercTrials, r)
+			if err != nil {
+				return nil, err
+			}
+			timing := core.Timing{Active: time.Second, Frame: 10 * time.Second}
+			lat := core.Latencies{L1: 1500 * time.Millisecond, L2: timing.Frame}
+			cfg := idealsim.Defaults(g, g.Center())
+			tbl := &stats.Table{
+				Title:  "Figure 12: energy-latency trade-off for 99% reliability",
+				XLabel: "average per-hop update latency (s)",
+				YLabel: "joules consumed per update sent at source",
+			}
+			series := tbl.AddSeries("PBBF @ 99% reliability boundary")
+			period := 1 / cfg.Lambda // seconds between updates
+			for _, p := range s.PSweepIdeal {
+				q := core.MinQForEdgeProbability(p, pc.Mean)
+				perHop := core.ExpectedPerHopLatency(core.Params{P: p, Q: q}, lat)
+				avgW := cfg.Profile.IdleW*core.EnergyPBBF(timing, q) +
+					cfg.Profile.SleepW*(1-core.EnergyPBBF(timing, q))
+				series.Append(perHop.Seconds(), avgW*period)
+			}
+			return tbl, nil
+		},
 	}
-	series := tbl.AddSeries("PBBF @ 99% reliability boundary")
-	period := 1 / cfg.Lambda // seconds between updates
-	for _, p := range s.PSweepIdeal {
-		q := core.MinQForEdgeProbability(p, pc.Mean)
-		perHop := core.ExpectedPerHopLatency(core.Params{P: p, Q: q}, lat)
-		avgW := cfg.Profile.IdleW*core.EnergyPBBF(timing, q) +
-			cfg.Profile.SleepW*(1-core.EnergyPBBF(timing, q))
-		series.Append(perHop.Seconds(), avgW*period)
-	}
-	return tbl, nil
 }

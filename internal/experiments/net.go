@@ -7,10 +7,18 @@ import (
 	"pbbf/internal/mac"
 	"pbbf/internal/netsim"
 	"pbbf/internal/rng"
+	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
-	"pbbf/internal/sweep"
 	"pbbf/internal/topo"
 )
+
+// netDocs documents the Section 5 sweep space: the pq protocol grid plus
+// the field density.
+var netDocs = []scenario.ParamDoc{
+	{Name: "p", Desc: "PBBF immediate-rebroadcast probability (0 pins PSM, 1 pins NO PSM)"},
+	{Name: "q", Desc: "PBBF stay-awake probability; swept or pinned at the Table 2 default 0.25"},
+	{Name: "delta", Desc: "field density Δ (expected neighbors per node); Table 2 default 10"},
+}
 
 // netProtocols returns the Section 5 protocol set: PBBF at each p of the
 // net sweep plus the PSM and NO PSM baselines.
@@ -98,116 +106,133 @@ func runNetPoint(s Scale, params core.Params, delta float64, tag uint64, opts ne
 	return point, nil
 }
 
-// qSweepNet renders a Section 5 q-sweep figure at Δ=10 (Table 2). Points
-// run on a bounded worker pool (each point derives its own seeds and
-// topologies) and are assembled in sweep order.
-func qSweepNet(s Scale, title, ylabel string, tag uint64,
-	metric func(*netPoint) (float64, bool)) (*stats.Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
+// netResult shapes one aggregated net point into the engine's common
+// result: the figure's y value plus the standard metric triple.
+func netResult(point *netPoint, y float64, ok bool) scenario.Result {
+	out := scenario.Result{
+		Y:        y,
+		Skip:     !ok,
+		EnergyJ:  point.Energy.Mean(),
+		Delivery: point.Received.Mean(),
 	}
-	protos := netProtocols(s)
-	nQ := len(s.QSweep)
-	points, err := sweep.Map(len(protos)*nQ, 0, func(i int) (*netPoint, error) {
-		proto, q := protos[i/nQ], s.QSweep[i%nQ]
-		params := proto
-		if proto != core.PSM() && proto != core.AlwaysOn() {
-			params.Q = q
-		}
-		return runNetPoint(s, params, 10, tag, netOpts{})
-	})
-	if err != nil {
-		return nil, err
+	if point.Latency.N() > 0 {
+		out.LatencyS = point.Latency.Mean()
 	}
-	tbl := &stats.Table{Title: title, XLabel: "q", YLabel: ylabel}
-	for pi, proto := range protos {
-		series := tbl.AddSeries(proto.Label())
-		for qi, q := range s.QSweep {
-			if y, ok := metric(points[pi*nQ+qi]); ok {
-				series.Append(q, y)
-			}
-		}
-	}
-	return tbl, nil
+	return out
 }
 
-// deltaSweepNet renders a Section 5 density-sweep figure at q=0.25
+// netQSweep builds a Section 5 q-sweep scenario at Δ=10 (Table 2): one
+// aggregated netPoint per (protocol, q), parallelized by the engine.
+func netQSweep(id, artifact, title, summary, ylabel string, tag uint64,
+	metric func(*netPoint) (float64, bool)) scenario.Scenario {
+	return scenario.Scenario{
+		ID:       id,
+		Title:    title,
+		Artifact: artifact,
+		Summary:  summary,
+		Params:   netDocs,
+		XLabel:   "q",
+		YLabel:   ylabel,
+		Points: func(s Scale) ([]scenario.Point, error) {
+			pts := protocolQPoints(netProtocols(s), s.QSweep)
+			for i := range pts {
+				pts[i].Params["delta"] = 10
+			}
+			return pts, nil
+		},
+		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
+			point, err := runNetPoint(s, params, pt.Params["delta"], tag, netOpts{})
+			if err != nil {
+				return scenario.Result{}, err
+			}
+			y, ok := metric(point)
+			return netResult(point, y, ok), nil
+		},
+	}
+}
+
+// netDeltaSweep builds a Section 5 density-sweep scenario at q=0.25
 // (Table 2).
-func deltaSweepNet(s Scale, title, ylabel string, tag uint64,
-	metric func(*netPoint) (float64, bool)) (*stats.Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	protos := netProtocols(s)
-	nD := len(s.DeltaSweep)
-	points, err := sweep.Map(len(protos)*nD, 0, func(i int) (*netPoint, error) {
-		proto, delta := protos[i/nD], s.DeltaSweep[i%nD]
-		params := proto
-		if proto != core.PSM() && proto != core.AlwaysOn() {
-			params.Q = 0.25
-		}
-		return runNetPoint(s, params, delta, tag, netOpts{})
-	})
-	if err != nil {
-		return nil, err
-	}
-	tbl := &stats.Table{Title: title, XLabel: "delta", YLabel: ylabel}
-	for pi, proto := range protos {
-		series := tbl.AddSeries(proto.Label())
-		for di, delta := range s.DeltaSweep {
-			if y, ok := metric(points[pi*nD+di]); ok {
-				series.Append(delta, y)
+func netDeltaSweep(id, artifact, title, summary, ylabel string, tag uint64,
+	metric func(*netPoint) (float64, bool)) scenario.Scenario {
+	return scenario.Scenario{
+		ID:       id,
+		Title:    title,
+		Artifact: artifact,
+		Summary:  summary,
+		Params:   netDocs,
+		XLabel:   "delta",
+		YLabel:   ylabel,
+		Points: func(s Scale) ([]scenario.Point, error) {
+			protos := netProtocols(s)
+			pts := make([]scenario.Point, 0, len(protos)*len(s.DeltaSweep))
+			for _, proto := range protos {
+				params := proto
+				if proto != core.PSM() && proto != core.AlwaysOn() {
+					params.Q = 0.25
+				}
+				for _, delta := range s.DeltaSweep {
+					pts = append(pts, scenario.Point{
+						Series: proto.Label(),
+						X:      delta,
+						Params: map[string]float64{"p": params.P, "q": params.Q, "delta": delta},
+					})
+				}
 			}
-		}
+			return pts, nil
+		},
+		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
+			point, err := runNetPoint(s, params, pt.Params["delta"], tag, netOpts{})
+			if err != nil {
+				return scenario.Result{}, err
+			}
+			y, ok := metric(point)
+			return netResult(point, y, ok), nil
+		},
 	}
-	return tbl, nil
 }
 
-// Fig13 regenerates Figure 13: per-update energy versus q under the
-// realistic MAC.
-func Fig13(s Scale) (*stats.Table, error) {
-	return qSweepNet(s, "Figure 13: average energy consumption (ns-style sim)",
-		"joules consumed per update sent at source", 13,
-		func(p *netPoint) (float64, bool) { return p.Energy.Mean(), p.Energy.N() > 0 })
-}
-
-// Fig14 regenerates Figure 14: 2-hop average update latency versus q.
-func Fig14(s Scale) (*stats.Table, error) {
-	return qSweepNet(s, "Figure 14: 2-hop average update latency",
-		"average 2-hop latency (s)", 14,
-		func(p *netPoint) (float64, bool) {
-			acc := p.LatencyAtHop[2]
-			return acc.Mean(), acc.N() > 0
-		})
-}
-
-// Fig15 regenerates Figure 15: 5-hop average update latency versus q.
-func Fig15(s Scale) (*stats.Table, error) {
-	return qSweepNet(s, "Figure 15: 5-hop average update latency",
-		"average 5-hop latency (s)", 15,
-		func(p *netPoint) (float64, bool) {
-			acc := p.LatencyAtHop[5]
-			return acc.Mean(), acc.N() > 0
-		})
-}
-
-// Fig16 regenerates Figure 16: fraction of updates received versus q.
-func Fig16(s Scale) (*stats.Table, error) {
-	return qSweepNet(s, "Figure 16: average updates received",
-		"updates received / total updates sent at source", 16,
-		func(p *netPoint) (float64, bool) { return p.Received.Mean(), p.Received.N() > 0 })
-}
-
-// Fig17 regenerates Figure 17: average update latency versus density Δ.
-func Fig17(s Scale) (*stats.Table, error) {
-	return deltaSweepNet(s, "Figure 17: average update latency vs density",
-		"average update latency (s)", 17,
-		func(p *netPoint) (float64, bool) { return p.Latency.Mean(), p.Latency.N() > 0 })
-}
-
-// Fig18 regenerates Figure 18: fraction of updates received versus Δ.
-func Fig18(s Scale) (*stats.Table, error) {
-	return deltaSweepNet(s, "Figure 18: average updates received vs density",
-		"updates received / total updates sent at source", 18,
-		func(p *netPoint) (float64, bool) { return p.Received.Mean(), p.Received.N() > 0 })
+// netScenarios returns the Section 5 simulator scenarios in presentation
+// order (Figures 13–18).
+func netScenarios() []scenario.Scenario {
+	return []scenario.Scenario{
+		netQSweep("fig13", "Figure 13",
+			"Figure 13: average energy consumption (ns-style sim)",
+			"Figure 8's energy sweep under the realistic MAC: collisions and ATIM traffic shift the curves but preserve the PSM…NO PSM bracketing.",
+			"joules consumed per update sent at source", 13,
+			func(p *netPoint) (float64, bool) { return p.Energy.Mean(), p.Energy.N() > 0 }),
+		netQSweep("fig14", "Figure 14",
+			"Figure 14: 2-hop average update latency",
+			"Mean update latency at nodes two BFS hops from the source versus q; falls steeply once immediate rebroadcasts start landing.",
+			"average 2-hop latency (s)", 14,
+			func(p *netPoint) (float64, bool) {
+				acc := p.LatencyAtHop[2]
+				return acc.Mean(), acc.N() > 0
+			}),
+		netQSweep("fig15", "Figure 15",
+			"Figure 15: 5-hop average update latency",
+			"The Figure 14 metric at five hops, where latency differences compound per hop.",
+			"average 5-hop latency (s)", 15,
+			func(p *netPoint) (float64, bool) {
+				acc := p.LatencyAtHop[5]
+				return acc.Mean(), acc.N() > 0
+			}),
+		netQSweep("fig16", "Figure 16",
+			"Figure 16: average updates received",
+			"Delivered fraction of generated updates versus q under the realistic MAC — reliability including collisions and sleep misses.",
+			"updates received / total updates sent at source", 16,
+			func(p *netPoint) (float64, bool) { return p.Received.Mean(), p.Received.N() > 0 }),
+		netDeltaSweep("fig17", "Figure 17",
+			"Figure 17: average update latency vs density",
+			"Update latency versus field density Δ at q=0.25: denser fields offer more awake forwarders, cutting latency.",
+			"average update latency (s)", 17,
+			func(p *netPoint) (float64, bool) { return p.Latency.Mean(), p.Latency.N() > 0 }),
+		netDeltaSweep("fig18", "Figure 18",
+			"Figure 18: average updates received vs density",
+			"Delivered fraction versus density Δ at q=0.25 — the reliability counterpart of Figure 17.",
+			"updates received / total updates sent at source", 18,
+			func(p *netPoint) (float64, bool) { return p.Received.Mean(), p.Received.N() > 0 }),
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"pbbf/internal/core"
 	"pbbf/internal/percolation"
 	"pbbf/internal/rng"
+	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
 	"pbbf/internal/topo"
 )
@@ -13,63 +14,97 @@ import (
 // reliabilityLevels are the reliability targets of Figures 6 and 7.
 var reliabilityLevels = []float64{0.8, 0.9, 0.99, 1.0}
 
-// Fig6 regenerates Figure 6: the critical fraction of occupied bonds
-// needed for the source's cluster to cover each reliability level, across
-// grid sizes, via the Newman–Ziff fast Monte Carlo algorithm.
-func Fig6(s Scale) (*stats.Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	tbl := &stats.Table{
-		Title:  "Figure 6: critical bond ratio for various grid sizes",
+func reliabilityLabel(rel float64) string {
+	return fmt.Sprintf("%g%% Reliability", rel*100)
+}
+
+// fig6Scenario regenerates Figure 6: the critical fraction of occupied
+// bonds needed for the source's cluster to cover each reliability level,
+// across grid sizes, via the Newman–Ziff fast Monte Carlo algorithm. Each
+// (reliability, grid) pair is one independent point.
+func fig6Scenario() scenario.Scenario {
+	return scenario.Scenario{
+		ID:       "fig6",
+		Title:    "Figure 6: critical bond ratio for various grid sizes",
+		Artifact: "Figure 6",
+		Summary:  "Monte Carlo estimate (Newman–Ziff) of the bond fraction at which the source's cluster covers 80/90/99/100% of the grid, versus grid side length.",
+		Params: []scenario.ParamDoc{
+			{Name: "side", Desc: "square grid side length (paper: 10–40)"},
+			{Name: "rel", Desc: "reliability target: fraction of nodes the source's cluster must cover"},
+		},
 		XLabel: "grid side length",
 		YLabel: "fraction of occupied bonds",
-	}
-	for _, rel := range reliabilityLevels {
-		series := tbl.AddSeries(fmt.Sprintf("%g%% Reliability", rel*100))
-		for _, side := range s.PercGrids {
+		Points: func(s Scale) ([]scenario.Point, error) {
+			pts := make([]scenario.Point, 0, len(reliabilityLevels)*len(s.PercGrids))
+			for _, rel := range reliabilityLevels {
+				for _, side := range s.PercGrids {
+					pts = append(pts, scenario.Point{
+						Series: reliabilityLabel(rel),
+						X:      float64(side),
+						Params: map[string]float64{"side": float64(side), "rel": rel},
+					})
+				}
+			}
+			return pts, nil
+		},
+		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+			side := int(pt.Params["side"])
+			rel := pt.Params["rel"]
 			g, err := topo.NewGrid(side, side)
 			if err != nil {
-				return nil, err
+				return scenario.Result{}, err
 			}
 			r := rng.New(pointSeed(s.Seed, 6, uint64(side), fbits(rel)))
 			res, err := percolation.CriticalBondRatio(g, g.Center(), rel, s.PercTrials, r)
 			if err != nil {
-				return nil, err
+				return scenario.Result{}, err
 			}
-			series.Append(float64(side), res.Mean)
-		}
+			// No delivery/energy/latency triple: the measured quantity is a
+			// percolation threshold, not a broadcast outcome.
+			return scenario.Result{Y: res.Mean}, nil
+		},
 	}
-	return tbl, nil
 }
 
-// Fig7 regenerates Figure 7: for each p, the minimum q that pushes the
-// edge probability pedge = 1 − p(1 − q) past the critical bond ratio of a
-// 30×30 grid, per reliability level.
-func Fig7(s Scale) (*stats.Table, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	const side = 30 // the paper fixes Figure 7 to a 30×30 grid
-	g, err := topo.NewGrid(side, side)
-	if err != nil {
-		return nil, err
-	}
-	tbl := &stats.Table{
-		Title:  "Figure 7: p-q relationship per reliability level (30x30 grid)",
+// fig7Scenario regenerates Figure 7: for each p, the minimum q that pushes
+// the edge probability pedge = 1 − p(1 − q) past the critical bond ratio of
+// a 30×30 grid, per reliability level. One Monte Carlo threshold estimate
+// feeds a whole analytic series, so this runs as a whole-table scenario.
+func fig7Scenario() scenario.Scenario {
+	return scenario.Scenario{
+		ID:       "fig7",
+		Title:    "Figure 7: p-q relationship per reliability level (30x30 grid)",
+		Artifact: "Figure 7",
+		Summary:  "The p–q operating frontier: the cheapest q meeting each reliability target as p sweeps 0–1, from Remark 1 inverted at the measured critical bond ratio.",
+		Params: []scenario.ParamDoc{
+			{Name: "p", Desc: "PBBF immediate-rebroadcast probability, swept 0–1"},
+			{Name: "rel", Desc: "reliability target of each frontier line"},
+		},
 		XLabel: "p",
 		YLabel: "minimum q crossing the reliability threshold",
+		TableFn: func(s Scale) (*stats.Table, error) {
+			const side = 30 // the paper fixes Figure 7 to a 30×30 grid
+			g, err := topo.NewGrid(side, side)
+			if err != nil {
+				return nil, err
+			}
+			tbl := &stats.Table{
+				Title:  "Figure 7: p-q relationship per reliability level (30x30 grid)",
+				XLabel: "p",
+				YLabel: "minimum q crossing the reliability threshold",
+			}
+			for _, rel := range reliabilityLevels {
+				r := rng.New(pointSeed(s.Seed, 7, fbits(rel)))
+				pc, err := percolation.CriticalBondRatio(g, g.Center(), rel, s.PercTrials, r)
+				if err != nil {
+					return nil, err
+				}
+				series := tbl.AddSeries(reliabilityLabel(rel))
+				for _, p := range sweepRange(0, 1, 0.1) {
+					series.Append(p, core.MinQForEdgeProbability(p, pc.Mean))
+				}
+			}
+			return tbl, nil
+		},
 	}
-	for _, rel := range reliabilityLevels {
-		r := rng.New(pointSeed(s.Seed, 7, fbits(rel)))
-		pc, err := percolation.CriticalBondRatio(g, g.Center(), rel, s.PercTrials, r)
-		if err != nil {
-			return nil, err
-		}
-		series := tbl.AddSeries(fmt.Sprintf("%g%% Reliability", rel*100))
-		for _, p := range sweepRange(0, 1, 0.1) {
-			series.Append(p, core.MinQForEdgeProbability(p, pc.Mean))
-		}
-	}
-	return tbl, nil
 }

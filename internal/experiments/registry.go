@@ -1,14 +1,112 @@
 package experiments
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"sync"
 
+	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
 )
 
-// Experiment is one regenerable table or figure from the paper.
+// table1Scenario renders the analysis parameters (Table 1) as a two-column
+// table. Static by construction; included so every numbered artifact of
+// the paper has a regenerator.
+func table1Scenario() scenario.Scenario {
+	return scenario.Scenario{
+		ID:       "table1",
+		Title:    "Table 1: analysis parameters",
+		Artifact: "Table 1",
+		Summary:  "The Section 4 analysis constants: grid size, Mica2 power levels, update rate, channel-access time, and the PSM schedule.",
+		TableFn: func(Scale) (*stats.Table, error) {
+			tbl := &stats.Table{
+				Title:  "Table 1: analysis parameter values",
+				XLabel: "row",
+				YLabel: "see series names for units",
+			}
+			rows := []struct {
+				name  string
+				value float64
+			}{
+				{"N (nodes, 75x75 grid)", 5625},
+				{"PTX (mW)", 81},
+				{"PI (mW)", 30},
+				{"PS (uW)", 3},
+				{"lambda (packets/s)", 0.01},
+				{"L1 (s)", 1.5},
+				{"Tframe (s)", 10},
+				{"Tactive (s)", 1},
+			}
+			for i, r := range rows {
+				tbl.AddSeries(r.name).Append(float64(i), r.value)
+			}
+			return tbl, nil
+		},
+	}
+}
+
+// table2Scenario renders the code distribution parameters (Table 2).
+func table2Scenario() scenario.Scenario {
+	return scenario.Scenario{
+		ID:       "table2",
+		Title:    "Table 2: code distribution parameters",
+		Artifact: "Table 2",
+		Summary:  "The Section 5 workload constants: field size, density, packet sizes, bit rate, run length, and runs per point.",
+		TableFn: func(Scale) (*stats.Table, error) {
+			tbl := &stats.Table{
+				Title:  "Table 2: code distribution parameter values",
+				XLabel: "row",
+				YLabel: "see series names for units",
+			}
+			rows := []struct {
+				name  string
+				value float64
+			}{
+				{"N (nodes)", 50},
+				{"q (default)", 0.25},
+				{"delta (density)", 10},
+				{"total packet size (bytes)", 64},
+				{"data packet payload (bytes)", 30},
+				{"k (updates per packet)", 1},
+				{"bitrate (kbps)", 19.2},
+				{"run length (s)", 500},
+				{"runs per point", 10},
+			}
+			for i, r := range rows {
+				tbl.AddSeries(r.name).Append(float64(i), r.value)
+			}
+			return tbl, nil
+		},
+	}
+}
+
+var (
+	registryOnce sync.Once
+	registry     *scenario.Registry
+)
+
+// Registry returns the full scenario registry — every table and figure of
+// the paper plus the ext* extension studies — built once, in presentation
+// order. Registration panics on duplicate IDs or incomplete metadata, so a
+// bad scenario definition fails every test run.
+func Registry() *scenario.Registry {
+	registryOnce.Do(func() {
+		registry = scenario.NewRegistry()
+		registry.MustRegister(table1Scenario())
+		for _, sc := range section4Scenarios() {
+			registry.MustRegister(sc)
+		}
+		registry.MustRegister(table2Scenario())
+		for _, sc := range netScenarios() {
+			registry.MustRegister(sc)
+		}
+		for _, sc := range extScenarios() {
+			registry.MustRegister(sc)
+		}
+	})
+	return registry
+}
+
+// Experiment is the registry-facing view of one scenario, kept for callers
+// (benchmarks, older tooling) written against the pre-engine API.
 type Experiment struct {
 	// ID is the short handle used by the CLI ("fig4", "table1", ...).
 	ID string
@@ -18,101 +116,58 @@ type Experiment struct {
 	Run func(Scale) (*stats.Table, error)
 }
 
-// Table1 renders the analysis parameters (Table 1) as a two-column table.
-// Static by construction; included so every numbered artifact of the paper
-// has a regenerator.
-func Table1(Scale) (*stats.Table, error) {
-	tbl := &stats.Table{
-		Title:  "Table 1: analysis parameter values",
-		XLabel: "row",
-		YLabel: "see series names for units",
-	}
-	rows := []struct {
-		name  string
-		value float64
-	}{
-		{"N (nodes, 75x75 grid)", 5625},
-		{"PTX (mW)", 81},
-		{"PI (mW)", 30},
-		{"PS (uW)", 3},
-		{"lambda (packets/s)", 0.01},
-		{"L1 (s)", 1.5},
-		{"Tframe (s)", 10},
-		{"Tactive (s)", 1},
-	}
-	for i, r := range rows {
-		tbl.AddSeries(r.name).Append(float64(i), r.value)
-	}
-	return tbl, nil
-}
-
-// Table2 renders the code distribution parameters (Table 2).
-func Table2(Scale) (*stats.Table, error) {
-	tbl := &stats.Table{
-		Title:  "Table 2: code distribution parameter values",
-		XLabel: "row",
-		YLabel: "see series names for units",
-	}
-	rows := []struct {
-		name  string
-		value float64
-	}{
-		{"N (nodes)", 50},
-		{"q (default)", 0.25},
-		{"delta (density)", 10},
-		{"total packet size (bytes)", 64},
-		{"data packet payload (bytes)", 30},
-		{"k (updates per packet)", 1},
-		{"bitrate (kbps)", 19.2},
-		{"run length (s)", 500},
-		{"runs per point", 10},
-	}
-	for i, r := range rows {
-		tbl.AddSeries(r.name).Append(float64(i), r.value)
-	}
-	return tbl, nil
-}
-
 // All returns every experiment in presentation order.
 func All() []Experiment {
-	return []Experiment{
-		{ID: "table1", Title: "Table 1: analysis parameters", Run: Table1},
-		{ID: "fig4", Title: "Figure 4: threshold behavior, 90% reliability", Run: Fig4},
-		{ID: "fig5", Title: "Figure 5: threshold behavior, 99% reliability", Run: Fig5},
-		{ID: "fig6", Title: "Figure 6: critical bond ratio vs grid size", Run: Fig6},
-		{ID: "fig7", Title: "Figure 7: p-q frontier per reliability level", Run: Fig7},
-		{ID: "fig8", Title: "Figure 8: average energy consumption (ideal sim)", Run: Fig8},
-		{ID: "fig9", Title: "Figure 9: hop stretch at the near tracked distance", Run: Fig9},
-		{ID: "fig10", Title: "Figure 10: hop stretch at the far tracked distance", Run: Fig10},
-		{ID: "fig11", Title: "Figure 11: average per-hop update latency", Run: Fig11},
-		{ID: "fig12", Title: "Figure 12: energy-latency trade-off at 99% reliability", Run: Fig12},
-		{ID: "table2", Title: "Table 2: code distribution parameters", Run: Table2},
-		{ID: "fig13", Title: "Figure 13: average energy consumption (net sim)", Run: Fig13},
-		{ID: "fig14", Title: "Figure 14: 2-hop average update latency", Run: Fig14},
-		{ID: "fig15", Title: "Figure 15: 5-hop average update latency", Run: Fig15},
-		{ID: "fig16", Title: "Figure 16: average updates received", Run: Fig16},
-		{ID: "fig17", Title: "Figure 17: average update latency vs density", Run: Fig17},
-		{ID: "fig18", Title: "Figure 18: average updates received vs density", Run: Fig18},
-		{ID: "extgossip", Title: "Extension: gossip (site) vs PBBF (bond) percolation", Run: ExtGossip},
-		{ID: "extk", Title: "Extension: update batching k under PBBF-0.5", Run: ExtK},
-		{ID: "extadaptive", Title: "Extension: adaptive p/q controller under PHY loss", Run: ExtAdaptive},
-		{ID: "extloss", Title: "Extension: Figure 16 under injected PHY loss", Run: ExtLoss},
-		{ID: "exttmac", Title: "Extension: PBBF over a T-MAC-style adaptive schedule", Run: ExtTMAC},
+	scs := Registry().All()
+	out := make([]Experiment, 0, len(scs))
+	for _, sc := range scs {
+		sc := sc
+		out = append(out, Experiment{
+			ID:    sc.ID,
+			Title: sc.Title,
+			Run:   func(s Scale) (*stats.Table, error) { return scenario.Run(sc, s) },
+		})
 	}
+	return out
 }
 
-// ByID looks up an experiment.
+// ByID looks up an experiment (case- and space-insensitively).
 func ByID(id string) (Experiment, error) {
-	id = strings.ToLower(strings.TrimSpace(id))
-	for _, e := range All() {
-		if e.ID == id {
-			return e, nil
-		}
+	sc, err := Registry().ByID(id)
+	if err != nil {
+		return Experiment{}, err
 	}
-	ids := make([]string, 0, len(All()))
-	for _, e := range All() {
-		ids = append(ids, e.ID)
-	}
-	sort.Strings(ids)
-	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(ids, ", "))
+	return Experiment{
+		ID:    sc.ID,
+		Title: sc.Title,
+		Run:   func(s Scale) (*stats.Table, error) { return scenario.Run(sc, s) },
+	}, nil
 }
+
+// The named regenerators below are stable entry points for benchmarks and
+// tests; each runs its registered scenario through the engine.
+
+func Table1(s Scale) (*stats.Table, error) { return runByID("table1", s) }
+func Table2(s Scale) (*stats.Table, error) { return runByID("table2", s) }
+func Fig4(s Scale) (*stats.Table, error)   { return runByID("fig4", s) }
+func Fig5(s Scale) (*stats.Table, error)   { return runByID("fig5", s) }
+func Fig6(s Scale) (*stats.Table, error)   { return runByID("fig6", s) }
+func Fig7(s Scale) (*stats.Table, error)   { return runByID("fig7", s) }
+func Fig8(s Scale) (*stats.Table, error)   { return runByID("fig8", s) }
+func Fig9(s Scale) (*stats.Table, error)   { return runByID("fig9", s) }
+func Fig10(s Scale) (*stats.Table, error)  { return runByID("fig10", s) }
+func Fig11(s Scale) (*stats.Table, error)  { return runByID("fig11", s) }
+func Fig12(s Scale) (*stats.Table, error)  { return runByID("fig12", s) }
+func Fig13(s Scale) (*stats.Table, error)  { return runByID("fig13", s) }
+func Fig14(s Scale) (*stats.Table, error)  { return runByID("fig14", s) }
+func Fig15(s Scale) (*stats.Table, error)  { return runByID("fig15", s) }
+func Fig16(s Scale) (*stats.Table, error)  { return runByID("fig16", s) }
+func Fig17(s Scale) (*stats.Table, error)  { return runByID("fig17", s) }
+func Fig18(s Scale) (*stats.Table, error)  { return runByID("fig18", s) }
+
+func ExtGossip(s Scale) (*stats.Table, error)   { return runByID("extgossip", s) }
+func ExtK(s Scale) (*stats.Table, error)        { return runByID("extk", s) }
+func ExtAdaptive(s Scale) (*stats.Table, error) { return runByID("extadaptive", s) }
+func ExtLoss(s Scale) (*stats.Table, error)     { return runByID("extloss", s) }
+func ExtTMAC(s Scale) (*stats.Table, error)     { return runByID("exttmac", s) }
+func ExtWakeup(s Scale) (*stats.Table, error)   { return runByID("extwakeup", s) }

@@ -1,146 +1,46 @@
 // Package experiments maps every table and figure of the paper's
-// evaluation to a function that regenerates its data. Each experiment
-// returns a stats.Table whose series mirror the lines of the original
+// evaluation — plus the ext* extension studies — to a scenario registered
+// in the unified scenario engine (internal/scenario). Each scenario
+// regenerates a stats.Table whose series mirror the lines of the original
 // plot; the CLI (cmd/pbbf) and the benchmark harness (bench_test.go) are
-// thin wrappers around this package.
+// thin wrappers around the registry this package builds.
 //
-// Experiments run at a configurable Scale: PaperScale reproduces the
-// paper's dimensions (75×75 grids, 10 runs per point); QuickScale shrinks
-// everything so the full suite finishes in seconds for CI and benchmarks.
-// Shapes — thresholds, orderings, crossovers — are preserved at both
-// scales; see EXPERIMENTS.md for the recorded outcomes.
+// Scenarios run at a configurable scenario.Scale: PaperScale reproduces
+// the paper's dimensions (75×75 grids, 10 runs per point); QuickScale
+// shrinks everything so the full suite finishes in seconds for CI and
+// benchmarks. Shapes — thresholds, orderings, crossovers — are preserved
+// at both scales; see docs/EXPERIMENTS.md for the recorded outcomes.
 package experiments
 
 import (
-	"fmt"
-	"time"
+	"pbbf/internal/scenario"
+	"pbbf/internal/stats"
 )
 
-// Scale sets the experiment dimensions.
-type Scale struct {
-	// GridW, GridH size the ideal-simulator grid (Table 1: 75×75).
-	GridW, GridH int
-	// IdealUpdates is the number of broadcasts per ideal-sim run.
-	IdealUpdates int
-	// PercTrials is the Monte Carlo trial count for percolation sweeps.
-	PercTrials int
-	// PercGrids lists the square grid sizes of Figure 6.
-	PercGrids []int
-	// NetNodes is the random-field size (Table 2: 50).
-	NetNodes int
-	// NetRuns is the number of scenarios averaged per data point
-	// (Section 5: 10).
-	NetRuns int
-	// NetDuration is the simulated time per scenario (Section 5: 500 s).
-	NetDuration time.Duration
-	// QSweep lists the q values on the x axis of the q-sweep figures.
-	QSweep []float64
-	// PSweepIdeal lists the PBBF p values of the Section 4 figures.
-	PSweepIdeal []float64
-	// PSweepNet lists the PBBF p values of the Section 5 figures.
-	PSweepNet []float64
-	// DeltaSweep lists the densities of Figures 17/18.
-	DeltaSweep []float64
-	// HopNear and HopFar are the tracked BFS distances of Figures 9/10
-	// (paper: 20 and 60 on the 75×75 grid).
-	HopNear, HopFar int
-	// NetTrackHops are the BFS distances of Figures 14/15 (paper: 2, 5).
-	NetTrackHops []int
-	// Seed is the root of every run's randomness.
-	Seed uint64
-}
+// Scale aliases scenario.Scale so existing callers (benchmarks, tests)
+// keep their spelling; new code can use either name.
+type Scale = scenario.Scale
 
-// PaperScale returns the paper's dimensions. A full run of every
-// experiment at this scale takes on the order of minutes.
-func PaperScale() Scale {
-	return Scale{
-		GridW: 75, GridH: 75,
-		IdealUpdates: 10,
-		PercTrials:   200,
-		PercGrids:    []int{10, 20, 30, 40},
-		NetNodes:     50,
-		NetRuns:      10,
-		NetDuration:  500 * time.Second,
-		QSweep:       sweepRange(0, 1, 0.1),
-		PSweepIdeal:  []float64{0.05, 0.25, 0.375, 0.5, 0.75},
-		PSweepNet:    []float64{0.05, 0.1, 0.25, 0.5},
-		DeltaSweep:   []float64{8, 10, 12, 14, 16, 18},
-		HopNear:      20,
-		HopFar:       60,
-		NetTrackHops: []int{2, 5},
-		Seed:         1,
-	}
-}
+// PaperScale returns the paper's dimensions (scenario.Paper).
+func PaperScale() Scale { return scenario.Paper() }
 
-// QuickScale returns a reduced configuration for CI and benchmarks:
-// 30×30 grids, 3 runs per point, shorter scenarios, coarser sweeps.
-func QuickScale() Scale {
-	return Scale{
-		GridW: 30, GridH: 30,
-		IdealUpdates: 4,
-		PercTrials:   40,
-		PercGrids:    []int{10, 20, 30},
-		NetNodes:     30,
-		NetRuns:      3,
-		NetDuration:  300 * time.Second,
-		QSweep:       sweepRange(0, 1, 0.25),
-		PSweepIdeal:  []float64{0.05, 0.25, 0.5, 0.75},
-		PSweepNet:    []float64{0.1, 0.5},
-		DeltaSweep:   []float64{8, 12, 16},
-		HopNear:      10,
-		HopFar:       20,
-		NetTrackHops: []int{2, 5},
-		Seed:         1,
-	}
-}
+// QuickScale returns the CI-sized dimensions (scenario.Quick).
+func QuickScale() Scale { return scenario.Quick() }
 
-// Validate checks the scale's structural invariants.
-func (s Scale) Validate() error {
-	if s.GridW <= 0 || s.GridH <= 0 {
-		return fmt.Errorf("experiments: grid %dx%d invalid", s.GridW, s.GridH)
-	}
-	if s.IdealUpdates <= 0 || s.PercTrials <= 0 || s.NetNodes <= 0 || s.NetRuns <= 0 {
-		return fmt.Errorf("experiments: counts must be positive")
-	}
-	if s.NetDuration <= 0 {
-		return fmt.Errorf("experiments: duration %v invalid", s.NetDuration)
-	}
-	if len(s.QSweep) == 0 || len(s.PSweepIdeal) == 0 || len(s.PSweepNet) == 0 {
-		return fmt.Errorf("experiments: empty sweep")
-	}
-	if len(s.PercGrids) == 0 || len(s.DeltaSweep) == 0 {
-		return fmt.Errorf("experiments: empty grid or density sweep")
-	}
-	if s.HopNear <= 0 || s.HopFar <= s.HopNear {
-		return fmt.Errorf("experiments: hop distances %d/%d invalid", s.HopNear, s.HopFar)
-	}
-	return nil
-}
+// sweepRange, pointSeed, and fbits forward to the scenario engine's
+// shared helpers; the scenario definitions below use them constantly.
+func sweepRange(from, to, step float64) []float64 { return scenario.SweepRange(from, to, step) }
 
-// sweepRange returns {from, from+step, ..., to} inclusive (within epsilon).
-func sweepRange(from, to, step float64) []float64 {
-	var out []float64
-	for v := from; v <= to+1e-9; v += step {
-		// Round to avoid 0.30000000000000004-style x values.
-		out = append(out, float64(int(v*1000+0.5))/1000)
-	}
-	return out
-}
+func pointSeed(base uint64, parts ...uint64) uint64 { return scenario.PointSeed(base, parts...) }
 
-// pointSeed derives a deterministic seed for one data point from the scale
-// seed and the point's coordinates, so adding sweep values does not perturb
-// other points.
-func pointSeed(base uint64, parts ...uint64) uint64 {
-	h := base ^ 0x9e3779b97f4a7c15
-	for _, p := range parts {
-		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
-		h *= 0xbf58476d1ce4e5b9
-	}
-	return h
-}
+func fbits(f float64) uint64 { return scenario.FloatBits(f) }
 
-// fbits maps a float in [0,1]-ish sweeps to stable integer coordinates for
-// seeding (3 decimal places of resolution).
-func fbits(f float64) uint64 {
-	return uint64(int64(f*1000 + 0.5))
+// runByID runs one registered scenario through the engine — the shared
+// implementation behind the exported Fig*/Table*/Ext* functions.
+func runByID(id string, s Scale) (*stats.Table, error) {
+	sc, err := Registry().ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Run(sc, s)
 }

@@ -6,7 +6,8 @@
 //
 // The paper used ns-2 with a modified 802.11 PSM MAC; this package is the
 // equivalent substrate built on internal/sim + internal/phy + internal/mac
-// (see DESIGN.md for the substitution rationale).
+// (see README.md for the architecture and docs/EXPERIMENTS.md for the
+// figures it backs).
 package netsim
 
 import (

@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"fmt"
+
+	"pbbf/internal/stats"
+	"pbbf/internal/sweep"
+)
+
+// PointOutput pairs one enumerated point with its simulated result — the
+// per-point record behind the JSON output.
+type PointOutput struct {
+	Point
+	Result Result `json:"result"`
+}
+
+// Output is one scenario's complete run: the assembled table plus, for
+// point-based scenarios, every point's result.
+type Output struct {
+	// Scenario carries the metadata of the scenario that ran.
+	Scenario Scenario `json:"scenario"`
+	// Table is the assembled figure/table data.
+	Table *stats.Table `json:"table"`
+	// Points holds the per-point results (nil for TableFn scenarios).
+	Points []PointOutput `json:"points,omitempty"`
+}
+
+// Run executes one scenario at the given scale and returns its table,
+// fanning its parameter points out across the default worker pool.
+func Run(sc Scenario, s Scale) (*stats.Table, error) {
+	outs, err := RunAll([]Scenario{sc}, s, 0)
+	if err != nil {
+		return nil, err
+	}
+	return outs[0].Table, nil
+}
+
+// RunAll executes the given scenarios at one scale. Every parameter point
+// of every point-based scenario — and every TableFn — becomes one job in a
+// single flattened sweep.Map call, so `-experiment all` saturates the
+// worker pool across figure boundaries instead of running figures one at a
+// time. Output order matches the input order and is fully deterministic:
+// points are enumerated scenario by scenario, results are assembled by
+// index, and errors surface from the smallest failing job index.
+// workers <= 0 selects GOMAXPROCS.
+func RunAll(scenarios []Scenario, s Scale, workers int) ([]Output, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	type job struct {
+		si int // scenario index
+		pi int // point index; -1 runs the scenario's TableFn
+	}
+	var jobs []job
+	points := make([][]Point, len(scenarios))
+	for si, sc := range scenarios {
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		if sc.TableFn != nil {
+			jobs = append(jobs, job{si, -1})
+			continue
+		}
+		pts, err := sc.Points(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.ID, err)
+		}
+		for _, pt := range pts {
+			if pt.Series == "" {
+				return nil, fmt.Errorf("%s: point %+v has no series", sc.ID, pt)
+			}
+			for name := range pt.Params {
+				if !sc.paramDoc(name) {
+					return nil, fmt.Errorf("%s: point parameter %q undocumented", sc.ID, name)
+				}
+			}
+		}
+		points[si] = pts
+		for pi := range pts {
+			jobs = append(jobs, job{si, pi})
+		}
+	}
+
+	type jobOut struct {
+		table *stats.Table // TableFn jobs
+		res   Result       // point jobs
+	}
+	results, err := sweep.Map(len(jobs), workers, func(i int) (jobOut, error) {
+		j := jobs[i]
+		sc := scenarios[j.si]
+		if j.pi < 0 {
+			tbl, err := sc.TableFn(s)
+			if err != nil {
+				return jobOut{}, fmt.Errorf("%s: %w", sc.ID, err)
+			}
+			return jobOut{table: tbl}, nil
+		}
+		res, err := sc.RunPoint(s, points[j.si][j.pi])
+		if err != nil {
+			return jobOut{}, fmt.Errorf("%s: %w", sc.ID, err)
+		}
+		return jobOut{res: res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	outs := make([]Output, len(scenarios))
+	for si, sc := range scenarios {
+		outs[si] = Output{Scenario: sc}
+	}
+	for ji, j := range jobs {
+		out := &outs[j.si]
+		if j.pi < 0 {
+			out.Table = results[ji].table
+			continue
+		}
+		out.Points = append(out.Points, PointOutput{
+			Point:  points[j.si][j.pi],
+			Result: results[ji].res,
+		})
+	}
+	for si := range outs {
+		if outs[si].Table != nil {
+			continue // TableFn scenario
+		}
+		outs[si].Table = assemble(scenarios[si], outs[si].Points)
+		if loc := scenarios[si].Localize; loc != nil {
+			loc(s, outs[si].Table)
+		}
+	}
+	return outs, nil
+}
+
+// assemble folds per-point results into the scenario's output table.
+// Series appear in first-point order; points append in enumeration order,
+// so the table is identical however the jobs were scheduled.
+func assemble(sc Scenario, pts []PointOutput) *stats.Table {
+	tbl := &stats.Table{Title: sc.Title, XLabel: sc.XLabel, YLabel: sc.YLabel}
+	series := make(map[string]*stats.Series)
+	for _, po := range pts {
+		line, ok := series[po.Series]
+		if !ok {
+			line = tbl.AddSeries(po.Series)
+			series[po.Series] = line
+		}
+		if !po.Result.Skip {
+			line.Append(po.X, po.Result.Y)
+		}
+	}
+	return tbl
+}

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry holds the scenarios a binary can run, in registration
+// (presentation) order. The zero value is not usable; construct with
+// NewRegistry.
+type Registry struct {
+	order []string
+	byID  map[string]Scenario
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]Scenario)}
+}
+
+// Register validates the scenario and adds it. Duplicate IDs (after
+// normalization) and structurally invalid scenarios are rejected.
+func (r *Registry) Register(sc Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	id := normalizeID(sc.ID)
+	if id != sc.ID {
+		return fmt.Errorf("scenario: ID %q not lower-case/trimmed", sc.ID)
+	}
+	if _, dup := r.byID[id]; dup {
+		return fmt.Errorf("scenario: duplicate ID %q", id)
+	}
+	r.byID[id] = sc
+	r.order = append(r.order, id)
+	return nil
+}
+
+// MustRegister is Register for static registration lists; it panics on
+// error, which turns a bad registration into a startup failure every test
+// run catches.
+func (r *Registry) MustRegister(sc Scenario) {
+	if err := r.Register(sc); err != nil {
+		panic(err)
+	}
+}
+
+// All returns every scenario in registration order.
+func (r *Registry) All() []Scenario {
+	out := make([]Scenario, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.byID[id])
+	}
+	return out
+}
+
+// Len returns the number of registered scenarios.
+func (r *Registry) Len() int { return len(r.order) }
+
+// ByID looks a scenario up, tolerating case and surrounding space.
+func (r *Registry) ByID(id string) (Scenario, error) {
+	if sc, ok := r.byID[normalizeID(id)]; ok {
+		return sc, nil
+	}
+	ids := make([]string, len(r.order))
+	copy(ids, r.order)
+	sort.Strings(ids)
+	return Scenario{}, fmt.Errorf("scenario: unknown id %q (known: %s)", id, strings.Join(ids, ", "))
+}
+
+func normalizeID(id string) string {
+	return strings.ToLower(strings.TrimSpace(id))
+}

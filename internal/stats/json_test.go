@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTableJSONRoundTrip checks that a Table survives the JSON encoding
+// the CLI's -format json path uses, byte-exact on every series.
+func TestTableJSONRoundTrip(t *testing.T) {
+	tbl := &Table{Title: "Figure X", XLabel: "q", YLabel: "joules"}
+	a := tbl.AddSeries("PBBF-0.5")
+	a.Append(0, 1.25)
+	a.Append(0.5, 2.5)
+	tbl.AddSeries("PSM").Append(0, 0.3)
+
+	blob, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tbl, &back) {
+		t.Fatalf("round trip changed table:\n%+v\nvs\n%+v", tbl, &back)
+	}
+	// The schema is part of the dashboard contract: lower-case keys.
+	for _, key := range []string{`"title"`, `"x_label"`, `"series"`, `"name"`} {
+		if !strings.Contains(string(blob), key) {
+			t.Fatalf("JSON missing %s: %s", key, blob)
+		}
+	}
+}

@@ -124,9 +124,9 @@ func Quantile(samples []float64, q float64) float64 {
 // Series is a named sequence of (x, y) points — one plotted line of a paper
 // figure.
 type Series struct {
-	Name string
-	X    []float64
-	Y    []float64
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
 }
 
 // Append adds one point.
@@ -152,13 +152,13 @@ func (s *Series) YAt(x float64) (float64, bool) {
 // x column plus one y column per series.
 type Table struct {
 	// Title identifies the figure, e.g. "Figure 8: average energy consumption".
-	Title string
+	Title string `json:"title"`
 	// XLabel names the x column, e.g. "q".
-	XLabel string
+	XLabel string `json:"x_label"`
 	// YLabel names the measured quantity (units included).
-	YLabel string
+	YLabel string `json:"y_label"`
 	// Series holds one column per plotted line.
-	Series []*Series
+	Series []*Series `json:"series"`
 }
 
 // AddSeries creates, registers, and returns a new named series.
