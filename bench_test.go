@@ -15,6 +15,8 @@ import (
 	"pbbf/internal/core"
 	"pbbf/internal/experiments"
 	"pbbf/internal/idealsim"
+	"pbbf/internal/mac"
+	"pbbf/internal/netsim"
 	"pbbf/internal/rng"
 	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
@@ -198,6 +200,40 @@ func timeSteppedPSMFlood(g *topo.Grid, tick time.Duration) int {
 }
 
 // --- Hot-path micro benchmarks -------------------------------------------
+
+// BenchmarkNetsimRun measures one fine-grained Section 5 run in the
+// large-n, long-horizon regime the pooled event kernel targets: 100 nodes,
+// 2000 simulated seconds, one topology built once outside the loop so the
+// numbers isolate the kernel + MAC + PHY hot path.
+func BenchmarkNetsimRun(b *testing.B) {
+	const n = 100
+	field, err := topo.NewConnectedRandomDisk(
+		topo.DiskConfig{N: n, Range: 30, Area: topo.AreaForDensity(n, 30, 10)},
+		rng.New(42), 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := netsim.Run(netsim.Config{
+			Topo:      field,
+			Source:    0,
+			MAC:       mac.DefaultConfig(core.Params{P: 0.25, Q: 0.25}),
+			Lambda:    0.01,
+			Duration:  2000 * time.Second,
+			K:         1,
+			TrackHops: []int{2, 5},
+			Seed:      uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.UpdatesGenerated == 0 {
+			b.Fatal("no updates generated")
+		}
+	}
+}
 
 func BenchmarkIdealSimGrid75(b *testing.B) {
 	g := topo.MustGrid(75, 75)

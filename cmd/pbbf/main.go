@@ -9,13 +9,22 @@
 //	pbbf -experiment fig8
 //	pbbf -experiment all -scale paper -format csv
 //	pbbf -experiment all -scale quick -format json
+//	pbbf bench -out BENCH.json
+//	pbbf bench -out BENCH_new.json -baseline BENCH.json -threshold 0.30
 //
-// Scales: "quick" (CI-sized, seconds) and "paper" (the paper's
-// dimensions, minutes). With -experiment all, every parameter point of
-// every scenario fans out across one bounded worker pool; output order is
+// Scales: "quick" (CI-sized, seconds), "paper" (the paper's dimensions,
+// minutes), and "bench" (the frozen benchmark dimensions behind
+// BENCH.json). With -experiment all, every parameter point of every
+// scenario fans out across one bounded worker pool; output order is
 // deterministic regardless of scheduling. Formats: an aligned text table,
 // CSV, or JSON (scenario metadata, the assembled table, and per-point
 // energy/latency/delivery results).
+//
+// The bench subcommand runs every registered scenario sequentially at the
+// bench scale, writes the machine-readable report (wall time, ns/point,
+// allocations, events fired per scenario), and — when -baseline is given —
+// exits non-zero if any scenario regressed more than -threshold against
+// it. See docs/BENCHMARKS.md.
 package main
 
 import (
@@ -24,7 +33,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
+	"pbbf/internal/bench"
 	"pbbf/internal/experiments"
 	"pbbf/internal/scenario"
 )
@@ -37,14 +48,17 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "bench" {
+		return runBench(args[1:], out)
+	}
 	fs := flag.NewFlagSet("pbbf", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
 		experiment = fs.String("experiment", "", "scenario id (e.g. fig8) or \"all\"")
-		scaleName  = fs.String("scale", "quick", "scenario scale: quick or paper")
+		scaleName  = fs.String("scale", "quick", "scenario scale: quick, paper, or bench")
 		format     = fs.String("format", "table", "output format: table, csv, or json")
 		seed       = fs.Uint64("seed", 1, "root random seed")
-		workers    = fs.Int("workers", 0, "worker pool size for the point sweep (0 = GOMAXPROCS)")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep")
 		list       = fs.Bool("list", false, "list available scenarios with their metadata and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +70,8 @@ func run(args []string, out io.Writer) error {
 		return printList(out, reg)
 	}
 
+	// Validate every flag before doing any work, so a bad value always
+	// exits non-zero with a message instead of silently running defaults.
 	scale, err := scenario.ByName(*scaleName)
 	if err != nil {
 		return err
@@ -66,6 +82,9 @@ func run(args []string, out io.Writer) error {
 	case "table", "csv", "json":
 	default:
 		return fmt.Errorf("unknown format %q (want table, csv, or json)", *format)
+	}
+	if *workers <= 0 {
+		return fmt.Errorf("workers must be positive, got %d", *workers)
 	}
 	if *experiment == "" {
 		return fmt.Errorf("missing -experiment (try -list)")
@@ -87,6 +106,99 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	return emit(out, *format, outputs)
+}
+
+// runBench implements the bench subcommand: measure every registered
+// scenario at the bench scale, write the report, and optionally gate
+// against a baseline.
+func runBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pbbf bench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		outPath   = fs.String("out", "BENCH.json", "path to write the benchmark report")
+		scaleName = fs.String("scale", "bench", "scenario scale to benchmark at")
+		seed      = fs.Uint64("seed", 1, "root random seed")
+		workers   = fs.Int("workers", 1, "sweep worker-pool size (1 = scheduler-independent timings)")
+		repeats   = fs.Int("repeats", bench.DefaultRepeats, "measurements per scenario; the fastest is recorded")
+		baseline  = fs.String("baseline", "", "baseline report to compare against (empty = no gate)")
+		threshold = fs.Float64("threshold", 0.30, "per-scenario ns/point regression tolerance vs the baseline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("bench: unexpected arguments %v", fs.Args())
+	}
+	scale, err := scenario.ByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	scale.Seed = *seed
+	if *workers <= 0 {
+		return fmt.Errorf("workers must be positive, got %d", *workers)
+	}
+	if *repeats <= 0 {
+		return fmt.Errorf("repeats must be positive, got %d", *repeats)
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("threshold must be positive, got %v", *threshold)
+	}
+	if *outPath == "" {
+		return fmt.Errorf("missing -out path")
+	}
+	// Load the baseline before spending benchmark time, so a bad path
+	// fails fast and never leaves a half-recorded report behind.
+	var base *bench.Report
+	if *baseline != "" {
+		var err error
+		if base, err = bench.ReadFile(*baseline); err != nil {
+			return err
+		}
+	}
+
+	rep, err := bench.Run(experiments.Registry().All(), bench.Config{
+		Scale:     scale,
+		ScaleName: *scaleName,
+		Workers:   *workers,
+		Repeats:   *repeats,
+		Progress:  out,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteFile(*outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: %d scenarios in %.2fs\n",
+		*outPath, len(rep.Scenarios), float64(rep.TotalWallNS)/1e9)
+
+	if base == nil {
+		return nil
+	}
+	if base.CPU != rep.CPU || base.NumCPU != rep.NumCPU {
+		fmt.Fprintf(out, "WARNING: hardware mismatch vs baseline (%q/%d cores vs %q/%d cores): "+
+			"absolute times are not comparable; see docs/BENCHMARKS.md for the refresh procedure\n",
+			base.CPU, base.NumCPU, rep.CPU, rep.NumCPU)
+	}
+	regs, err := bench.Compare(base, rep, *threshold)
+	if err != nil {
+		return err
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(out, "no regressions beyond %.0f%% vs %s\n", *threshold*100, *baseline)
+		return nil
+	}
+	for _, r := range regs {
+		if r.CurNSPerPoint == 0 {
+			fmt.Fprintf(out, "REGRESSION %-12s missing from current run (baseline %d ns/pt)\n",
+				r.ID, r.BaseNSPerPoint)
+			continue
+		}
+		fmt.Fprintf(out, "REGRESSION %-12s %d -> %d ns/pt (%.2fx)\n",
+			r.ID, r.BaseNSPerPoint, r.CurNSPerPoint, r.Ratio)
+	}
+	return fmt.Errorf("%d scenario(s) regressed more than %.0f%% vs %s",
+		len(regs), *threshold*100, *baseline)
 }
 
 // printList renders the registry with its metadata: ID, paper artifact,

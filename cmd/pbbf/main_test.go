@@ -2,9 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"pbbf/internal/bench"
 	"pbbf/internal/scenario"
 )
 
@@ -87,14 +89,97 @@ func TestErrors(t *testing.T) {
 	cases := [][]string{
 		{},                      // missing -experiment
 		{"-experiment", "nope"}, // unknown experiment
-		{"-experiment", "fig4", "-scale", "huge"}, // unknown scale
-		{"-experiment", "fig4", "-format", "xml"}, // unknown format
+		{"-experiment", "fig4", "-scale", "huge"},   // unknown scale
+		{"-experiment", "fig4", "-format", "xml"},   // unknown format
+		{"-experiment", "fig4", "-workers", "0"},    // zero workers
+		{"-experiment", "fig4", "-workers", "-3"},   // negative workers
+		{"-scale", "huge", "-experiment", "fig4"},   // order must not matter
+		{"bench", "-workers", "0"},                  // bench: zero workers
+		{"bench", "-scale", "huge"},                 // bench: unknown scale
+		{"bench", "-threshold", "0"},                // bench: bad threshold
+		{"bench", "-repeats", "0"},                  // bench: bad repeats
+		{"bench", "-out", ""},                       // bench: empty output path
+		{"bench", "stray"},                          // bench: positional junk
+		{"bench", "-baseline", "/nonexistent.json"}, // bench: missing baseline
 	}
 	for _, args := range cases {
 		var sb strings.Builder
 		if err := run(args, &sb); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
+	}
+}
+
+// benchArgs runs the bench subcommand at quick scale (the frozen bench
+// scale is too slow for unit tests) and returns the report path.
+func benchArgs(t *testing.T, dir string, extra ...string) (string, error) {
+	t.Helper()
+	path := filepath.Join(dir, "BENCH.json")
+	args := append([]string{"bench", "-out", path, "-scale", "quick", "-repeats", "1"}, extra...)
+	var sb strings.Builder
+	err := run(args, &sb)
+	return path, err
+}
+
+func TestBenchWritesValidReport(t *testing.T) {
+	path, err := benchArgs(t, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bench.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scale != "quick" || rep.Workers != 1 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	ids := make(map[string]bool)
+	var sawEvents bool
+	for _, s := range rep.Scenarios {
+		ids[s.ID] = true
+		if s.WallNS <= 0 || s.Points <= 0 {
+			t.Fatalf("unmeasured scenario: %+v", s)
+		}
+		if s.EventsFired > 0 {
+			sawEvents = true
+		}
+	}
+	for _, id := range []string{"fig4", "fig13", "table1", "extwakeup"} {
+		if !ids[id] {
+			t.Fatalf("report missing %s (got %v)", id, ids)
+		}
+	}
+	if !sawEvents {
+		t.Fatal("no scenario recorded kernel events")
+	}
+}
+
+func TestBenchGatesOnBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path, err := benchArgs(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against its own report nothing regresses by construction (identical
+	// seeds, same machine, moments apart) at a generous threshold.
+	if _, err := benchArgs(t, dir, "-baseline", path, "-threshold", "3.0"); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+	// Inflate the current run's cost bound: a baseline claiming everything
+	// used to be instant must trip the gate.
+	base, err := bench.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Scenarios {
+		base.Scenarios[i].NSPerPoint = 1
+	}
+	fast := filepath.Join(dir, "fast.json")
+	if err := base.WriteFile(fast); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := benchArgs(t, dir, "-baseline", fast); err == nil {
+		t.Fatal("regression vs instant baseline not detected")
 	}
 }
 

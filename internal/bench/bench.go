@@ -1,0 +1,283 @@
+// Package bench is the repository's performance-tracking subsystem: it runs
+// every registered scenario at the frozen bench scale, measures wall time,
+// per-point cost, allocations, and simulator events fired, and serializes
+// the result as a machine-readable report (BENCH.json). CI records the
+// report as an artifact on every push and fails the build when a scenario
+// regresses more than the configured threshold against the committed
+// baseline, so the perf trajectory of the hot paths is visible — and
+// enforced — over the repository's history.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"pbbf/internal/scenario"
+	"pbbf/internal/sim"
+)
+
+// SchemaVersion identifies the report layout. Bump when fields change
+// incompatibly; Compare refuses to diff reports with different versions.
+const SchemaVersion = 1
+
+// NoiseFloorNS is the baseline wall time below which Compare records a
+// scenario but does not gate it: sub-millisecond artifacts (the static
+// tables) measure timer and scheduler noise, not simulator performance.
+const NoiseFloorNS = 2_000_000
+
+// DefaultRepeats is how many times Run measures each scenario when
+// Config.Repeats is unset; the fastest repeat is recorded. Minimum-of-N is
+// the standard defense against one-off scheduler hiccups inflating a
+// measurement into a phantom regression.
+const DefaultRepeats = 3
+
+// ScenarioResult is one scenario's measurement.
+type ScenarioResult struct {
+	// ID is the scenario's registry handle.
+	ID string `json:"id"`
+	// Artifact is the paper artifact the scenario regenerates.
+	Artifact string `json:"artifact"`
+	// Points is the number of parameter points the run produced (1 for
+	// table scenarios).
+	Points int `json:"points"`
+	// WallNS is the scenario's wall-clock time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// NSPerPoint is WallNS divided by Points — the regression metric.
+	NSPerPoint int64 `json:"ns_per_point"`
+	// Allocs counts heap allocations during the run.
+	Allocs uint64 `json:"allocs"`
+	// AllocBytes counts bytes allocated during the run.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// EventsFired counts discrete-event kernel events executed during the
+	// run (0 for analytic scenarios that never touch a kernel).
+	EventsFired uint64 `json:"events_fired"`
+}
+
+// Report is the full benchmark record serialized to BENCH.json.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	// CPU is the best-effort processor model of the recording machine and
+	// NumCPU its logical core count. Absolute times are only comparable
+	// between reports from similar hardware; these fields make a mismatch
+	// diagnosable from the two files alone.
+	CPU    string `json:"cpu,omitempty"`
+	NumCPU int    `json:"num_cpu"`
+	// Scale names the scenario scale the benchmark ran at.
+	Scale string `json:"scale"`
+	// Workers is the sweep worker-pool size used for every scenario.
+	Workers int `json:"workers"`
+	// Seed is the root seed (measurements must be reproducible).
+	Seed uint64 `json:"seed"`
+	// TotalWallNS is the end-to-end wall time across all scenarios.
+	TotalWallNS int64            `json:"total_wall_ns"`
+	Scenarios   []ScenarioResult `json:"scenarios"`
+}
+
+// Config parameterizes a benchmark run.
+type Config struct {
+	// Scale is the scenario scale to run at.
+	Scale scenario.Scale
+	// ScaleName labels the scale in the report.
+	ScaleName string
+	// Workers sizes the sweep pool per scenario. 1 (the default used by
+	// the CLI) keeps timings and allocation counts scheduler-independent.
+	Workers int
+	// Repeats is how many times each scenario is measured; the fastest
+	// repeat is recorded. 0 means DefaultRepeats.
+	Repeats int
+	// Progress, when non-nil, receives one line per finished scenario.
+	Progress io.Writer
+}
+
+// Run benchmarks every scenario in the registry sequentially and returns
+// the report. Scenarios run one at a time — never concurrently with each
+// other — so per-scenario wall time, allocation deltas, and event counts
+// are attributable.
+func Run(scenarios []scenario.Scenario, cfg Config) (*Report, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("bench: workers %d must be positive", cfg.Workers)
+	}
+	if cfg.Repeats == 0 {
+		cfg.Repeats = DefaultRepeats
+	}
+	if cfg.Repeats < 0 {
+		return nil, fmt.Errorf("bench: repeats %d must be positive", cfg.Repeats)
+	}
+	if err := cfg.Scale.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPU:           cpuModel(),
+		NumCPU:        runtime.NumCPU(),
+		Scale:         cfg.ScaleName,
+		Workers:       cfg.Workers,
+		Seed:          cfg.Scale.Seed,
+		Scenarios:     make([]ScenarioResult, 0, len(scenarios)),
+	}
+	var ms0, ms1 runtime.MemStats
+	total := time.Now()
+	for _, sc := range scenarios {
+		// Measure Repeats times and keep the fastest: the work is
+		// deterministic (fixed seed), so the minimum is the cleanest
+		// estimate of the scenario's cost and is robust against one
+		// repeat landing on a busy moment.
+		var res ScenarioResult
+		for try := 0; try < cfg.Repeats; try++ {
+			runtime.GC() // attribute floating garbage to this measurement
+			runtime.ReadMemStats(&ms0)
+			fired0 := sim.TotalFired()
+			start := time.Now()
+			outs, err := scenario.RunAll([]scenario.Scenario{sc}, cfg.Scale, cfg.Workers)
+			wall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", sc.ID, err)
+			}
+			runtime.ReadMemStats(&ms1)
+			points := len(outs[0].Points)
+			if points == 0 {
+				points = 1 // TableFn scenarios: one unit of work
+			}
+			if try > 0 && wall.Nanoseconds() >= res.WallNS {
+				continue
+			}
+			res = ScenarioResult{
+				ID:          sc.ID,
+				Artifact:    sc.Artifact,
+				Points:      points,
+				WallNS:      wall.Nanoseconds(),
+				NSPerPoint:  wall.Nanoseconds() / int64(points),
+				Allocs:      ms1.Mallocs - ms0.Mallocs,
+				AllocBytes:  ms1.TotalAlloc - ms0.TotalAlloc,
+				EventsFired: sim.TotalFired() - fired0,
+			}
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "%-12s %10.2fms %8d pts %12d ns/pt %10d allocs %12d events\n",
+				res.ID, float64(res.WallNS)/1e6, res.Points, res.NSPerPoint, res.Allocs, res.EventsFired)
+		}
+	}
+	rep.TotalWallNS = time.Since(total).Nanoseconds()
+	return rep, nil
+}
+
+// cpuModel returns the processor model string on Linux (best effort; empty
+// elsewhere or on read failure).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.SchemaVersion == 0 || len(r.Scenarios) == 0 {
+		return nil, fmt.Errorf("bench: %s: not a benchmark report", path)
+	}
+	return &r, nil
+}
+
+// Regression is one scenario that got slower than the baseline allows.
+type Regression struct {
+	ID string `json:"id"`
+	// BaseNSPerPoint and CurNSPerPoint are the compared measurements.
+	BaseNSPerPoint int64 `json:"base_ns_per_point"`
+	CurNSPerPoint  int64 `json:"cur_ns_per_point"`
+	// Ratio is Cur/Base (1.30 = 30% slower).
+	Ratio float64 `json:"ratio"`
+}
+
+// Compare diffs current against base and returns every scenario whose
+// ns/point grew by more than threshold (0.30 = fail above +30%). Scenarios
+// present in the baseline but missing from the current run are reported as
+// regressions with Ratio 0 — a silently dropped benchmark must not pass.
+// New scenarios absent from the baseline are ignored.
+func Compare(base, current *Report, threshold float64) ([]Regression, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("bench: threshold %v must be positive", threshold)
+	}
+	if base.SchemaVersion != current.SchemaVersion {
+		return nil, fmt.Errorf("bench: schema mismatch: baseline v%d vs current v%d",
+			base.SchemaVersion, current.SchemaVersion)
+	}
+	// ns/point is only meaningful between runs of the same workload: a
+	// scale, worker, or seed mismatch would gate two different jobs.
+	if base.Scale != current.Scale {
+		return nil, fmt.Errorf("bench: scale mismatch: baseline %q vs current %q", base.Scale, current.Scale)
+	}
+	if base.Workers != current.Workers {
+		return nil, fmt.Errorf("bench: workers mismatch: baseline %d vs current %d", base.Workers, current.Workers)
+	}
+	if base.Seed != current.Seed {
+		return nil, fmt.Errorf("bench: seed mismatch: baseline %d vs current %d", base.Seed, current.Seed)
+	}
+	cur := make(map[string]ScenarioResult, len(current.Scenarios))
+	for _, s := range current.Scenarios {
+		cur[s.ID] = s
+	}
+	var regs []Regression
+	for _, b := range base.Scenarios {
+		c, ok := cur[b.ID]
+		if !ok {
+			regs = append(regs, Regression{ID: b.ID, BaseNSPerPoint: b.NSPerPoint})
+			continue
+		}
+		if b.NSPerPoint <= 0 {
+			continue // degenerate baseline entry: nothing to compare
+		}
+		if b.WallNS < NoiseFloorNS {
+			continue // below the noise floor: recorded, not gated
+		}
+		ratio := float64(c.NSPerPoint) / float64(b.NSPerPoint)
+		if ratio > 1+threshold {
+			regs = append(regs, Regression{
+				ID:             b.ID,
+				BaseNSPerPoint: b.NSPerPoint,
+				CurNSPerPoint:  c.NSPerPoint,
+				Ratio:          ratio,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs, nil
+}

@@ -58,39 +58,64 @@ func (s *Source) Generate(now time.Duration) Payload {
 func (s *Source) Generated() int { return s.next }
 
 // Tracker records, per receiving node, when each update was first learned.
+// Sequence numbers are dense from zero, so first-sight state lives in flat
+// slices indexed by seq: observing a payload on the reception hot path is
+// an array test, not a map probe.
 type Tracker struct {
-	latency map[int]time.Duration
+	latency  []time.Duration
+	seen     []bool
+	received int
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{latency: make(map[int]time.Duration)}
+	return &Tracker{}
 }
+
+// maxSeq bounds the sequence numbers the tracker accepts. Sources number
+// updates densely from zero, so a sequence outside [0, maxSeq) means a
+// caller broke that invariant (hash or timestamp as Seq); fail loudly
+// instead of growing the flat state toward OOM.
+const maxSeq = 1 << 26
 
 // Observe processes a received payload at time now, recording first-sight
 // latency for updates not seen before.
 func (t *Tracker) Observe(p Payload, now time.Duration) {
 	for _, u := range p.Updates {
-		if _, ok := t.latency[u.Seq]; !ok {
+		if u.Seq < 0 || u.Seq >= maxSeq {
+			panic(fmt.Sprintf("codedist: update sequence %d breaks the dense-seq invariant [0, %d)", u.Seq, maxSeq))
+		}
+		if len(t.seen) <= u.Seq {
+			grow := u.Seq + 1 - len(t.seen)
+			t.seen = append(t.seen, make([]bool, grow)...)
+			t.latency = append(t.latency, make([]time.Duration, grow)...)
+		}
+		if !t.seen[u.Seq] {
+			t.seen[u.Seq] = true
 			t.latency[u.Seq] = now - u.GeneratedAt
+			t.received++
 		}
 	}
 }
 
 // Received returns how many distinct updates the node has learned.
-func (t *Tracker) Received() int { return len(t.latency) }
+func (t *Tracker) Received() int { return t.received }
 
 // Latency returns the first-sight latency of update seq.
 func (t *Tracker) Latency(seq int) (time.Duration, bool) {
-	d, ok := t.latency[seq]
-	return d, ok
+	if seq < 0 || seq >= len(t.seen) || !t.seen[seq] {
+		return 0, false
+	}
+	return t.latency[seq], true
 }
 
 // Latencies returns all recorded (seq, latency) pairs as a map copy.
 func (t *Tracker) Latencies() map[int]time.Duration {
-	out := make(map[int]time.Duration, len(t.latency))
-	for k, v := range t.latency {
-		out[k] = v
+	out := make(map[int]time.Duration, t.received)
+	for seq, ok := range t.seen {
+		if ok {
+			out[seq] = t.latency[seq]
+		}
 	}
 	return out
 }

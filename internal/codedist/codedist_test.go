@@ -149,3 +149,19 @@ func TestPropertyBatchContents(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTrackerRejectsSparseSeq pins the dense-seq invariant: sequence
+// numbers outside [0, maxSeq) must fail loudly instead of growing the flat
+// first-sight state toward OOM.
+func TestTrackerRejectsSparseSeq(t *testing.T) {
+	for _, seq := range []int{-1, maxSeq} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Observe with seq %d did not panic", seq)
+				}
+			}()
+			NewTracker().Observe(Payload{Updates: []Update{{Seq: seq}}}, time.Second)
+		}()
+	}
+}

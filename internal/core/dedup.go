@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // PacketKey identifies a broadcast payload for duplicate suppression.
 // The paper's protocols drop duplicate broadcast packets, so each broadcast
 // traverses a link at most once and the dissemination forms a spanning tree.
@@ -11,35 +13,93 @@ type PacketKey struct {
 }
 
 // DuplicateFilter remembers which broadcasts a node has already handled.
+// Origins assign sequence numbers densely from zero, so the filter keeps
+// one growable bitset per origin: the duplicate check on the reception hot
+// path is an array bit test instead of a map probe, and the single-origin
+// common case (one broadcast source per scenario) skips the origin lookup
+// through a one-entry cache.
+//
 // The zero value is not usable; construct with NewDuplicateFilter.
 type DuplicateFilter struct {
-	seen map[PacketKey]struct{}
+	byOrigin map[int]*seqBits
+	// cache of the most recently used origin's bitset.
+	lastOrigin int
+	last       *seqBits
+	count      int
+}
+
+// maxSeq bounds the sequence numbers the filter accepts (1<<26 bits = 8 MB
+// of bitset per origin). Origins assign seqs densely from zero, so hitting
+// the bound means a caller broke the dense-seq invariant — e.g. used a hash
+// or timestamp as Seq — and the filter fails loudly instead of growing
+// toward OOM.
+const maxSeq = 1 << 26
+
+// seqBits is a growable bitset over sequence numbers.
+type seqBits struct {
+	words []uint64
+}
+
+func (b *seqBits) has(seq uint64) bool {
+	w := seq / 64
+	return w < uint64(len(b.words)) && b.words[w]&(1<<(seq%64)) != 0
+}
+
+func (b *seqBits) set(seq uint64) {
+	if seq >= maxSeq {
+		panic(fmt.Sprintf("core: DuplicateFilter sequence %d breaks the dense-seq invariant (max %d)", seq, maxSeq-1))
+	}
+	w := seq / 64
+	if need := int(w) + 1; need > len(b.words) {
+		b.words = append(b.words, make([]uint64, need-len(b.words))...)
+	}
+	b.words[w] |= 1 << (seq % 64)
 }
 
 // NewDuplicateFilter returns an empty filter.
 func NewDuplicateFilter() *DuplicateFilter {
-	return &DuplicateFilter{seen: make(map[PacketKey]struct{})}
+	return &DuplicateFilter{byOrigin: make(map[int]*seqBits)}
+}
+
+// bits returns the origin's bitset, creating it if asked.
+func (f *DuplicateFilter) bits(origin int, create bool) *seqBits {
+	if f.last != nil && f.lastOrigin == origin {
+		return f.last
+	}
+	b := f.byOrigin[origin]
+	if b == nil && create {
+		b = &seqBits{}
+		f.byOrigin[origin] = b
+	}
+	if b != nil {
+		f.lastOrigin, f.last = origin, b
+	}
+	return b
 }
 
 // Seen reports whether key was already marked.
 func (f *DuplicateFilter) Seen(key PacketKey) bool {
-	_, ok := f.seen[key]
-	return ok
+	b := f.bits(key.Origin, false)
+	return b != nil && b.has(key.Seq)
 }
 
 // MarkSeen records key and reports whether it was new (true = first sight).
 func (f *DuplicateFilter) MarkSeen(key PacketKey) bool {
-	if _, ok := f.seen[key]; ok {
+	b := f.bits(key.Origin, true)
+	if b.has(key.Seq) {
 		return false
 	}
-	f.seen[key] = struct{}{}
+	b.set(key.Seq)
+	f.count++
 	return true
 }
 
 // Len returns the number of distinct broadcasts recorded.
-func (f *DuplicateFilter) Len() int { return len(f.seen) }
+func (f *DuplicateFilter) Len() int { return f.count }
 
 // Reset clears the filter for reuse across simulation runs.
 func (f *DuplicateFilter) Reset() {
-	clear(f.seen)
+	clear(f.byOrigin)
+	f.last = nil
+	f.count = 0
 }

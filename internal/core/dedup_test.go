@@ -70,3 +70,20 @@ func TestPropertyMarkSeenOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDuplicateFilterRejectsSparseSeq pins the dense-seq invariant: a
+// sequence number far outside the dense range must fail loudly instead of
+// growing the bitset toward OOM. Seen (read-only) stays safe.
+func TestDuplicateFilterRejectsSparseSeq(t *testing.T) {
+	f := NewDuplicateFilter()
+	huge := PacketKey{Origin: 1, Seq: 1 << 40}
+	if f.Seen(huge) {
+		t.Fatal("unmarked huge seq reported seen")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MarkSeen with a sparse sequence number did not panic")
+		}
+	}()
+	f.MarkSeen(huge)
+}

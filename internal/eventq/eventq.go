@@ -2,6 +2,16 @@
 // simulator: an indexed binary min-heap of timed events supporting O(log n)
 // push, pop, and cancellation.
 //
+// Events live in a pooled slab indexed by small integers; firing or
+// cancelling an event returns its slot to a free list, so steady-state
+// simulation (including recurring timers that fire and reschedule forever)
+// performs no per-event heap allocation. Callers hold Handle values —
+// generation-stamped indices — instead of pointers, which makes stale
+// handles (an event that already fired, or whose slot was reused) cheap and
+// safe to detect. The ordering keys (time, sequence) are stored inline in
+// the heap entries, so sift comparisons stay within one cache-friendly
+// array instead of chasing per-event pointers.
+//
 // Two events with equal timestamps are ordered by insertion sequence, which
 // makes simulation runs fully deterministic: the same schedule of calls
 // always dequeues in the same order regardless of heap internals.
@@ -9,94 +19,153 @@ package eventq
 
 import "time"
 
-// Event is a scheduled callback. The queue owns the heap bookkeeping fields;
-// callers treat an *Event as an opaque cancellation handle.
-type Event struct {
-	// At is the simulation time at which the event fires.
-	At time.Duration
-	// Fn is invoked when the event is dequeued by the simulation loop.
-	Fn func()
-
-	seq   uint64
-	index int // position in the heap, -1 once removed
+// Handle identifies one scheduled event. The zero Handle is invalid (never
+// pending). Handles are values: they can be copied, compared, and retained
+// after the event fires without keeping any memory alive.
+type Handle struct {
+	idx int32  // slot index + 1, so the zero Handle is invalid
+	gen uint32 // slot generation at scheduling time
 }
 
-// Cancelled reports whether the event has been removed from its queue
-// (either fired or explicitly cancelled).
-func (e *Event) Cancelled() bool { return e.index < 0 }
+// Valid reports whether h was ever issued by a Push (the zero Handle is
+// not). A valid handle may still be stale; use Queue.Pending.
+func (h Handle) Valid() bool { return h.idx != 0 }
+
+// slot is one pooled event record. Free slots are chained through the
+// queue's free list; live slots record their heap position.
+type slot struct {
+	fn   func()
+	gen  uint32
+	heap int32 // position in q.heap, -1 while free
+}
+
+// entry is one heap element: the ordering keys plus the owning slot.
+type entry struct {
+	at  time.Duration
+	seq uint64
+	idx int32
+}
 
 // Queue is a min-heap of events ordered by (At, insertion sequence).
 // The zero value is ready to use. Queue is not safe for concurrent use;
 // the simulation kernel is single-threaded by design.
 type Queue struct {
-	events  []*Event
+	slots   []slot
+	heap    []entry
+	free    []int32 // recycled slot indices (LIFO)
 	nextSeq uint64
 }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.events) }
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Cap returns the number of event slots currently allocated (pooled +
+// pending); diagnostics for pool-reuse tests.
+func (q *Queue) Cap() int { return len(q.slots) }
 
 // Push schedules fn at time at and returns a handle usable with Cancel.
-func (q *Queue) Push(at time.Duration, fn func()) *Event {
-	e := &Event{At: at, Fn: fn, seq: q.nextSeq, index: len(q.events)}
+func (q *Queue) Push(at time.Duration, fn func()) Handle {
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		q.slots = append(q.slots, slot{})
+		idx = int32(len(q.slots) - 1)
+	}
+	s := &q.slots[idx]
+	s.fn = fn
+	s.heap = int32(len(q.heap))
+	q.heap = append(q.heap, entry{at: at, seq: q.nextSeq, idx: idx})
 	q.nextSeq++
-	q.events = append(q.events, e)
-	q.up(e.index)
-	return e
+	q.up(int(s.heap))
+	return Handle{idx: idx + 1, gen: s.gen}
 }
 
-// Pop removes and returns the earliest event, or nil if the queue is empty.
-func (q *Queue) Pop() *Event {
-	if len(q.events) == 0 {
-		return nil
+// Pop removes the earliest event and returns its time and callback;
+// ok is false if the queue is empty. The event's slot is recycled before
+// returning, so the callback must not assume its handle is still pending.
+func (q *Queue) Pop() (at time.Duration, fn func(), ok bool) {
+	if len(q.heap) == 0 {
+		return 0, nil, false
 	}
-	top := q.events[0]
-	q.remove(0)
-	return top
+	head := q.heap[0]
+	fn = q.slots[head.idx].fn
+	q.removeHeap(0)
+	q.release(head.idx)
+	return head.at, fn, true
 }
 
-// Peek returns the earliest event without removing it, or nil if empty.
-func (q *Queue) Peek() *Event {
-	if len(q.events) == 0 {
-		return nil
+// PeekAt returns the earliest pending event time; ok is false if empty.
+func (q *Queue) PeekAt() (at time.Duration, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
 	}
-	return q.events[0]
+	return q.heap[0].at, true
 }
 
-// Cancel removes e from the queue. It is a no-op if e already fired or was
-// cancelled, so callers may cancel unconditionally. Returns whether the
-// event was actually removed.
-func (q *Queue) Cancel(e *Event) bool {
-	if e == nil || e.index < 0 || e.index >= len(q.events) || q.events[e.index] != e {
+// Pending reports whether the event identified by h is still scheduled.
+// Stale handles (fired, cancelled, or slot since reused) report false.
+func (q *Queue) Pending(h Handle) bool {
+	if h.idx <= 0 || int(h.idx) > len(q.slots) {
 		return false
 	}
-	q.remove(e.index)
+	s := &q.slots[h.idx-1]
+	return s.gen == h.gen && s.heap >= 0
+}
+
+// At returns the scheduled firing time of a pending event; ok is false for
+// stale handles.
+func (q *Queue) At(h Handle) (at time.Duration, ok bool) {
+	if !q.Pending(h) {
+		return 0, false
+	}
+	return q.heap[q.slots[h.idx-1].heap].at, true
+}
+
+// Cancel removes the event identified by h from the queue. It is a no-op
+// for stale handles, so callers may cancel unconditionally. Returns whether
+// a pending event was actually removed.
+func (q *Queue) Cancel(h Handle) bool {
+	if !q.Pending(h) {
+		return false
+	}
+	idx := h.idx - 1
+	q.removeHeap(int(q.slots[idx].heap))
+	q.release(idx)
 	return true
 }
 
-func (q *Queue) less(i, j int) bool {
-	a, b := q.events[i], q.events[j]
-	if a.At != b.At {
-		return a.At < b.At
+// release invalidates outstanding handles for the slot, drops the callback
+// reference, and returns the slot to the free list.
+func (q *Queue) release(idx int32) {
+	s := &q.slots[idx]
+	s.gen++
+	s.fn = nil
+	s.heap = -1
+	q.free = append(q.free, idx)
+}
+
+func (q *Queue) less(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
 func (q *Queue) swap(i, j int) {
-	q.events[i], q.events[j] = q.events[j], q.events[i]
-	q.events[i].index = i
-	q.events[j].index = j
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.slots[q.heap[i].idx].heap = int32(i)
+	q.slots[q.heap[j].idx].heap = int32(j)
 }
 
-func (q *Queue) remove(i int) {
-	last := len(q.events) - 1
-	removed := q.events[i]
+// removeHeap detaches heap position i, restoring the heap invariant.
+func (q *Queue) removeHeap(i int) {
+	last := len(q.heap) - 1
 	if i != last {
 		q.swap(i, last)
 	}
-	q.events[last] = nil
-	q.events = q.events[:last]
-	removed.index = -1
+	q.heap = q.heap[:last]
 	if i < last {
 		q.down(i)
 		q.up(i)
@@ -106,7 +175,7 @@ func (q *Queue) remove(i int) {
 func (q *Queue) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if !q.less(&q.heap[i], &q.heap[parent]) {
 			break
 		}
 		q.swap(i, parent)
@@ -115,17 +184,17 @@ func (q *Queue) up(i int) {
 }
 
 func (q *Queue) down(i int) {
-	n := len(q.events)
+	n := len(q.heap)
 	for {
 		left := 2*i + 1
 		if left >= n {
 			return
 		}
 		smallest := left
-		if right := left + 1; right < n && q.less(right, left) {
+		if right := left + 1; right < n && q.less(&q.heap[right], &q.heap[left]) {
 			smallest = right
 		}
-		if !q.less(smallest, i) {
+		if !q.less(&q.heap[smallest], &q.heap[i]) {
 			return
 		}
 		q.swap(i, smallest)

@@ -14,11 +14,11 @@ func TestEmptyQueue(t *testing.T) {
 	if q.Len() != 0 {
 		t.Fatal("empty queue has nonzero length")
 	}
-	if q.Pop() != nil {
+	if _, _, ok := q.Pop(); ok {
 		t.Fatal("Pop on empty queue returned event")
 	}
-	if q.Peek() != nil {
-		t.Fatal("Peek on empty queue returned event")
+	if _, ok := q.PeekAt(); ok {
+		t.Fatal("PeekAt on empty queue returned event")
 	}
 }
 
@@ -30,7 +30,11 @@ func TestOrderedPop(t *testing.T) {
 	}
 	var got []time.Duration
 	for q.Len() > 0 {
-		got = append(got, q.Pop().At)
+		at, _, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop failed with events pending")
+		}
+		got = append(got, at)
 	}
 	for i := 1; i < len(got); i++ {
 		if got[i] < got[i-1] {
@@ -51,7 +55,8 @@ func TestFIFOAmongEqualTimes(t *testing.T) {
 		q.Push(time.Second, func() { order = append(order, i) })
 	}
 	for q.Len() > 0 {
-		q.Pop().Fn()
+		_, fn, _ := q.Pop()
+		fn()
 	}
 	for i, v := range order {
 		if v != i {
@@ -62,23 +67,23 @@ func TestFIFOAmongEqualTimes(t *testing.T) {
 
 func TestCancel(t *testing.T) {
 	var q Queue
-	e1 := q.Push(1*time.Second, nil)
+	q.Push(1*time.Second, nil)
 	e2 := q.Push(2*time.Second, nil)
-	e3 := q.Push(3*time.Second, nil)
+	q.Push(3*time.Second, nil)
 	if !q.Cancel(e2) {
 		t.Fatal("Cancel returned false for pending event")
 	}
 	if q.Cancel(e2) {
 		t.Fatal("double Cancel returned true")
 	}
-	if !e2.Cancelled() {
-		t.Fatal("cancelled event not marked cancelled")
+	if q.Pending(e2) {
+		t.Fatal("cancelled event still pending")
 	}
-	if got := q.Pop(); got != e1 {
-		t.Fatalf("first pop = %v, want e1", got.At)
+	if at, _, _ := q.Pop(); at != 1*time.Second {
+		t.Fatalf("first pop = %v, want 1s", at)
 	}
-	if got := q.Pop(); got != e3 {
-		t.Fatalf("second pop = %v, want e3", got.At)
+	if at, _, _ := q.Pop(); at != 3*time.Second {
+		t.Fatalf("second pop = %v, want 3s", at)
 	}
 	if q.Len() != 0 {
 		t.Fatalf("queue not empty: %d", q.Len())
@@ -88,29 +93,105 @@ func TestCancel(t *testing.T) {
 func TestCancelHead(t *testing.T) {
 	var q Queue
 	e1 := q.Push(1*time.Second, nil)
-	e2 := q.Push(2*time.Second, nil)
+	q.Push(2*time.Second, nil)
 	q.Cancel(e1)
-	if got := q.Peek(); got != e2 {
+	if at, ok := q.PeekAt(); !ok || at != 2*time.Second {
 		t.Fatal("head cancel did not promote next event")
 	}
 }
 
-func TestCancelNil(t *testing.T) {
+func TestCancelZeroHandle(t *testing.T) {
 	var q Queue
-	if q.Cancel(nil) {
-		t.Fatal("Cancel(nil) returned true")
+	if q.Cancel(Handle{}) {
+		t.Fatal("Cancel of zero Handle returned true")
+	}
+	if (Handle{}).Valid() {
+		t.Fatal("zero Handle claims validity")
 	}
 }
 
-func TestPoppedEventCancelled(t *testing.T) {
+func TestPoppedEventNotPending(t *testing.T) {
 	var q Queue
 	e := q.Push(time.Second, nil)
 	q.Pop()
-	if !e.Cancelled() {
+	if q.Pending(e) {
 		t.Fatal("popped event still claims to be pending")
 	}
 	if q.Cancel(e) {
 		t.Fatal("Cancel after Pop returned true")
+	}
+}
+
+func TestAt(t *testing.T) {
+	var q Queue
+	e := q.Push(7*time.Second, nil)
+	if at, ok := q.At(e); !ok || at != 7*time.Second {
+		t.Fatalf("At = %v, %v", at, ok)
+	}
+	q.Pop()
+	if _, ok := q.At(e); ok {
+		t.Fatal("At succeeded on fired event")
+	}
+}
+
+// TestSlotReuseAfterPop is the pool-behaviour contract: a fire/schedule
+// steady state must recycle slots instead of growing the slab.
+func TestSlotReuseAfterPop(t *testing.T) {
+	var q Queue
+	for i := 0; i < 8; i++ {
+		q.Push(time.Duration(i)*time.Second, nil)
+	}
+	grown := q.Cap()
+	for cycle := 0; cycle < 1000; cycle++ {
+		at, _, ok := q.Pop()
+		if !ok {
+			t.Fatal("pool drained unexpectedly")
+		}
+		q.Push(at+8*time.Second, nil)
+	}
+	if q.Cap() != grown {
+		t.Fatalf("slab grew from %d to %d slots during steady-state churn", grown, q.Cap())
+	}
+}
+
+// TestSlotReuseAfterCancel checks that cancellation also returns slots to
+// the pool and that a handle whose slot was reused is recognised as stale.
+func TestSlotReuseAfterCancel(t *testing.T) {
+	var q Queue
+	stale := q.Push(time.Second, nil)
+	if !q.Cancel(stale) {
+		t.Fatal("Cancel failed")
+	}
+	grown := q.Cap()
+	fresh := q.Push(2*time.Second, nil)
+	if q.Cap() != grown {
+		t.Fatalf("cancelled slot not reused: cap %d -> %d", grown, q.Cap())
+	}
+	if q.Pending(stale) {
+		t.Fatal("stale handle reports pending after its slot was reused")
+	}
+	if q.Cancel(stale) {
+		t.Fatal("stale handle cancelled the reused slot's event")
+	}
+	if !q.Pending(fresh) {
+		t.Fatal("fresh event lost")
+	}
+}
+
+// TestSteadyStateAllocFree verifies the headline property: scheduling into
+// recycled slots does not allocate.
+func TestSteadyStateAllocFree(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		q.Push(time.Duration(i)*time.Millisecond, fn)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		at, _, _ := q.Pop()
+		q.Push(at+64*time.Millisecond, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pop/push allocates %.1f times per cycle", allocs)
 	}
 }
 
@@ -121,31 +202,25 @@ func TestPropertyHeapOrder(t *testing.T) {
 		r := rng.New(seed)
 		n := int(rawN)%200 + 1
 		var q Queue
-		handles := make([]*Event, 0, n)
+		handles := make([]Handle, 0, n)
+		ats := make([]time.Duration, 0, n)
 		for i := 0; i < n; i++ {
 			at := time.Duration(r.Intn(50)) * time.Millisecond
 			handles = append(handles, q.Push(at, nil))
-		}
-		cancelled := map[*Event]bool{}
-		for _, h := range handles {
-			if r.Bool(0.3) {
-				q.Cancel(h)
-				cancelled[h] = true
-			}
+			ats = append(ats, at)
 		}
 		var want []time.Duration
-		for _, h := range handles {
-			if !cancelled[h] {
-				want = append(want, h.At)
+		for i, h := range handles {
+			if r.Bool(0.3) {
+				q.Cancel(h)
+			} else {
+				want = append(want, ats[i])
 			}
 		}
 		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 		for i := 0; q.Len() > 0; i++ {
-			e := q.Pop()
-			if cancelled[e] {
-				return false
-			}
-			if i >= len(want) || e.At != want[i] {
+			at, _, ok := q.Pop()
+			if !ok || i >= len(want) || at != want[i] {
 				return false
 			}
 		}
@@ -157,31 +232,30 @@ func TestPropertyHeapOrder(t *testing.T) {
 }
 
 // Property: sequence numbers preserve FIFO among equal timestamps even with
-// interleaved cancellations.
+// slot reuse in between.
 func TestPropertyStableOrder(t *testing.T) {
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		var q Queue
-		type tagged struct {
-			e   *Event
-			tag int
+		// Churn the pool first so pushes land in recycled slots.
+		for i := 0; i < 20; i++ {
+			q.Cancel(q.Push(time.Second, nil))
 		}
-		var items []tagged
+		tags := make([]int, 0, 100)
 		for i := 0; i < 100; i++ {
+			i := i
 			at := time.Duration(r.Intn(5)) * time.Second
-			items = append(items, tagged{q.Push(at, nil), i})
-		}
-		byEvent := map[*Event]int{}
-		for _, it := range items {
-			byEvent[it.e] = it.tag
+			q.Push(at, func() { tags = append(tags, i) })
 		}
 		lastTagAtTime := map[time.Duration]int{}
 		for q.Len() > 0 {
-			e := q.Pop()
-			if prev, ok := lastTagAtTime[e.At]; ok && byEvent[e] < prev {
+			at, fn, _ := q.Pop()
+			fn()
+			tag := tags[len(tags)-1]
+			if prev, ok := lastTagAtTime[at]; ok && tag < prev {
 				return false
 			}
-			lastTagAtTime[e.At] = byEvent[e]
+			lastTagAtTime[at] = tag
 		}
 		return true
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -416,6 +418,40 @@ func TestRegistrySmokeAll(t *testing.T) {
 		}
 		if csv := tbl.CSV(); !strings.Contains(csv, ",") {
 			t.Fatalf("%s csv empty", e.ID)
+		}
+	}
+}
+
+// TestNetsimDeterministicAcrossWorkers is the pooled-kernel determinism
+// gate: the Section 5 netsim scenario must produce byte-identical Results
+// (tables, per-point energy/latency/delivery, everything that reaches the
+// JSON output) no matter how the point sweep is scheduled. A kernel
+// optimization that perturbed event order or RNG consumption would show up
+// here before it could corrupt a paper artifact.
+func TestNetsimDeterministicAcrossWorkers(t *testing.T) {
+	sc, err := Registry().ByID("fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := QuickScale()
+	s.NetRuns = 1
+	s.NetDuration = 200 * time.Second
+	s.Seed = 42
+	blobFor := func(workers int) []byte {
+		outs, err := scenario.RunAll([]scenario.Scenario{sc}, s, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	want := blobFor(1)
+	for _, workers := range []int{2, 8} {
+		if got := blobFor(workers); !bytes.Equal(want, got) {
+			t.Fatalf("workers=%d changed the netsim Result bytes", workers)
 		}
 	}
 }

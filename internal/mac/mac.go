@@ -155,7 +155,10 @@ const (
 	frameData
 )
 
-// wire is the channel payload.
+// wire is the channel payload. Frames travel as *wire so that putting one
+// on the air boxes a pointer (allocation-free) instead of copying the
+// struct into the interface; the transmitting node owns the record and
+// recycles it once the frame leaves the air.
 type wire struct {
 	kind frameKind
 	pkt  Packet // valid for frameData only
@@ -199,6 +202,20 @@ type Node struct {
 	txQueue []wire
 	txBusy  bool
 
+	// Pre-bound callbacks for the CSMA state machine. Scheduling these hot
+	// closures (once per backoff / per frame) out of fields instead of
+	// fresh literals keeps the event loop allocation-free.
+	attemptTxFn    func()
+	afterBackoffFn func()
+	txDoneFn       func()
+	sendATIMFn     func()
+	// onAir is the node's single in-flight frame record, reused across
+	// transmissions (the MAC serializes its own transmissions).
+	onAir wire
+	// relPool recycles the deferred-release records EndATIMWindow schedules
+	// for announced data frames.
+	relPool []*releaseRec
+
 	// Adaptive-mode state (nil/zero when running static PBBF).
 	adaptive *core.AdaptiveController
 	frameRx  int              // frames decoded in the current beacon interval
@@ -231,6 +248,10 @@ func NewNode(id topo.NodeID, cfg Config, kernel *sim.Kernel, channel *phy.Channe
 		seen:    core.NewDuplicateFilter(),
 		awake:   true,
 	}
+	n.attemptTxFn = n.attemptTx
+	n.afterBackoffFn = n.afterBackoff
+	n.txDoneFn = n.txDone
+	n.sendATIMFn = n.sendATIM
 	if cfg.Adaptive != nil {
 		ctrl, err := core.NewAdaptiveController(*cfg.Adaptive)
 		if err != nil {
@@ -268,10 +289,17 @@ func (n *Node) EnergyAt(now time.Duration) float64 { return n.meter.EnergyAt(now
 // Meter exposes the energy meter for detailed breakdowns in experiments.
 func (n *Node) Meter() *energy.Meter { return n.meter }
 
-// Listening implements phy.Receiver: a node decodes frames only while
-// awake and not transmitting.
+// Listening reports whether the node's radio can decode a frame right now
+// (awake and not transmitting), as registered with the channel.
 func (n *Node) Listening() bool {
-	return n.awake && !n.channel.Transmitting(n.id)
+	return n.channel.Listening(n.id)
+}
+
+// setAwake flips the radio state and mirrors it into the channel's flat
+// listening table (the per-frame fan-out reads the channel copy).
+func (n *Node) setAwake(awake bool) {
+	n.awake = awake
+	n.channel.SetListening(n.id, awake)
 }
 
 // Broadcast originates a new broadcast from this node (application call).
@@ -298,7 +326,7 @@ func (n *Node) routePacket(pkt Packet) {
 func (n *Node) wakeForTraffic() {
 	n.mustStay = true
 	if !n.awake {
-		n.awake = true
+		n.setAwake(true)
 		n.meter.SetState(energy.Idle, n.kernel.Now())
 	}
 }
@@ -308,7 +336,7 @@ func (n *Node) wakeForTraffic() {
 // ATIM (if any) contends for the channel.
 func (n *Node) StartFrame() {
 	now := n.kernel.Now()
-	n.awake = true
+	n.setAwake(true)
 	n.meter.SetState(energy.Idle, now)
 	n.mustStay = false
 	n.atimOK = false
@@ -334,10 +362,13 @@ func (n *Node) StartFrame() {
 			span = 0
 		}
 		offset := time.Duration(n.rng.Float64() * float64(span))
-		n.kernel.Schedule(offset, func() {
-			n.enqueueTx(wire{kind: frameATIM}, false)
-		})
+		n.kernel.Schedule(offset, n.sendATIMFn)
 	}
+}
+
+// sendATIM queues this frame's ATIM announcement (scheduled by StartFrame).
+func (n *Node) sendATIM() {
+	n.enqueueTx(wire{kind: frameATIM}, false)
 }
 
 // EndATIMWindow applies the Sleep-Decision-Handler of Figure 3 and, if the
@@ -351,7 +382,7 @@ func (n *Node) EndATIMWindow() {
 		n.stats.StayAwakeWins++
 	}
 	if !stay {
-		n.awake = false
+		n.setAwake(false)
 		n.meter.SetState(energy.Sleep, now)
 	}
 	if n.atimOK && len(n.announced) > 0 {
@@ -365,11 +396,10 @@ func (n *Node) EndATIMWindow() {
 			span = 0
 		}
 		for _, pkt := range n.announced {
-			pkt := pkt
 			offset := time.Duration(n.rng.Float64() * float64(span))
-			n.kernel.Schedule(offset, func() {
-				n.enqueueTx(wire{kind: frameData, pkt: pkt}, false)
-			})
+			rec := n.acquireRelease()
+			rec.pkt = pkt
+			n.kernel.Schedule(offset, rec.fire)
 		}
 		n.announced = n.announced[:0]
 	} else if len(n.announced) > 0 {
@@ -382,9 +412,40 @@ func (n *Node) EndATIMWindow() {
 	}
 }
 
+// releaseRec is a pooled deferred-release record: one announced data frame
+// waiting out its post-window transmission offset. Its fire closure is
+// bound once, so releasing announced traffic allocates nothing in steady
+// state.
+type releaseRec struct {
+	n    *Node
+	pkt  Packet
+	fire func()
+}
+
+// acquireRelease takes a release record from the node's pool.
+func (n *Node) acquireRelease() *releaseRec {
+	if k := len(n.relPool); k > 0 {
+		rec := n.relPool[k-1]
+		n.relPool = n.relPool[:k-1]
+		return rec
+	}
+	rec := &releaseRec{n: n}
+	rec.fire = rec.run
+	return rec
+}
+
+// run queues the held data frame for CSMA transmission and recycles the
+// record.
+func (rec *releaseRec) run() {
+	n, pkt := rec.n, rec.pkt
+	rec.pkt = Packet{}
+	n.relPool = append(n.relPool, rec)
+	n.enqueueTx(wire{kind: frameData, pkt: pkt}, false)
+}
+
 // Deliver implements phy.Receiver.
 func (n *Node) Deliver(f phy.Frame) {
-	w, ok := f.Payload.(wire)
+	w, ok := f.Payload.(*wire)
 	if !ok {
 		return // foreign payload: ignore
 	}
@@ -467,7 +528,7 @@ func (n *Node) attemptTx() {
 	if head.kind == frameData && n.inATIMWindow(now) {
 		// Data may not be sent during the ATIM window; wait it out.
 		windowEnd := n.frameStart(now) + n.cfg.Timing.Active
-		n.kernel.ScheduleAt(windowEnd, n.attemptTx)
+		n.kernel.ScheduleAt(windowEnd, n.attemptTxFn)
 		return
 	}
 
@@ -485,16 +546,20 @@ func (n *Node) attemptTx() {
 	}
 
 	if n.channel.CarrierBusy(n.id) {
-		n.kernel.Schedule(backoff, n.attemptTx)
+		n.kernel.Schedule(backoff, n.attemptTxFn)
 		return
 	}
-	n.kernel.Schedule(backoff, func() {
-		if n.channel.CarrierBusy(n.id) {
-			n.attemptTx() // medium got busy during backoff: re-contend
-			return
-		}
-		n.transmitHead()
-	})
+	n.kernel.Schedule(backoff, n.afterBackoffFn)
+}
+
+// afterBackoff fires when the contention backoff expires: transmit if the
+// medium stayed idle, otherwise re-contend.
+func (n *Node) afterBackoff() {
+	if n.channel.CarrierBusy(n.id) {
+		n.attemptTx() // medium got busy during backoff: re-contend
+		return
+	}
+	n.transmitHead()
 }
 
 // transmitHead puts the head frame on the air.
@@ -503,10 +568,10 @@ func (n *Node) transmitHead() {
 		n.txBusy = false
 		return
 	}
-	head := n.txQueue[0]
+	n.onAir = n.txQueue[0]
 	n.txQueue = n.txQueue[0:copy(n.txQueue, n.txQueue[1:])]
 	var airtime time.Duration
-	switch head.kind {
+	switch n.onAir.kind {
 	case frameATIM:
 		airtime = n.cfg.ATIMAirtime()
 		n.stats.ATIMSent++
@@ -516,15 +581,19 @@ func (n *Node) transmitHead() {
 		n.stats.DataSent++
 	}
 	n.meter.SetState(energy.Transmit, n.kernel.Now())
-	err := n.channel.Transmit(phy.Frame{Sender: n.id, Payload: head, Airtime: airtime}, func() {
-		n.meter.SetState(energy.Idle, n.kernel.Now())
-		n.attemptTx()
-	})
+	err := n.channel.Transmit(phy.Frame{Sender: n.id, Payload: &n.onAir, Airtime: airtime}, n.txDoneFn)
 	if err != nil {
 		// The MAC serializes its own transmissions, so this is a bug, not
 		// a runtime condition; surface it loudly in simulation runs.
 		panic(fmt.Sprintf("mac: node %d transmit: %v", n.id, err))
 	}
+}
+
+// txDone runs when this node's frame leaves the air: back to idle power and
+// on to the next queued frame.
+func (n *Node) txDone() {
+	n.meter.SetState(energy.Idle, n.kernel.Now())
+	n.attemptTx()
 }
 
 // FinishMetering closes the node's energy accounting at time now.

@@ -135,31 +135,37 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	interval := time.Duration(float64(time.Second) / cfg.Lambda)
-	for at := time.Duration(0); at < cfg.Duration; at += interval {
-		kernel.ScheduleAt(at, func() {
-			payload := source.Generate(kernel.Now())
-			trackers[cfg.Source].Observe(payload, kernel.Now())
-			nodes[cfg.Source].Broadcast(mac.Packet{
-				Key:     mac.PacketKeyFor(cfg.Source, uint64(source.Generated()-1)),
-				Payload: payload,
-			})
+	// The generate/tick/window callbacks are created once and rescheduled
+	// into pooled event slots, so the whole beacon machinery runs
+	// allocation-free regardless of horizon length.
+	generate := func() {
+		payload := source.Generate(kernel.Now())
+		trackers[cfg.Source].Observe(payload, kernel.Now())
+		nodes[cfg.Source].Broadcast(mac.Packet{
+			Key:     mac.PacketKeyFor(cfg.Source, uint64(source.Generated()-1)),
+			Payload: payload,
 		})
 	}
+	interval := time.Duration(float64(time.Second) / cfg.Lambda)
+	for at := time.Duration(0); at < cfg.Duration; at += interval {
+		kernel.ScheduleAt(at, generate)
+	}
 
-	// Beacon schedule: StartFrame for every node at each beacon, then
-	// EndATIMWindow when the window closes. Nodes are visited in ID order,
-	// keeping runs deterministic.
+	// Beacon schedule: one recurring frame tick fans StartFrame out over
+	// the reusable node slice at each beacon, then EndATIMWindow when the
+	// window closes. Nodes are visited in ID order, keeping runs
+	// deterministic.
+	endWindow := func() {
+		for _, node := range nodes {
+			node.EndATIMWindow()
+		}
+	}
 	var tick func()
 	tick = func() {
 		for _, node := range nodes {
 			node.StartFrame()
 		}
-		kernel.Schedule(cfg.MAC.Timing.Active, func() {
-			for _, node := range nodes {
-				node.EndATIMWindow()
-			}
-		})
+		kernel.Schedule(cfg.MAC.Timing.Active, endWindow)
 		kernel.Schedule(cfg.MAC.Timing.Frame, tick)
 	}
 	kernel.ScheduleAt(0, tick)

@@ -34,7 +34,7 @@ func TestLossDropsExpectedFraction(t *testing.T) {
 	k := sim.NewKernel()
 	c := NewChannel(k, g)
 	got := 0
-	c.Register(0, &stubReceiver{listening: true})
+	c.Register(0, &stubReceiver{})
 	c.Register(1, &funcReceiver{fn: func(Frame) { got++ }})
 	if err := c.SetLoss(0.4, rng.New(7)); err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestZeroLossDeliversEverything(t *testing.T) {
 	k := sim.NewKernel()
 	c := NewChannel(k, g)
 	got := 0
-	c.Register(0, &stubReceiver{listening: true})
+	c.Register(0, &stubReceiver{})
 	c.Register(1, &funcReceiver{fn: func(Frame) { got++ }})
 	for i := 0; i < 100; i++ {
 		at := time.Duration(i) * 10 * time.Millisecond
@@ -88,7 +88,6 @@ type funcReceiver struct {
 	fn func(Frame)
 }
 
-func (f *funcReceiver) Listening() bool { return true }
 func (f *funcReceiver) Deliver(fr Frame) {
 	f.fn(fr)
 }

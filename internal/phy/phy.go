@@ -30,19 +30,34 @@ type Frame struct {
 }
 
 // Receiver is the per-node upcall surface the MAC registers with the
-// channel.
+// channel. Radio state (listening or not) lives in the channel itself —
+// the MAC reports sleep/wake transitions via SetListening — so the
+// per-neighbor fan-out on every frame reads a flat bool slice instead of
+// calling back through an interface.
 type Receiver interface {
-	// Listening reports whether the node's radio can begin decoding a
-	// frame right now (awake and not transmitting).
-	Listening() bool
 	// Deliver hands a successfully decoded frame to the node.
 	Deliver(f Frame)
 }
 
-// reception tracks one in-progress decode at a receiver.
+// reception tracks one in-progress decode at a receiver. Records live
+// inline in the channel's per-node slice (active marks occupancy) so
+// starting a decode allocates nothing.
 type reception struct {
 	frame     Frame
+	active    bool
 	corrupted bool
+}
+
+// txEnd is the pooled end-of-airtime record for one transmission. Its
+// fire closure is bound once when the record is created, so concurrent
+// transmissions each reuse a pooled record and a pooled event slot with no
+// per-transmit allocation.
+type txEnd struct {
+	c         *Channel
+	frame     Frame
+	neighbors []topo.NodeID
+	onDone    func()
+	fire      func()
 }
 
 // Channel connects the nodes of a topology. Create with NewChannel, then
@@ -54,9 +69,14 @@ type Channel struct {
 	// busy counts in-range active transmissions per node (carrier sense).
 	busy []int
 	// rx is the frame currently being decoded at each node, if any.
-	rx []*reception
+	rx []reception
 	// transmitting marks nodes whose own radio is in TX mode.
 	transmitting []bool
+	// listening marks nodes whose radio is awake (set by the MAC); a node
+	// decodes only while listening and not transmitting.
+	listening []bool
+	// endPool recycles txEnd records across transmissions.
+	endPool []*txEnd
 
 	// lossRate drops otherwise-successful receptions independently with
 	// this probability (fading/noise injection; 0 = ideal channel).
@@ -77,14 +97,36 @@ func NewChannel(kernel *sim.Kernel, t topo.Topology) *Channel {
 		topo:         t,
 		receivers:    make([]Receiver, t.N()),
 		busy:         make([]int, t.N()),
-		rx:           make([]*reception, t.N()),
+		rx:           make([]reception, t.N()),
 		transmitting: make([]bool, t.N()),
+		listening:    make([]bool, t.N()),
 	}
 }
 
-// Register installs the receiver upcall for a node.
+// Register installs the receiver upcall for a node. Registered nodes start
+// listening (simulations begin with every radio awake); the MAC flips the
+// state with SetListening as nodes sleep and wake.
 func (c *Channel) Register(id topo.NodeID, r Receiver) {
 	c.receivers[id] = r
+	c.listening[id] = true
+}
+
+// SetListening records whether the node's radio is awake. A node decodes a
+// frame only if it is listening — and not transmitting — for the frame's
+// entire airtime.
+func (c *Channel) SetListening(id topo.NodeID, on bool) {
+	c.listening[id] = on
+}
+
+// Listening reports the node's radio state as the channel sees it: awake
+// and not mid-transmission.
+func (c *Channel) Listening(id topo.NodeID) bool {
+	return c.listening[id] && !c.transmitting[id]
+}
+
+// canHear reports whether the node can decode right now.
+func (c *Channel) canHear(nb topo.NodeID) bool {
+	return c.listening[nb] && !c.transmitting[nb] && c.receivers[nb] != nil
 }
 
 // CarrierBusy reports whether node senses energy on the channel (an
@@ -137,41 +179,69 @@ func (c *Channel) Transmit(f Frame, onDone func()) error {
 	for _, nb := range neighbors {
 		c.busy[nb]++
 		switch {
-		case c.rx[nb] != nil:
+		case c.rx[nb].active:
 			// Overlap with an in-progress decode: both are lost.
 			c.rx[nb].corrupted = true
-		case c.busy[nb] == 1 && c.receivers[nb] != nil && c.receivers[nb].Listening():
-			c.rx[nb] = &reception{frame: f}
+		case c.busy[nb] == 1 && c.canHear(nb):
+			c.rx[nb] = reception{frame: f, active: true}
 		default:
 			// Channel already busy or radio not listening: frame lost at
 			// this receiver. Nothing to record; busy bookkeeping suffices.
 		}
 	}
-	c.kernel.Schedule(f.Airtime, func() {
-		c.transmitting[f.Sender] = false
-		for _, nb := range neighbors {
-			c.busy[nb]--
-			r := c.rx[nb]
-			if r == nil || r.frame.Sender != f.Sender {
-				continue
-			}
-			c.rx[nb] = nil
-			if r.corrupted {
-				c.collided++
-				continue
-			}
-			if c.receivers[nb] != nil && c.receivers[nb].Listening() {
-				if c.lossRate > 0 && c.lossRNG.Bool(c.lossRate) {
-					c.faded++
-					continue
-				}
-				c.delivered++
-				c.receivers[nb].Deliver(f)
-			}
-		}
-		if onDone != nil {
-			onDone()
-		}
-	})
+	end := c.acquireEnd()
+	end.frame = f
+	end.neighbors = neighbors
+	end.onDone = onDone
+	c.kernel.Schedule(f.Airtime, end.fire)
 	return nil
+}
+
+// acquireEnd takes a txEnd record from the pool, creating one (with its
+// bound fire closure) only when the pool is empty.
+func (c *Channel) acquireEnd() *txEnd {
+	if n := len(c.endPool); n > 0 {
+		end := c.endPool[n-1]
+		c.endPool = c.endPool[:n-1]
+		return end
+	}
+	end := &txEnd{c: c}
+	end.fire = end.run
+	return end
+}
+
+// run completes one transmission: clears carrier sense, resolves every
+// in-progress decode of this frame, and recycles the record.
+func (end *txEnd) run() {
+	c, f := end.c, end.frame
+	c.transmitting[f.Sender] = false
+	for _, nb := range end.neighbors {
+		c.busy[nb]--
+		r := &c.rx[nb]
+		if !r.active || r.frame.Sender != f.Sender {
+			continue
+		}
+		corrupted := r.corrupted
+		*r = reception{}
+		if corrupted {
+			c.collided++
+			continue
+		}
+		if c.canHear(nb) {
+			if c.lossRate > 0 && c.lossRNG.Bool(c.lossRate) {
+				c.faded++
+				continue
+			}
+			c.delivered++
+			c.receivers[nb].Deliver(f)
+		}
+	}
+	onDone := end.onDone
+	end.frame = Frame{}
+	end.neighbors = nil
+	end.onDone = nil
+	c.endPool = append(c.endPool, end)
+	if onDone != nil {
+		onDone()
+	}
 }

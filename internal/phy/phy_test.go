@@ -8,13 +8,12 @@ import (
 	"pbbf/internal/topo"
 )
 
-// stubReceiver records deliveries and has a switchable listening state.
+// stubReceiver records deliveries; radio state lives in the channel and is
+// toggled with Channel.SetListening.
 type stubReceiver struct {
-	listening bool
-	got       []Frame
+	got []Frame
 }
 
-func (s *stubReceiver) Listening() bool { return s.listening }
 func (s *stubReceiver) Deliver(f Frame) { s.got = append(s.got, f) }
 
 // line3 builds a 3-node line topology 0-1-2 (grid 3×1).
@@ -25,7 +24,7 @@ func line3(t *testing.T) (*sim.Kernel, *Channel, []*stubReceiver) {
 	c := NewChannel(k, g)
 	rx := make([]*stubReceiver, 3)
 	for i := range rx {
-		rx[i] = &stubReceiver{listening: true}
+		rx[i] = &stubReceiver{}
 		c.Register(topo.NodeID(i), rx[i])
 	}
 	return k, c, rx
@@ -69,7 +68,7 @@ func TestNoDeliveryOutOfRange(t *testing.T) {
 
 func TestSleepingReceiverMissesFrame(t *testing.T) {
 	k, c, rx := line3(t)
-	rx[0].listening = false
+	c.SetListening(0, false)
 	if err := c.Transmit(Frame{Sender: 1, Airtime: time.Millisecond}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +85,11 @@ func TestSleepingReceiverMissesFrame(t *testing.T) {
 
 func TestWakeMidFrameStillMisses(t *testing.T) {
 	k, c, rx := line3(t)
-	rx[0].listening = false
+	c.SetListening(0, false)
 	if err := c.Transmit(Frame{Sender: 1, Airtime: 10 * time.Millisecond}, nil); err != nil {
 		t.Fatal(err)
 	}
-	k.Schedule(5*time.Millisecond, func() { rx[0].listening = true })
+	k.Schedule(5*time.Millisecond, func() { c.SetListening(0, true) })
 	if err := k.RunUntilIdle(); err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +103,7 @@ func TestSleepMidFrameLosesFrame(t *testing.T) {
 	if err := c.Transmit(Frame{Sender: 1, Airtime: 10 * time.Millisecond}, nil); err != nil {
 		t.Fatal(err)
 	}
-	k.Schedule(5*time.Millisecond, func() { rx[0].listening = false })
+	k.Schedule(5*time.Millisecond, func() { c.SetListening(0, false) })
 	if err := k.RunUntilIdle(); err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +142,7 @@ func TestHiddenTerminal(t *testing.T) {
 	c := NewChannel(k, g)
 	rx := make([]*stubReceiver, 5)
 	for i := range rx {
-		rx[i] = &stubReceiver{listening: true}
+		rx[i] = &stubReceiver{}
 		c.Register(topo.NodeID(i), rx[i])
 	}
 	if err := c.Transmit(Frame{Sender: 0, Airtime: 10 * time.Millisecond}, nil); err != nil {
@@ -261,10 +260,8 @@ func TestTransmittingNodeCannotReceive(t *testing.T) {
 	if err := c.Transmit(Frame{Sender: 0, Airtime: 10 * time.Millisecond}, nil); err != nil {
 		t.Fatal(err)
 	}
-	// Node 1 is a stub that always "listens"; in the real MAC the
-	// Listening method returns false while transmitting. Simulate that by
-	// flipping the stub.
-	rx[1].listening = false
+	// The channel itself knows node 1 is transmitting, so no stub state is
+	// needed: a transmitting radio never decodes.
 	if err := c.Transmit(Frame{Sender: 1, Airtime: 10 * time.Millisecond}, nil); err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -91,6 +92,32 @@ func Quick() Scale {
 	}
 }
 
+// Bench returns the fixed benchmark configuration behind BENCH.json: large
+// enough that the netsim kernel dominates (the large-n, long-horizon regime
+// the paper's Section 5 cares about), small enough that the full registry
+// finishes in CI time. Changing these dimensions invalidates every recorded
+// baseline, so treat them as frozen; add a new preset instead of editing.
+func Bench() Scale {
+	return Scale{
+		GridW: 40, GridH: 40,
+		IdealUpdates: 4,
+		PercTrials:   60,
+		PercGrids:    []int{10, 20, 30},
+		NetNodes:     100,
+		NetRuns:      2,
+		NetDuration:  1000 * time.Second,
+		QSweep:       SweepRange(0, 1, 0.5),
+		PSweepIdeal:  []float64{0.05, 0.5},
+		PSweepNet:    []float64{0.1, 0.5},
+		DeltaSweep:   []float64{8, 12, 16},
+		HopNear:      10,
+		HopFar:       25,
+		NetTrackHops: []int{2, 5},
+		DutySweep:    []float64{0.1, 0.5, 1},
+		Seed:         1,
+	}
+}
+
 // Presets maps the scale names the CLI accepts to their constructors, in
 // the order they should be documented.
 func Presets() []struct {
@@ -103,17 +130,29 @@ func Presets() []struct {
 	}{
 		{"quick", Quick()},
 		{"paper", Paper()},
+		{"bench", Bench()},
 	}
 }
 
-// ByName returns the named scale preset ("quick" or "paper").
+// ScaleNames returns the preset names the CLI accepts, in documentation
+// order.
+func ScaleNames() []string {
+	presets := Presets()
+	names := make([]string, len(presets))
+	for i, p := range presets {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ByName returns the named scale preset ("quick", "paper", or "bench").
 func ByName(name string) (Scale, error) {
 	for _, p := range Presets() {
 		if p.Name == name {
 			return p.Scale, nil
 		}
 	}
-	return Scale{}, fmt.Errorf("scenario: unknown scale %q (want quick or paper)", name)
+	return Scale{}, fmt.Errorf("scenario: unknown scale %q (want %s)", name, strings.Join(ScaleNames(), ", "))
 }
 
 // Validate checks the scale's structural invariants.

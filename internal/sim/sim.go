@@ -5,10 +5,16 @@
 // on exact event ordering, and a sequential event loop with a deterministic
 // tie-break is both faster and reproducible. All simulated time is
 // time.Duration from the start of the run.
+//
+// Events are pooled: the kernel's queue (internal/eventq) recycles event
+// slots, and Timer is a value-type handle, so steady-state scheduling — in
+// particular recurring timers that fire and reschedule forever — performs
+// no per-event allocation.
 package sim
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"pbbf/internal/eventq"
@@ -17,12 +23,22 @@ import (
 // ErrStopped is returned by Run when Stop was called before the horizon.
 var ErrStopped = errors.New("sim: stopped")
 
+// totalFired counts events executed across every kernel in the process.
+// Kernels flush their local counters when Run/RunUntilIdle returns, so the
+// hot loop pays nothing; the benchmark runner reads deltas around runs.
+var totalFired atomic.Uint64
+
+// TotalFired returns the process-wide count of events executed by kernels
+// whose Run/RunUntilIdle has returned. Intended for benchmark accounting.
+func TotalFired() uint64 { return totalFired.Load() }
+
 // Kernel is a discrete-event simulation executive. Create with NewKernel.
 type Kernel struct {
 	queue   eventq.Queue
 	now     time.Duration
 	stopped bool
 	fired   uint64
+	flushed uint64 // portion of fired already added to totalFired
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -39,30 +55,43 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 // Pending returns the number of scheduled events not yet executed.
 func (k *Kernel) Pending() int { return k.queue.Len() }
 
-// Timer is a cancellable handle for a scheduled callback.
+// flushFired publishes events executed since the last flush to the
+// process-wide counter.
+func (k *Kernel) flushFired() {
+	if d := k.fired - k.flushed; d > 0 {
+		totalFired.Add(d)
+		k.flushed = k.fired
+	}
+}
+
+// Timer is a cancellable handle for a scheduled callback. It is a small
+// value: copying it is cheap and the zero Timer is inert.
 type Timer struct {
 	kernel *Kernel
-	event  *eventq.Event
+	handle eventq.Handle
+	at     time.Duration
 }
 
 // Cancel removes the timer from the schedule; safe to call repeatedly and
 // after the timer fired. Reports whether a pending event was removed.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.event == nil {
+func (t Timer) Cancel() bool {
+	if t.kernel == nil {
 		return false
 	}
-	return t.kernel.queue.Cancel(t.event)
+	return t.kernel.queue.Cancel(t.handle)
 }
 
 // Pending reports whether the timer is still scheduled.
-func (t *Timer) Pending() bool { return t != nil && t.event != nil && !t.event.Cancelled() }
+func (t Timer) Pending() bool {
+	return t.kernel != nil && t.kernel.queue.Pending(t.handle)
+}
 
 // At returns the absolute firing time the timer was scheduled for.
-func (t *Timer) At() time.Duration { return t.event.At }
+func (t Timer) At() time.Duration { return t.at }
 
 // Schedule runs fn after delay d (>= 0) of simulated time. A negative delay
 // is clamped to zero so that "fire now" races cannot schedule into the past.
-func (k *Kernel) Schedule(d time.Duration, fn func()) *Timer {
+func (k *Kernel) Schedule(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -70,11 +99,11 @@ func (k *Kernel) Schedule(d time.Duration, fn func()) *Timer {
 }
 
 // ScheduleAt runs fn at absolute time at; times before Now are clamped.
-func (k *Kernel) ScheduleAt(at time.Duration, fn func()) *Timer {
+func (k *Kernel) ScheduleAt(at time.Duration, fn func()) Timer {
 	if at < k.now {
 		at = k.now
 	}
-	return &Timer{kernel: k, event: k.queue.Push(at, fn)}
+	return Timer{kernel: k, handle: k.queue.Push(at, fn), at: at}
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -84,13 +113,14 @@ func (k *Kernel) Stop() { k.stopped = true }
 // clock would pass horizon. Events scheduled exactly at the horizon still
 // execute. Returns ErrStopped if Stop was called, nil otherwise.
 func (k *Kernel) Run(horizon time.Duration) error {
+	defer k.flushFired()
 	k.stopped = false
 	for {
 		if k.stopped {
 			return ErrStopped
 		}
-		head := k.queue.Peek()
-		if head == nil {
+		at, ok := k.queue.PeekAt()
+		if !ok {
 			// Drained: advance the clock to the horizon so that a
 			// subsequent Run continues from a consistent point.
 			if k.now < horizon {
@@ -98,15 +128,15 @@ func (k *Kernel) Run(horizon time.Duration) error {
 			}
 			return nil
 		}
-		if head.At > horizon {
+		if at > horizon {
 			k.now = horizon
 			return nil
 		}
-		e := k.queue.Pop()
-		k.now = e.At
+		_, fn, _ := k.queue.Pop()
+		k.now = at
 		k.fired++
-		if e.Fn != nil {
-			e.Fn()
+		if fn != nil {
+			fn()
 		}
 	}
 }
@@ -114,45 +144,60 @@ func (k *Kernel) Run(horizon time.Duration) error {
 // RunUntilIdle executes every scheduled event regardless of time. Intended
 // for simulations that terminate naturally (e.g. a single broadcast flood).
 func (k *Kernel) RunUntilIdle() error {
+	defer k.flushFired()
 	k.stopped = false
 	for {
 		if k.stopped {
 			return ErrStopped
 		}
-		e := k.queue.Pop()
-		if e == nil {
+		at, fn, ok := k.queue.Pop()
+		if !ok {
 			return nil
 		}
-		k.now = e.At
+		k.now = at
 		k.fired++
-		if e.Fn != nil {
-			e.Fn()
+		if fn != nil {
+			fn()
 		}
 	}
 }
 
 // Ticker invokes fn every period until cancelled, starting at Now+period.
 // It returns a cancel function. The callback may itself call the cancel
-// function to stop future ticks.
+// function to stop future ticks. The tick closure is created once; each
+// firing reschedules into a pooled event slot, so a long-lived ticker
+// allocates nothing per tick.
 func (k *Kernel) Ticker(period time.Duration, fn func()) (cancel func()) {
 	if period <= 0 {
 		panic("sim: Ticker with non-positive period")
 	}
-	stopped := false
-	var tick func()
-	var timer *Timer
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped {
-			timer = k.Schedule(period, tick)
-		}
+	state := &tickerState{kernel: k, period: period, fn: fn}
+	state.tick = state.run
+	state.timer = k.Schedule(period, state.tick)
+	return state.cancel
+}
+
+// tickerState carries a recurring timer's fixed closure and current handle.
+type tickerState struct {
+	kernel  *Kernel
+	period  time.Duration
+	fn      func()
+	tick    func()
+	timer   Timer
+	stopped bool
+}
+
+func (s *tickerState) run() {
+	if s.stopped {
+		return
 	}
-	timer = k.Schedule(period, tick)
-	return func() {
-		stopped = true
-		timer.Cancel()
+	s.fn()
+	if !s.stopped {
+		s.timer = s.kernel.Schedule(s.period, s.tick)
 	}
+}
+
+func (s *tickerState) cancel() {
+	s.stopped = true
+	s.timer.Cancel()
 }

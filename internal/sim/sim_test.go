@@ -205,6 +205,87 @@ func TestTickerSelfCancel(t *testing.T) {
 	}
 }
 
+// TestResumeAfterStopReusesPool verifies that events surviving a Stop keep
+// firing on the next Run and that a recurring timer can be cancelled while
+// the kernel is stopped — the pool must treat Stop as a pause, not a drain.
+func TestResumeAfterStopReusesPool(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	cancel := k.Ticker(time.Second, func() {
+		ticks++
+		if ticks == 3 {
+			k.Stop()
+		}
+	})
+	if err := k.Run(time.Minute); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if ticks != 3 {
+		t.Fatalf("ticks = %d before stop, want 3", ticks)
+	}
+	// Resume: the rescheduled tick (pooled slot) must still be live.
+	if err := k.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d after resume, want 5", ticks)
+	}
+	// Cancel between runs: no further ticks on the next resume.
+	cancel()
+	if err := k.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticker fired %d times after cancel, want 5", ticks)
+	}
+}
+
+// TestTickerSteadyStateAllocFree is the pooled-kernel headline: a recurring
+// timer firing forever must not allocate per tick.
+func TestTickerSteadyStateAllocFree(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.Ticker(time.Second, func() { n++ })
+	if err := k.Run(10 * time.Second); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := k.Run(k.Now() + 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("recurring timer allocates %.1f times per 10 ticks", allocs)
+	}
+	if n == 0 {
+		t.Fatal("ticker never fired")
+	}
+}
+
+// TestTimerStaleAfterFire ensures a Timer whose pooled slot was recycled by
+// a later event neither reports pending nor cancels the new occupant.
+func TestTimerStaleAfterFire(t *testing.T) {
+	k := NewKernel()
+	stale := k.Schedule(time.Second, func() {})
+	if err := k.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	k.Schedule(time.Second, func() { fired = true }) // reuses the slot
+	if stale.Pending() {
+		t.Fatal("fired timer reports pending")
+	}
+	if stale.Cancel() {
+		t.Fatal("stale timer cancelled the slot's new event")
+	}
+	if err := k.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("new event lost")
+	}
+}
+
 func TestTickerPanicsOnZeroPeriod(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,118 @@
+package topo
+
+import (
+	"math"
+	"slices"
+)
+
+// CellIndex is a grid-bucket spatial index over a fixed set of points: the
+// deployment square is divided into cells of side cellSize, and each point
+// is filed under its cell. Range queries with radius <= cellSize touch at
+// most the 3x3 block of cells around the query point instead of scanning
+// every node, turning the O(N^2) pairwise neighbor construction of a random
+// field into O(N * density).
+//
+// The index is flat — one counting-sort pass lays every bucket out in a
+// single backing array — so building it costs O(N) time and three
+// allocations regardless of field size.
+type CellIndex struct {
+	cellSize   float64
+	cols, rows int
+	// starts[c] .. starts[c+1] delimit cell c's slice of nodes.
+	starts []int32
+	nodes  []NodeID
+	pts    []Point
+}
+
+// NewCellIndex buckets pts into cells of side cellSize covering [0,side) on
+// both axes. cellSize must be positive; points outside the square are
+// clamped into the border cells.
+func NewCellIndex(pts []Point, side, cellSize float64) *CellIndex {
+	if cellSize <= 0 {
+		panic("topo: cell size must be positive")
+	}
+	cols := int(side/cellSize) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	ci := &CellIndex{
+		cellSize: cellSize,
+		cols:     cols,
+		rows:     cols,
+		starts:   make([]int32, cols*cols+1),
+		nodes:    make([]NodeID, len(pts)),
+		pts:      pts,
+	}
+	// Counting sort: tally per cell, prefix-sum, then place.
+	counts := ci.starts[1:] // reuse the starts array as the tally
+	for _, p := range pts {
+		counts[ci.cellOf(p)]++
+	}
+	for c := 1; c < len(counts); c++ {
+		counts[c] += counts[c-1]
+	}
+	// starts is now the prefix sum shifted by one; fill buckets back to
+	// front so each bucket ends up in ascending node order.
+	fill := make([]int32, cols*cols)
+	copy(fill, ci.starts[:cols*cols])
+	for i, p := range pts {
+		c := ci.cellOf(p)
+		ci.nodes[fill[c]] = NodeID(i)
+		fill[c]++
+	}
+	return ci
+}
+
+// cellOf maps a point to its cell number, clamping out-of-square points.
+func (ci *CellIndex) cellOf(p Point) int {
+	cx := int(p.X / ci.cellSize)
+	cy := int(p.Y / ci.cellSize)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= ci.cols {
+		cx = ci.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= ci.rows {
+		cy = ci.rows - 1
+	}
+	return cy*ci.cols + cx
+}
+
+// ForEachWithin invokes fn for every indexed node within radius r of p
+// (inclusive), in no particular order. r should be <= the index cell size
+// for the 3x3 scan to be exhaustive; larger radii widen the scanned block
+// accordingly, so correctness never depends on r.
+func (ci *CellIndex) ForEachWithin(p Point, r float64, fn func(NodeID)) {
+	span := int(math.Ceil(r / ci.cellSize))
+	cx := int(p.X / ci.cellSize)
+	cy := int(p.Y / ci.cellSize)
+	for dy := -span; dy <= span; dy++ {
+		y := cy + dy
+		if y < 0 || y >= ci.rows {
+			continue
+		}
+		for dx := -span; dx <= span; dx++ {
+			x := cx + dx
+			if x < 0 || x >= ci.cols {
+				continue
+			}
+			c := y*ci.cols + x
+			for _, id := range ci.nodes[ci.starts[c]:ci.starts[c+1]] {
+				if ci.pts[id].Dist(p) <= r {
+					fn(id)
+				}
+			}
+		}
+	}
+}
+
+// Within returns the indexed nodes within radius r of p in ascending ID
+// order.
+func (ci *CellIndex) Within(p Point, r float64) []NodeID {
+	var out []NodeID
+	ci.ForEachWithin(p, r, func(id NodeID) { out = append(out, id) })
+	slices.Sort(out)
+	return out
+}

@@ -1,0 +1,135 @@
+package topo
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"pbbf/internal/rng"
+)
+
+// bruteWithin is the O(N) reference for range queries.
+func bruteWithin(pts []Point, p Point, r float64) []NodeID {
+	var out []NodeID
+	for i, q := range pts {
+		if q.Dist(p) <= r {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+func TestCellIndexMatchesBruteForce(t *testing.T) {
+	check := func(seed uint64, rawN uint8) bool {
+		r := rng.New(seed)
+		n := int(rawN)%150 + 2
+		side := 100.0
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: r.Float64() * side, Y: r.Float64() * side}
+		}
+		radius := 5 + r.Float64()*40
+		idx := NewCellIndex(pts, side, radius)
+		for trial := 0; trial < 10; trial++ {
+			q := Point{X: r.Float64() * side, Y: r.Float64() * side}
+			got := idx.Within(q, radius)
+			want := bruteWithin(pts, q, radius)
+			if !slices.Equal(got, want) {
+				t.Logf("query %+v r=%v: got %v want %v", q, radius, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCellIndexRadiusLargerThanCell exercises queries whose radius exceeds
+// the cell size, which must widen the scanned block rather than miss nodes.
+func TestCellIndexRadiusLargerThanCell(t *testing.T) {
+	r := rng.New(5)
+	side := 100.0
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{X: r.Float64() * side, Y: r.Float64() * side}
+	}
+	idx := NewCellIndex(pts, side, 10)
+	q := Point{X: 50, Y: 50}
+	got := idx.Within(q, 35)
+	want := bruteWithin(pts, q, 35)
+	if !slices.Equal(got, want) {
+		t.Fatalf("wide query: got %d nodes, want %d", len(got), len(want))
+	}
+}
+
+// TestRandomDiskMatchesPairwiseBuilder pins the bucket-index construction
+// to the original O(N^2) builder: identical positions, identical adjacency,
+// identical neighbor order, for a spread of densities and sizes.
+func TestRandomDiskMatchesPairwiseBuilder(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		delta float64
+		seed  uint64
+	}{
+		{10, 6, 1}, {50, 10, 2}, {120, 14, 3}, {250, 8, 4},
+	} {
+		cfg := DiskConfig{N: tc.n, Range: 30, Area: AreaForDensity(tc.n, 30, tc.delta)}
+		d, err := NewRandomDisk(cfg, rng.New(tc.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference adjacency from the pairwise construction, which appends
+		// in ascending-ID order by both loop directions.
+		ref := make([][]NodeID, tc.n)
+		for i := 0; i < tc.n; i++ {
+			for j := i + 1; j < tc.n; j++ {
+				if d.Position(NodeID(i)).Dist(d.Position(NodeID(j))) <= cfg.Range {
+					ref[i] = append(ref[i], NodeID(j))
+					ref[j] = append(ref[j], NodeID(i))
+				}
+			}
+		}
+		for i := 0; i < tc.n; i++ {
+			if !slices.Equal(d.Neighbors(NodeID(i)), ref[i]) {
+				t.Fatalf("n=%d Δ=%v: node %d adjacency %v, pairwise %v",
+					tc.n, tc.delta, i, d.Neighbors(NodeID(i)), ref[i])
+			}
+		}
+	}
+}
+
+func TestRandomDiskIndexExposed(t *testing.T) {
+	cfg := DiskConfig{N: 40, Range: 30, Area: AreaForDensity(40, 30, 10)}
+	d, err := NewRandomDisk(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := d.Index()
+	if idx == nil {
+		t.Fatal("no index on RandomDisk")
+	}
+	// A range query at a node's own position must return the node plus its
+	// unit-disk neighbors.
+	for id := 0; id < d.N(); id++ {
+		got := idx.Within(d.Position(NodeID(id)), d.Range())
+		want := append([]NodeID{NodeID(id)}, d.Neighbors(NodeID(id))...)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("node %d: index query %v, adjacency %v", id, got, want)
+		}
+	}
+}
+
+func BenchmarkRandomDiskBuild500(b *testing.B) {
+	cfg := DiskConfig{N: 500, Range: 30, Area: AreaForDensity(500, 30, 10)}
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRandomDisk(cfg, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package topo
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"pbbf/internal/rng"
 )
@@ -118,6 +119,7 @@ type RandomDisk struct {
 	neighbors [][]NodeID
 	rangeM    float64
 	side      float64
+	index     *CellIndex
 }
 
 var _ Topology = (*RandomDisk)(nil)
@@ -162,16 +164,39 @@ func NewRandomDisk(cfg DiskConfig, r *rng.Source) (*RandomDisk, error) {
 	for i := range d.positions {
 		d.positions[i] = Point{X: r.Float64() * side, Y: r.Float64() * side}
 	}
+	// Adjacency via the grid-bucket index: each node scans only the 3x3
+	// cell block around it (O(N·Δ) total) instead of every other node
+	// (O(N²)), and the whole adjacency lives in one backing array. Lists
+	// are sorted ascending, matching the order the pairwise construction
+	// produced, so topologies are bit-identical to the original builder.
+	d.index = NewCellIndex(d.positions, side, cfg.Range)
+	degree := make([]int32, cfg.N)
+	total := 0
 	for i := 0; i < cfg.N; i++ {
-		for j := i + 1; j < cfg.N; j++ {
-			if d.positions[i].Dist(d.positions[j]) <= cfg.Range {
-				d.neighbors[i] = append(d.neighbors[i], NodeID(j))
-				d.neighbors[j] = append(d.neighbors[j], NodeID(i))
+		n := 0
+		d.index.ForEachWithin(d.positions[i], cfg.Range, func(NodeID) { n++ })
+		degree[i] = int32(n - 1) // exclude self
+		total += n - 1
+	}
+	backing := make([]NodeID, 0, total)
+	for i := 0; i < cfg.N; i++ {
+		start := len(backing)
+		d.index.ForEachWithin(d.positions[i], cfg.Range, func(j NodeID) {
+			if int(j) != i {
+				backing = append(backing, j)
 			}
-		}
+		})
+		list := backing[start : start+int(degree[i]) : start+int(degree[i])]
+		slices.Sort(list)
+		d.neighbors[i] = list
 	}
 	return d, nil
 }
+
+// Index returns the topology's grid-bucket spatial index, usable for range
+// queries beyond the precomputed unit-disk adjacency (e.g. interference or
+// mobility extensions).
+func (d *RandomDisk) Index() *CellIndex { return d.index }
 
 // NewConnectedRandomDisk retries NewRandomDisk until the graph is connected,
 // up to maxTries attempts. The paper's scenarios are implicitly connected
