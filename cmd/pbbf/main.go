@@ -11,6 +11,8 @@
 //	pbbf -experiment all -scale quick -format json
 //	pbbf bench -out BENCH.json
 //	pbbf bench -out BENCH_new.json -baseline BENCH.json -threshold 0.30
+//	pbbf sweep -experiment all -scale paper -checkpoint paper.ckpt.json
+//	pbbf serve -addr :8080
 //
 // Scales: "quick" (CI-sized, seconds), "paper" (the paper's dimensions,
 // minutes), and "bench" (the frozen benchmark dimensions behind
@@ -25,15 +27,23 @@
 // allocations, events fired per scenario), and — when -baseline is given —
 // exits non-zero if any scenario regressed more than -threshold against
 // it. See docs/BENCHMARKS.md.
+//
+// The sweep subcommand is the long-run workhorse: per-point progress on
+// stderr and, with -checkpoint, crash-safe resumability — every completed
+// point is persisted and skipped on restart. The serve subcommand exposes
+// the registry over HTTP with a sharded result cache. See docs/SERVING.md.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"pbbf/internal/bench"
 	"pbbf/internal/experiments"
@@ -41,15 +51,33 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pbbf:", err)
 		os.Exit(1)
 	}
 }
 
+// run is runCtx without cancellation or a progress stream — the entry
+// point for the one-shot modes (and most tests).
 func run(args []string, out io.Writer) error {
-	if len(args) > 0 && args[0] == "bench" {
-		return runBench(args[1:], out)
+	return runCtx(context.Background(), args, out, io.Discard)
+}
+
+// runCtx dispatches the subcommands. out receives experiment output;
+// errOut receives progress and operational logs. ctx cancellation stops
+// serve and sweep gracefully.
+func runCtx(ctx context.Context, args []string, out, errOut io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "bench":
+			return runBench(args[1:], out)
+		case "serve":
+			return runServe(ctx, args[1:], out, errOut)
+		case "sweep":
+			return runSweep(ctx, args[1:], out, errOut)
+		}
 	}
 	fs := flag.NewFlagSet("pbbf", flag.ContinueOnError)
 	fs.SetOutput(out)

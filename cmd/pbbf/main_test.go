@@ -1,10 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"pbbf/internal/bench"
 	"pbbf/internal/scenario"
@@ -180,6 +186,185 @@ func TestBenchGatesOnBaseline(t *testing.T) {
 	}
 	if _, err := benchArgs(t, dir, "-baseline", fast); err == nil {
 		t.Fatal("regression vs instant baseline not detected")
+	}
+}
+
+func TestSweepMatchesRunOutput(t *testing.T) {
+	var direct, swept strings.Builder
+	if err := run([]string{"-experiment", "fig6", "-format", "json"}, &direct); err != nil {
+		t.Fatal(err)
+	}
+	err := runSweep(context.Background(),
+		[]string{"-experiment", "fig6", "-format", "json", "-progress=false"},
+		&swept, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != swept.String() {
+		t.Fatal("sweep subcommand changed experiment output")
+	}
+}
+
+// sweepArgs runs the sweep subcommand against a checkpoint file and
+// returns (experiment output, progress/summary output).
+func sweepArgs(t *testing.T, ckpt string, extra ...string) (string, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	args := append([]string{"-experiment", "fig6", "-format", "json", "-checkpoint", ckpt}, extra...)
+	if err := runSweep(context.Background(), args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), errOut.String()
+}
+
+// TestSweepCheckpointResume is the resumability acceptance test: a sweep
+// interrupted mid-run (simulated by deleting part of a completed
+// checkpoint, exactly the state an atomic per-point flush leaves behind)
+// resumes without recomputing the surviving points and reproduces the
+// uninterrupted output byte for byte.
+func TestSweepCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fig6.ckpt.json")
+
+	first, progress := sweepArgs(t, ckpt)
+	if !strings.Contains(progress, "resumed 0 point(s) from checkpoint") {
+		t.Fatalf("first run progress: %q", progress)
+	}
+	cp, err := scenario.LoadCheckpoint(ckpt)
+	if err != nil || cp == nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	total := len(cp.Results)
+	if total == 0 {
+		t.Fatal("checkpoint recorded no points")
+	}
+
+	// Simulate a kill partway through: keep only some completed points.
+	kept := 0
+	for key := range cp.Results {
+		if kept >= total/2 {
+			delete(cp.Results, key)
+			continue
+		}
+		kept++
+	}
+	if err := cp.WriteFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	second, progress := sweepArgs(t, ckpt)
+	if second != first {
+		t.Fatal("resumed sweep changed experiment output")
+	}
+	want := fmt.Sprintf("resumed %d point(s) from checkpoint, computed %d", kept, total-kept)
+	if !strings.Contains(progress, want) {
+		t.Fatalf("resume summary %q missing %q", progress, want)
+	}
+
+	// A third run replays everything from the checkpoint.
+	_, progress = sweepArgs(t, ckpt)
+	if !strings.Contains(progress, fmt.Sprintf("resumed %d point(s) from checkpoint, computed 0", total)) {
+		t.Fatalf("full resume summary: %q", progress)
+	}
+}
+
+func TestSweepCheckpointRejectsMismatchedRun(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fig6.ckpt.json")
+	sweepArgs(t, ckpt)
+	err := runSweep(context.Background(),
+		[]string{"-experiment", "fig6", "-seed", "2", "-checkpoint", ckpt},
+		io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint records run") {
+		t.Fatalf("mismatched checkpoint accepted: %v", err)
+	}
+}
+
+func TestSweepProgressLines(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := runSweep(context.Background(), []string{"-experiment", "fig6"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	progress := errOut.String()
+	if !strings.Contains(progress, "fig6 series") || !strings.Contains(progress, "[1/") {
+		t.Fatalf("no per-point progress lines:\n%s", progress)
+	}
+	// Progress must stay off the experiment-output stream.
+	if strings.Contains(out.String(), "[1/") {
+		t.Fatal("progress leaked into experiment output")
+	}
+}
+
+func TestSweepCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := runSweep(ctx, []string{"-experiment", "fig6"}, io.Discard, io.Discard)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestServeListensAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var logs strings.Builder
+	w := lockedWriter{mu: &mu, w: &logs}
+	served := make(chan error, 1)
+	go func() {
+		served <- runServe(ctx, []string{"-addr", "127.0.0.1:0"}, io.Discard, w)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		s := logs.String()
+		mu.Unlock()
+		if strings.Contains(s, "listening on http://") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never reported listening: %q", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestSubcommandErrors(t *testing.T) {
+	cases := [][]string{
+		{"sweep", "stray"},                     // positional junk
+		{"sweep", "-experiment", "nope"},       // unknown experiment
+		{"sweep", "-scale", "huge"},            // unknown scale
+		{"sweep", "-format", "xml"},            // unknown format
+		{"sweep", "-workers", "0"},             // zero workers
+		{"serve", "stray"},                     // positional junk
+		{"serve", "-cache-shards", "0"},        // bad shard count
+		{"serve", "-cache-entries", "1"},       // capacity below shards
+		{"serve", "-max-workers", "0"},         // bad worker cap
+		{"serve", "-addr", "not-a-valid:addr"}, // unbindable address
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := runCtx(context.Background(), args, &sb, io.Discard); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
 	}
 }
 

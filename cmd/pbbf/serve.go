@@ -1,0 +1,52 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+
+	"pbbf/internal/cache"
+	"pbbf/internal/experiments"
+	"pbbf/internal/scenario"
+	"pbbf/internal/server"
+)
+
+// runServe implements the serve subcommand: the scenario registry behind
+// the HTTP API of internal/server, with a sharded result cache sized by
+// flags. It blocks until ctx is cancelled (SIGINT/SIGTERM in main) and
+// then shuts down gracefully. Operational logs — the bound address, the
+// shutdown notice — go to errOut, keeping stdout clean for redirection.
+func runServe(ctx context.Context, args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("pbbf serve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address (host:port)")
+		shards     = fs.Int("cache-shards", server.DefaultCacheShards, "result-cache shard count")
+		capacity   = fs.Int("cache-entries", server.DefaultCacheCapacity, "result-cache total entry bound (LRU per shard)")
+		maxWorkers = fs.Int("max-workers", runtime.GOMAXPROCS(0), "per-request sweep worker cap")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	if *maxWorkers <= 0 {
+		return fmt.Errorf("max-workers must be positive, got %d", *maxWorkers)
+	}
+	c, err := cache.New[scenario.Result](*shards, *capacity)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Registry:   experiments.Registry(),
+		Cache:      c,
+		MaxWorkers: *maxWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	return srv.ListenAndServe(ctx, *addr, errOut)
+}

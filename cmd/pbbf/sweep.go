@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"pbbf/internal/experiments"
+	"pbbf/internal/scenario"
+)
+
+// runSweep implements the sweep subcommand: the same scenario selection
+// and output formats as the default run mode, plus per-point progress
+// lines and — with -checkpoint — a resumable run that persists every
+// completed point result to disk (atomically, after each point) and skips
+// already-recorded points on restart. Killing a checkpointed sweep at any
+// moment loses at most the points still in flight.
+//
+// Experiment output goes to out; progress and the resume summary go to
+// errOut so `-format json > file` stays parseable.
+func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("pbbf sweep", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		experiment = fs.String("experiment", "all", "scenario id (e.g. fig8) or \"all\"")
+		scaleName  = fs.String("scale", "quick", "scenario scale: quick, paper, or bench")
+		format     = fs.String("format", "table", "output format: table, csv, or json")
+		seed       = fs.Uint64("seed", 1, "root random seed")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep")
+		checkpoint = fs.String("checkpoint", "", "checkpoint file for resumable runs (empty = no persistence)")
+		progress   = fs.Bool("progress", true, "print one line per completed point to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("sweep: unexpected arguments %v", fs.Args())
+	}
+	scale, err := scenario.ByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	scale.Seed = *seed
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv, or json)", *format)
+	}
+	if *workers <= 0 {
+		return fmt.Errorf("workers must be positive, got %d", *workers)
+	}
+
+	reg := experiments.Registry()
+	var selected []scenario.Scenario
+	if *experiment == "all" {
+		selected = reg.All()
+	} else {
+		sc, err := reg.ByID(*experiment)
+		if err != nil {
+			return err
+		}
+		selected = []scenario.Scenario{sc}
+	}
+
+	// Load or create the checkpoint. Identity (experiment, scale, seed)
+	// must match: resuming a different workload from recorded results
+	// would silently mix runs.
+	var cp *scenario.Checkpoint
+	if *checkpoint != "" {
+		cp, err = scenario.LoadCheckpoint(*checkpoint)
+		if err != nil {
+			return err
+		}
+		if cp == nil {
+			cp = scenario.NewCheckpoint(*experiment, *scaleName, *seed)
+		} else if err := cp.Matches(*experiment, *scaleName, *seed); err != nil {
+			return err
+		}
+		if len(cp.Results) > 0 {
+			fmt.Fprintf(errOut, "sweep: checkpoint %s holds %d completed point(s)\n", *checkpoint, len(cp.Results))
+		}
+	}
+
+	var (
+		mu                sync.Mutex
+		resumed, computed int
+	)
+	opts := scenario.RunOptions{Workers: *workers}
+	if cp != nil {
+		// Completed points append to the journal as they finish: O(1)
+		// disk work per point under the writer's own lock, so workers
+		// never serialize on rewriting prior results.
+		w, err := cp.OpenWriter(*checkpoint)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		opts.Intercept = func(sc scenario.Scenario, pt scenario.Point, compute func() (scenario.Result, error)) (scenario.Result, bool, error) {
+			key := scenario.PointKey(sc.ID, scale, pt)
+			mu.Lock()
+			res, ok := cp.Results[key]
+			if ok {
+				resumed++
+			}
+			mu.Unlock()
+			if ok {
+				return res, true, nil
+			}
+			res, err := compute()
+			if err != nil {
+				return res, false, err
+			}
+			mu.Lock()
+			cp.Results[key] = res
+			computed++
+			mu.Unlock()
+			if err := w.Append(key, res); err != nil {
+				return res, false, fmt.Errorf("checkpoint %s: %w", *checkpoint, err)
+			}
+			return res, false, nil
+		}
+	}
+	if *progress {
+		opts.OnPoint = func(ev scenario.PointEvent) {
+			if ev.Point == nil {
+				fmt.Fprintf(errOut, "[%d/%d] %s table\n", ev.Done, ev.Total, ev.ScenarioID)
+				return
+			}
+			suffix := ""
+			if ev.Cached {
+				suffix = " (checkpointed)"
+			}
+			fmt.Fprintf(errOut, "[%d/%d] %s %s%s\n", ev.Done, ev.Total, ev.ScenarioID, ev.Point.Label(), suffix)
+		}
+	}
+
+	outputs, err := scenario.RunAllCtx(ctx, selected, scale, opts)
+	if err != nil {
+		if cp != nil {
+			fmt.Fprintf(errOut, "sweep: interrupted with %d point(s) checkpointed in %s; rerun to resume\n",
+				len(cp.Results), *checkpoint)
+		}
+		return err
+	}
+	if cp != nil {
+		fmt.Fprintf(errOut, "sweep: done — resumed %d point(s) from checkpoint, computed %d\n", resumed, computed)
+	}
+	return emit(out, *format, outputs)
+}

@@ -1,0 +1,226 @@
+// Package cache is a content-addressed, sharded result cache for pure
+// computations. Keys are canonical strings (see scenario.PointKey); values
+// are whatever the computation produces. The key space is split across N
+// independently locked shards by FNV-1a hash, each shard bounds its entry
+// count with LRU eviction, and concurrent requests for the same key are
+// de-duplicated singleflight-style: one caller computes, the rest wait and
+// share the result. Hit, miss, in-flight-join, and eviction counters make
+// the cache's behavior observable (served by /v1/stats).
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of the cache's counters, aggregated
+// across shards.
+type Stats struct {
+	// Hits counts lookups served from a completed entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that had to compute.
+	Misses uint64 `json:"misses"`
+	// InflightJoins counts lookups that joined another caller's in-flight
+	// computation instead of computing themselves.
+	InflightJoins uint64 `json:"inflight_joins"`
+	// Evictions counts entries dropped by the per-shard LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current number of cached entries.
+	Entries int `json:"entries"`
+	// Capacity is the total entry bound across shards.
+	Capacity int `json:"capacity"`
+	// Shards is the shard count.
+	Shards int `json:"shards"`
+}
+
+// Cache is a sharded LRU cache with singleflight de-duplication. The zero
+// value is not usable; construct with New.
+type Cache[V any] struct {
+	shards []shard[V]
+}
+
+// entry is one cached (or in-flight) computation. done is closed when the
+// computation finishes; until then val/err are owned by the computing
+// goroutine. prev/next thread the shard's LRU list (most recent at head).
+type entry[V any] struct {
+	key        string
+	val        V
+	err        error
+	done       chan struct{}
+	computed   bool
+	prev, next *entry[V]
+}
+
+type shard[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+	// head is the most recently used entry, tail the least.
+	head, tail *entry[V]
+	capacity   int
+
+	hits, misses, joins, evictions uint64
+}
+
+// New returns a cache with the given shard count and total entry capacity,
+// split evenly across shards (each shard holds at least one entry).
+func New[V any](shards, capacity int) (*Cache[V], error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("cache: shard count %d must be positive", shards)
+	}
+	if capacity < shards {
+		return nil, fmt.Errorf("cache: capacity %d below shard count %d", capacity, shards)
+	}
+	c := &Cache[V]{shards: make([]shard[V], shards)}
+	for i := range c.shards {
+		per := capacity / shards
+		if i < capacity%shards {
+			per++
+		}
+		c.shards[i] = shard[V]{entries: make(map[string]*entry[V]), capacity: per}
+	}
+	return c, nil
+}
+
+// GetOrCompute returns the value cached under key, computing it with
+// compute on a miss. Concurrent calls with the same key compute once: the
+// first caller runs compute, the rest block until it finishes and share
+// the outcome. cached reports whether the result existed before this call
+// (a hit or an in-flight join). Errors are returned to every waiting
+// caller but never cached — the next request retries.
+func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (val V, cached bool, err error) {
+	sh := &c.shards[fnv1a(key)%uint64(len(c.shards))]
+
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		if e.computed {
+			sh.hits++
+			sh.moveToFront(e)
+			sh.mu.Unlock()
+			return e.val, true, nil
+		}
+		sh.joins++
+		sh.mu.Unlock()
+		<-e.done
+		// The leader removed the entry on error; its outcome still lives
+		// in the entry we hold.
+		return e.val, e.err == nil, e.err
+	}
+	e := &entry[V]{key: key, done: make(chan struct{})}
+	sh.misses++
+	sh.entries[key] = e
+	sh.pushFront(e)
+	sh.mu.Unlock()
+
+	e.val, e.err = compute()
+
+	sh.mu.Lock()
+	if e.err != nil {
+		// Failed computations are not cached: unlink so the next request
+		// recomputes instead of replaying the error forever.
+		sh.unlink(e)
+		delete(sh.entries, key)
+	} else {
+		e.computed = true
+		sh.evict()
+	}
+	sh.mu.Unlock()
+	close(e.done)
+	return e.val, false, e.err
+}
+
+// Stats aggregates the counters across shards.
+func (c *Cache[V]) Stats() Stats {
+	var s Stats
+	s.Shards = len(c.shards)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.InflightJoins += sh.joins
+		s.Evictions += sh.evictions
+		s.Entries += len(sh.entries)
+		s.Capacity += sh.capacity
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Len returns the current entry count.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// shardFor exposes the shard index of a key for distribution tests.
+func (c *Cache[V]) shardFor(key string) int {
+	return int(fnv1a(key) % uint64(len(c.shards)))
+}
+
+// evict drops least-recently-used completed entries until the shard is
+// within capacity. In-flight entries are never evicted: other callers may
+// be blocked on their done channel.
+func (sh *shard[V]) evict() {
+	for len(sh.entries) > sh.capacity {
+		victim := sh.tail
+		for victim != nil && !victim.computed {
+			victim = victim.prev
+		}
+		if victim == nil {
+			return // everything over capacity is in flight
+		}
+		sh.unlink(victim)
+		delete(sh.entries, victim.key)
+		sh.evictions++
+	}
+}
+
+func (sh *shard[V]) pushFront(e *entry[V]) {
+	e.prev, e.next = nil, sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard[V]) unlink(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard[V]) moveToFront(e *entry[V]) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined to keep key->shard routing
+// allocation-free.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,206 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mustNew(t *testing.T, shards, capacity int) *Cache[int] {
+	t.Helper()
+	c, err := New[int](shards, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New[int](0, 10); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := New[int](-1, 10); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+	if _, err := New[int](4, 3); err == nil {
+		t.Fatal("capacity below shard count accepted")
+	}
+}
+
+func TestGetOrComputeHitAndMiss(t *testing.T) {
+	c := mustNew(t, 4, 16)
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+
+	v, cached, err := c.GetOrCompute("k", compute)
+	if err != nil || v != 42 || cached {
+		t.Fatalf("first call: v=%d cached=%v err=%v", v, cached, err)
+	}
+	v, cached, err = c.GetOrCompute("k", compute)
+	if err != nil || v != 42 || !cached {
+		t.Fatalf("second call: v=%d cached=%v err=%v", v, cached, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := mustNew(t, 2, 8)
+	boom := errors.New("boom")
+	calls := 0
+	fail := func() (int, error) { calls++; return 0, boom }
+
+	if _, _, err := c.GetOrCompute("k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := c.GetOrCompute("k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("failed compute cached (ran %d times, want 2)", calls)
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("failed entries remain cached: %d", n)
+	}
+	// The key still works once the computation succeeds.
+	if v, _, err := c.GetOrCompute("k", func() (int, error) { return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("recovery failed: v=%d err=%v", v, err)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c := mustNew(t, 4, 16)
+	const callers = 32
+	var (
+		computes atomic.Int32
+		release  = make(chan struct{})
+		start    sync.WaitGroup
+		done     sync.WaitGroup
+	)
+	start.Add(callers)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer done.Done()
+			start.Done()
+			start.Wait() // maximize overlap
+			v, _, err := c.GetOrCompute("shared", func() (int, error) {
+				computes.Add(1)
+				<-release // hold every concurrent caller in the join path
+				return 99, nil
+			})
+			if err != nil || v != 99 {
+				t.Errorf("v=%d err=%v", v, err)
+			}
+		}()
+	}
+	start.Wait()
+	close(release)
+	done.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("concurrent identical requests computed %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.InflightJoins+st.Hits != callers-1 {
+		t.Fatalf("joins+hits = %d+%d, want %d", st.InflightJoins, st.Hits, callers-1)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard isolates the LRU order from hashing.
+	c := mustNew(t, 1, 3)
+	put := func(k string, v int) {
+		t.Helper()
+		if _, _, err := c.GetOrCompute(k, func() (int, error) { return v, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", 1)
+	put("b", 2)
+	put("c", 3)
+	put("a", 1) // touch a: LRU order is now b, c, a
+	put("d", 4) // evicts b
+
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	calls := 0
+	if _, cached, _ := c.GetOrCompute("b", func() (int, error) { calls++; return 2, nil }); cached || calls != 1 {
+		t.Fatal("LRU victim b still cached")
+	}
+	// b's insert evicted c (the new LRU); a and d must still be resident.
+	for _, k := range []string{"a", "d"} {
+		if _, cached, _ := c.GetOrCompute(k, func() (int, error) { return 0, nil }); !cached {
+			t.Fatalf("recently used %q was evicted", k)
+		}
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	const shards = 8
+	c, err := New[int](shards, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	const keys = 4096
+	for i := 0; i < keys; i++ {
+		counts[c.shardFor(fmt.Sprintf("fig%d|scale|x=%d", i%20, i))]++
+	}
+	// FNV over realistic keys should spread well; allow generous slack
+	// around the ideal keys/shards to keep the test robust.
+	for i, n := range counts {
+		if n < keys/shards/2 || n > keys/shards*2 {
+			t.Fatalf("shard %d holds %d of %d keys (counts %v)", i, n, keys, counts)
+		}
+	}
+
+	// Keys must land on stable shards, and the capacity split must cover
+	// the whole configured bound.
+	if got := c.Stats().Capacity; got != 8192 {
+		t.Fatalf("capacity = %d, want 8192", got)
+	}
+}
+
+func TestCapacitySplitCoversUnevenDivision(t *testing.T) {
+	c, err := New[int](3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Capacity; got != 10 {
+		t.Fatalf("capacity = %d, want 10", got)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := mustNew(t, 4, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%50)
+				v, _, err := c.GetOrCompute(k, func() (int, error) { return i % 50, nil })
+				if err != nil || v != i%50 {
+					t.Errorf("k=%s v=%d err=%v", k, v, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 32 {
+		t.Fatalf("cache exceeded capacity: %d entries", n)
+	}
+}

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt.json")
+	cp := NewCheckpoint("all", "quick", 7)
+	cp.Results["k1"] = Result{Y: 1.5, EnergyJ: 2, Delivery: 1}
+	cp.Results["k2"] = Result{Skip: true}
+	if err := cp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back == nil || !reflect.DeepEqual(cp, back) {
+		t.Fatalf("round trip lost data:\n%+v\nvs\n%+v", cp, back)
+	}
+	// The atomic write must not leave temporaries behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files after atomic write: %v", entries)
+	}
+}
+
+func TestCheckpointMissingFileIsFresh(t *testing.T) {
+	cp, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || cp != nil {
+		t.Fatalf("missing file: cp=%v err=%v, want nil/nil", cp, err)
+	}
+}
+
+func TestCheckpointRejectsCorruptAndWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(corrupt); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+
+	old := filepath.Join(dir, "old.json")
+	cp := NewCheckpoint("all", "quick", 1)
+	cp.Version = CheckpointVersion + 1
+	if err := cp.WriteFile(old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(old); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+func TestCheckpointWriterAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ckpt")
+	cp := NewCheckpoint("all", "quick", 1)
+	w, err := cp.OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("k1", Result{Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("k2", Result{Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 2 || back.Results["k2"].Y != 2 {
+		t.Fatalf("journal lost entries: %+v", back.Results)
+	}
+
+	// Reopening must append after the existing entries, not re-header.
+	w, err = back.OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("k3", Result{Y: 3}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	back, err = LoadCheckpoint(path)
+	if err != nil || len(back.Results) != 3 {
+		t.Fatalf("resumed journal: %+v err=%v", back, err)
+	}
+}
+
+// TestCheckpointToleratesTornFinalLine simulates a kill mid-append: the
+// truncated trailing entry is skipped, everything before it survives.
+func TestCheckpointToleratesTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	cp := NewCheckpoint("all", "quick", 1)
+	w, err := cp.OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("k1", Result{Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"k2","res`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	back, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("torn final line rejected: %v", err)
+	}
+	if len(back.Results) != 1 || back.Results["k1"].Y != 1 {
+		t.Fatalf("intact entries lost: %+v", back.Results)
+	}
+
+	// Resuming after a torn line must drop it before appending: merging
+	// new entries onto the torn remains would corrupt the journal for
+	// every later load.
+	w, err = back.OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("k3", Result{Y: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("k4", Result{Y: 4}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	back, err = LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("journal corrupted by resume-after-torn: %v", err)
+	}
+	if len(back.Results) != 3 || back.Results["k3"].Y != 3 || back.Results["k4"].Y != 4 {
+		t.Fatalf("resume-after-torn lost entries: %+v", back.Results)
+	}
+
+	// Corruption before the end is real corruption, not a torn write.
+	mid := filepath.Join(t.TempDir(), "mid.ckpt")
+	cp2 := NewCheckpoint("all", "quick", 1)
+	if err := cp2.WriteFile(mid); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(mid)
+	data = append(data, []byte("{garbage\n{\"key\":\"k9\",\"result\":{\"y\":9}}\n")...)
+	if err := os.WriteFile(mid, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(mid); err == nil {
+		t.Fatal("mid-journal corruption accepted")
+	}
+}
+
+func TestCheckpointMatches(t *testing.T) {
+	cp := NewCheckpoint("all", "quick", 1)
+	if err := cp.Matches("all", "quick", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		exp, scale string
+		seed       uint64
+	}{
+		{"fig8", "quick", 1},
+		{"all", "paper", 1},
+		{"all", "quick", 2},
+	} {
+		if err := cp.Matches(c.exp, c.scale, c.seed); err == nil {
+			t.Fatalf("mismatched identity %+v accepted", c)
+		}
+	}
+}

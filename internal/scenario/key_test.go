@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func samplePoint() Point {
+	return Point{Series: "p=0.5", X: 0.3, Params: map[string]float64{"q": 0.3, "p": 0.5}}
+}
+
+func TestPointKeyDeterministic(t *testing.T) {
+	s := Quick()
+	a := PointKey("fig8", s, samplePoint())
+	for i := 0; i < 10; i++ {
+		if b := PointKey("fig8", s, samplePoint()); b != a {
+			t.Fatalf("key not deterministic: %q vs %q", a, b)
+		}
+	}
+}
+
+func TestPointKeyDiscriminates(t *testing.T) {
+	s := Quick()
+	base := PointKey("fig8", s, samplePoint())
+
+	other := samplePoint()
+	other.Params["q"] = 0.4
+	seeded := s
+	seeded.Seed = 2
+	scaled := s
+	scaled.NetNodes++
+	variants := map[string]string{
+		"scenario ID": PointKey("fig9", s, samplePoint()),
+		"param value": PointKey("fig8", s, other),
+		"seed":        PointKey("fig8", seeded, samplePoint()),
+		"scale field": PointKey("fig8", scaled, samplePoint()),
+		"series": PointKey("fig8", s, Point{
+			Series: "p=0.75", X: 0.3, Params: samplePoint().Params,
+		}),
+	}
+	for what, key := range variants {
+		if key == base {
+			t.Fatalf("changing the %s did not change the key", what)
+		}
+	}
+}
+
+func TestPointKeySortsParams(t *testing.T) {
+	s := Quick()
+	key := PointKey("fig8", s, samplePoint())
+	if !strings.Contains(key, "|p=0.5|q=0.3") {
+		t.Fatalf("params not in sorted order: %q", key)
+	}
+}
+
+// TestScaleKeyCoversEveryField pins the Scale field count: adding a
+// dimension to Scale without extending writeScaleKey would silently alias
+// distinct workloads to one cache/checkpoint key. When this fails, extend
+// writeScaleKey and bump scaleKeyFields together.
+func TestScaleKeyCoversEveryField(t *testing.T) {
+	if n := reflect.TypeOf(Scale{}).NumField(); n != scaleKeyFields {
+		t.Fatalf("Scale has %d fields but writeScaleKey serializes %d — extend the key serialization",
+			n, scaleKeyFields)
+	}
+}

@@ -165,8 +165,15 @@ func TestRunAllErrorIsDeterministic(t *testing.T) {
 	}
 	for i := 0; i < 3; i++ {
 		_, err := RunAll([]Scenario{bad}, Quick(), 4)
-		if err == nil || !strings.Contains(err.Error(), "bad: boom at x=0") {
-			t.Fatalf("want smallest-index error from scenario bad, got %v", err)
+		if err == nil {
+			t.Fatal("failing point accepted")
+		}
+		// The smallest failing index is series "b" at x=0, and the error
+		// must attribute it fully: scenario ID, series, x, and parameters.
+		for _, want := range []string{`bad: point series "b" x=0 [x=0]`, "boom at x=0"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("error %q missing %q", err, want)
+			}
 		}
 	}
 }

@@ -1,0 +1,364 @@
+// Package server exposes the scenario engine over HTTP: scenario metadata
+// discovery, streamed scenario runs, and cache/operational statistics.
+// Every point computed through POST /v1/run flows through the sharded
+// result cache (internal/cache) keyed by canonical scenario.PointKey, so
+// identical (scenario, scale, point) requests are computed once and served
+// from memory afterwards; concurrent identical requests singleflight onto
+// one computation. Run results stream back as NDJSON in deterministic
+// point-enumeration order, each line flushed as the point completes, so a
+// paper-scale sweep is observable while it runs. See docs/SERVING.md.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"pbbf/internal/cache"
+	"pbbf/internal/scenario"
+	"pbbf/internal/stats"
+)
+
+// DefaultCacheShards and DefaultCacheCapacity size the result cache when
+// Config leaves it nil: enough shards that the per-shard locks stay
+// uncontended at typical core counts, enough entries for several full
+// quick-scale registry runs.
+const (
+	DefaultCacheShards   = 16
+	DefaultCacheCapacity = 4096
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Registry holds the scenarios the server can run. Required.
+	Registry *scenario.Registry
+	// Cache is the point-result cache; nil constructs a default-sized one.
+	Cache *cache.Cache[scenario.Result]
+	// MaxWorkers caps the per-request sweep pool; <= 0 means GOMAXPROCS.
+	MaxWorkers int
+}
+
+// Server is the HTTP front end. It implements http.Handler; use
+// ListenAndServe for a managed listener with graceful shutdown.
+type Server struct {
+	reg        *scenario.Registry
+	cache      *cache.Cache[scenario.Result]
+	maxWorkers int
+	mux        *http.ServeMux
+	start      time.Time
+
+	runs         atomic.Uint64
+	pointsServed atomic.Uint64
+}
+
+// New validates the configuration and assembles the server and its routes.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("server: nil registry")
+	}
+	if cfg.Cache == nil {
+		var err error
+		if cfg.Cache, err = cache.New[scenario.Result](DefaultCacheShards, DefaultCacheCapacity); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		reg:        cfg.Registry,
+		cache:      cfg.Cache,
+		maxWorkers: cfg.MaxWorkers,
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+	}
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("GET /v1/scenarios/{id}", s.handleScenario)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// Unregistered routes fall through to the mux's own handling, which
+	// also answers wrong-method requests with 405 + Allow.
+	return s, nil
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ListenAndServe serves the API on addr until ctx is cancelled, then shuts
+// down gracefully (in-flight requests get ShutdownTimeout to finish). The
+// bound address is logged to logw before serving, so callers binding
+// ":0" learn the chosen port.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, logw io.Writer) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.serve(ctx, l, logw)
+}
+
+// ShutdownTimeout is how long graceful shutdown waits for in-flight
+// requests (streamed runs included) before giving up.
+const ShutdownTimeout = 10 * time.Second
+
+func (s *Server) serve(ctx context.Context, l net.Listener, logw io.Writer) error {
+	hs := &http.Server{Handler: s}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
+		defer cancel()
+		done <- hs.Shutdown(sctx)
+	}()
+	if logw != nil {
+		fmt.Fprintf(logw, "pbbf serve: listening on http://%s\n", l.Addr())
+	}
+	err := hs.Serve(l)
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if ctx.Err() == nil {
+		return nil
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	if logw != nil {
+		fmt.Fprintln(logw, "pbbf serve: shut down cleanly")
+	}
+	return nil
+}
+
+// scenariosResponse is the GET /v1/scenarios payload.
+type scenariosResponse struct {
+	Scenarios []scenario.Scenario `json:"scenarios"`
+	Scales    []string            `json:"scales"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, scenariosResponse{
+		Scenarios: s.reg.All(),
+		Scales:    scenario.ScaleNames(),
+	})
+}
+
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	sc, err := s.reg.ByID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sc)
+}
+
+// statsResponse is the GET /v1/stats payload.
+type statsResponse struct {
+	UptimeS      float64     `json:"uptime_s"`
+	Runs         uint64      `json:"runs"`
+	PointsServed uint64      `json:"points_served"`
+	Cache        cache.Stats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeS:      time.Since(s.start).Seconds(),
+		Runs:         s.runs.Load(),
+		PointsServed: s.pointsServed.Load(),
+		Cache:        s.cache.Stats(),
+	})
+}
+
+// RunRequest is the POST /v1/run body.
+type RunRequest struct {
+	// Experiment selects one scenario ID or "all".
+	Experiment string `json:"experiment"`
+	// Scale names the scale preset ("quick", "paper", "bench").
+	Scale string `json:"scale"`
+	// Seed is the root random seed; 0 means the preset default.
+	Seed uint64 `json:"seed"`
+	// Workers sizes the sweep pool, clamped to the server's maximum;
+	// <= 0 selects the maximum.
+	Workers int `json:"workers"`
+}
+
+// Stream line types. Every NDJSON line carries "type" so clients can
+// dispatch without peeking at other fields.
+type runHeader struct {
+	Type       string `json:"type"` // "run"
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	Seed       uint64 `json:"seed"`
+	Workers    int    `json:"workers"`
+	Scenarios  int    `json:"scenarios"`
+	Jobs       int    `json:"jobs"`
+}
+
+type pointLine struct {
+	Type     string `json:"type"` // "point"
+	Scenario string `json:"scenario"`
+	scenario.PointOutput
+	Cached bool `json:"cached"`
+}
+
+type tableLine struct {
+	Type     string       `json:"type"` // "table"
+	Scenario string       `json:"scenario"`
+	Table    *stats.Table `json:"table"`
+}
+
+type doneLine struct {
+	Type         string      `json:"type"` // "done"
+	Jobs         int         `json:"jobs"`
+	CachedPoints int         `json:"cached_points"`
+	WallMS       float64     `json:"wall_ms"`
+	Cache        cache.Stats `json:"cache"`
+}
+
+type errorLine struct {
+	Type  string `json:"type"` // "error"
+	Error string `json:"error"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if req.Experiment == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing experiment (scenario id or \"all\")"))
+		return
+	}
+	scale, err := scenario.ByName(req.Scale)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Seed != 0 {
+		scale.Seed = req.Seed
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.maxWorkers {
+		workers = s.maxWorkers
+	}
+
+	var selected []scenario.Scenario
+	if req.Experiment == "all" {
+		selected = s.reg.All()
+	} else {
+		sc, err := s.reg.ByID(req.Experiment)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		selected = []scenario.Scenario{sc}
+	}
+
+	// Count the run's jobs up front so the stream header states the total
+	// before any point lands. Enumeration is cheap (no simulation); a
+	// failure here is reported as a regular status code, not mid-stream.
+	jobs := 0
+	for _, sc := range selected {
+		if sc.TableFn != nil {
+			jobs++
+			continue
+		}
+		pts, err := sc.Points(scale)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("%s: %w", sc.ID, err))
+			return
+		}
+		jobs += len(pts)
+	}
+
+	s.runs.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	writeLine := func(v any) {
+		enc.Encode(v) //nolint:errcheck // a dead client surfaces via ctx
+		rc.Flush()    //nolint:errcheck
+	}
+	writeLine(runHeader{
+		Type: "run", Experiment: req.Experiment, Scale: req.Scale,
+		Seed: scale.Seed, Workers: workers, Scenarios: len(selected), Jobs: jobs,
+	})
+
+	// Stream results in deterministic enumeration order: OnPoint delivers
+	// completion order, the reorder buffer holds early finishers until
+	// their predecessors land. OnPoint calls are serialized by the engine,
+	// so the buffer needs no locking.
+	cachedPoints := 0
+	next := 0
+	pending := make(map[int]any)
+	emit := func(ev scenario.PointEvent) {
+		var line any
+		if ev.Point != nil {
+			line = pointLine{Type: "point", Scenario: ev.ScenarioID, PointOutput: *ev.Point, Cached: ev.Cached}
+		} else {
+			line = tableLine{Type: "table", Scenario: ev.ScenarioID, Table: ev.Table}
+		}
+		pending[ev.Index] = line
+		if ev.Cached {
+			cachedPoints++
+		}
+		s.pointsServed.Add(1)
+		for {
+			line, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			next++
+			writeLine(line)
+		}
+	}
+
+	start := time.Now()
+	_, err = scenario.RunAllCtx(r.Context(), selected, scale, scenario.RunOptions{
+		Workers: workers,
+		Intercept: func(sc scenario.Scenario, pt scenario.Point, compute func() (scenario.Result, error)) (scenario.Result, bool, error) {
+			return s.cache.GetOrCompute(scenario.PointKey(sc.ID, scale, pt), compute)
+		},
+		OnPoint: emit,
+	})
+	if err != nil {
+		// The stream already committed status 200; the error travels as
+		// the final NDJSON line instead.
+		writeLine(errorLine{Type: "error", Error: err.Error()})
+		return
+	}
+	writeLine(doneLine{
+		Type: "done", Jobs: jobs, CachedPoints: cachedPoints,
+		WallMS: float64(time.Since(start).Microseconds()) / 1000,
+		Cache:  s.cache.Stats(),
+	})
+}
+
+// errorResponse is the JSON error body of every non-200 response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response already committed
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

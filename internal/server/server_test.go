@@ -1,0 +1,385 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pbbf/internal/scenario"
+	"pbbf/internal/stats"
+)
+
+// testRegistry returns a registry with one fast point-based scenario and
+// one static table, so server tests never pay simulation cost.
+func testRegistry(t *testing.T) *scenario.Registry {
+	t.Helper()
+	reg := scenario.NewRegistry()
+	reg.MustRegister(scenario.Scenario{
+		ID: "fast", Title: "fast scenario", Artifact: "extension",
+		Summary: "server test scenario",
+		Params:  []scenario.ParamDoc{{Name: "x", Desc: "x coordinate"}},
+		XLabel:  "x", YLabel: "y",
+		Points: func(s scenario.Scale) ([]scenario.Point, error) {
+			var pts []scenario.Point
+			for _, series := range []string{"a", "b"} {
+				for x := 0.0; x < 3; x++ {
+					pts = append(pts, scenario.Point{
+						Series: series, X: x, Params: map[string]float64{"x": x},
+					})
+				}
+			}
+			return pts, nil
+		},
+		RunPoint: func(s scenario.Scale, pt scenario.Point) (scenario.Result, error) {
+			return scenario.Result{Y: pt.X * 10, Delivery: 1}, nil
+		},
+	})
+	reg.MustRegister(scenario.Scenario{
+		ID: "statictbl", Title: "static table", Artifact: "Table 9",
+		Summary: "server test table",
+		TableFn: func(scenario.Scale) (*stats.Table, error) {
+			tbl := &stats.Table{Title: "static", XLabel: "x", YLabel: "y"}
+			tbl.AddSeries("s").Append(1, 2)
+			return tbl, nil
+		},
+	})
+	return reg
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Config{Registry: testRegistry(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestScenariosList(t *testing.T) {
+	_, ts := newTestServer(t)
+	var got scenariosResponse
+	resp := getJSON(t, ts.URL+"/v1/scenarios", &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(got.Scenarios) != 2 || got.Scenarios[0].ID != "fast" || got.Scenarios[1].ID != "statictbl" {
+		t.Fatalf("scenarios: %+v", got.Scenarios)
+	}
+	if len(got.Scales) == 0 || got.Scales[0] != "quick" {
+		t.Fatalf("scales: %v", got.Scales)
+	}
+}
+
+func TestScenarioByID(t *testing.T) {
+	_, ts := newTestServer(t)
+	var sc scenario.Scenario
+	resp := getJSON(t, ts.URL+"/v1/scenarios/fast", &sc)
+	if resp.StatusCode != http.StatusOK || sc.ID != "fast" || sc.Summary == "" {
+		t.Fatalf("status %d scenario %+v", resp.StatusCode, sc)
+	}
+}
+
+func TestErrorStatusCodes(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		method, path, body string
+		want               int
+		jsonBody           bool // API errors carry a JSON {"error": ...} body
+	}{
+		{"GET", "/v1/scenarios/nope", "", http.StatusNotFound, true},
+		{"GET", "/nope", "", http.StatusNotFound, false},
+		{"POST", "/v1/scenarios", "", http.StatusMethodNotAllowed, false},
+		{"GET", "/v1/run", "", http.StatusMethodNotAllowed, false},
+		{"POST", "/v1/run", "{not json", http.StatusBadRequest, true},
+		{"POST", "/v1/run", `{"unknown_field":1}`, http.StatusBadRequest, true},
+		{"POST", "/v1/run", `{"scale":"quick"}`, http.StatusBadRequest, true},                    // missing experiment
+		{"POST", "/v1/run", `{"experiment":"fast","scale":"huge"}`, http.StatusBadRequest, true}, // unknown scale
+		{"POST", "/v1/run", `{"experiment":"nope","scale":"quick"}`, http.StatusNotFound, true},  // unknown scenario
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != c.want {
+			t.Fatalf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+		if c.jsonBody {
+			var e errorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Fatalf("%s %s: error body not JSON: %v", c.method, c.path, err)
+			}
+		}
+		resp.Body.Close()
+	}
+}
+
+// postRun issues a run request and parses the NDJSON stream into raw lines.
+func postRun(t *testing.T, ts *httptest.Server, body string) []map[string]any {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+func TestRunStreamsDeterministicOrder(t *testing.T) {
+	_, ts := newTestServer(t)
+	lines := postRun(t, ts, `{"experiment":"fast","scale":"quick","workers":4}`)
+	if len(lines) != 8 { // run header + 6 points + done
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if lines[0]["type"] != "run" || lines[0]["jobs"] != float64(6) || lines[0]["scenarios"] != float64(1) {
+		t.Fatalf("header: %v", lines[0])
+	}
+	last := lines[len(lines)-1]
+	if last["type"] != "done" || last["jobs"] != float64(6) {
+		t.Fatalf("done line: %v", last)
+	}
+	// Points must arrive in enumeration order (series a x=0,1,2 then b),
+	// whatever order the 4 workers finished them in.
+	wantSeries := []string{"a", "a", "a", "b", "b", "b"}
+	for i, line := range lines[1:7] {
+		if line["type"] != "point" || line["scenario"] != "fast" {
+			t.Fatalf("line %d: %v", i+1, line)
+		}
+		if line["series"] != wantSeries[i] || line["x"] != float64(i%3) {
+			t.Fatalf("line %d out of order: %v", i+1, line)
+		}
+		res := line["result"].(map[string]any)
+		if res["y"] != float64(i%3*10) {
+			t.Fatalf("line %d result: %v", i+1, line)
+		}
+	}
+}
+
+func TestRunStreamsTableScenario(t *testing.T) {
+	_, ts := newTestServer(t)
+	lines := postRun(t, ts, `{"experiment":"statictbl","scale":"quick"}`)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if lines[1]["type"] != "table" || lines[1]["scenario"] != "statictbl" {
+		t.Fatalf("table line: %v", lines[1])
+	}
+	tbl := lines[1]["table"].(map[string]any)
+	if tbl["title"] != "static" {
+		t.Fatalf("table content: %v", tbl)
+	}
+}
+
+func TestRunAllSelector(t *testing.T) {
+	_, ts := newTestServer(t)
+	lines := postRun(t, ts, `{"experiment":"all","scale":"quick"}`)
+	if lines[0]["scenarios"] != float64(2) || lines[0]["jobs"] != float64(7) {
+		t.Fatalf("header: %v", lines[0])
+	}
+	if lines[len(lines)-1]["type"] != "done" {
+		t.Fatalf("missing done line: %v", lines[len(lines)-1])
+	}
+}
+
+// TestRepeatRunHitsCache is the acceptance check: a repeated identical run
+// is served from the cache, visible in both the per-line cached flags and
+// the /v1/stats counters.
+func TestRepeatRunHitsCache(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"experiment":"fast","scale":"quick"}`
+
+	first := postRun(t, ts, body)
+	for _, line := range first[1:7] {
+		if line["cached"] != false {
+			t.Fatalf("first run served from an empty cache: %v", line)
+		}
+	}
+	var st statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Cache.Misses != 6 || st.Cache.Hits != 0 || st.Cache.Entries != 6 {
+		t.Fatalf("stats after first run: %+v", st.Cache)
+	}
+
+	second := postRun(t, ts, body)
+	for _, line := range second[1:7] {
+		if line["cached"] != true {
+			t.Fatalf("repeated run recomputed: %v", line)
+		}
+	}
+	done := second[len(second)-1]
+	if done["cached_points"] != float64(6) {
+		t.Fatalf("done line: %v", done)
+	}
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Cache.Hits != 6 || st.Cache.Misses != 6 {
+		t.Fatalf("stats after repeat: %+v", st.Cache)
+	}
+	if st.Runs != 2 || st.PointsServed != 12 {
+		t.Fatalf("run counters: %+v", st)
+	}
+
+	// A different seed is a different computation — no cache hits.
+	third := postRun(t, ts, `{"experiment":"fast","scale":"quick","seed":2}`)
+	for _, line := range third[1:7] {
+		if line["cached"] != false {
+			t.Fatalf("different seed served stale result: %v", line)
+		}
+	}
+}
+
+func TestRunStreamErrorLine(t *testing.T) {
+	reg := scenario.NewRegistry()
+	reg.MustRegister(scenario.Scenario{
+		ID: "failing", Title: "failing", Artifact: "extension", Summary: "fails",
+		Params: []scenario.ParamDoc{{Name: "x", Desc: "x"}},
+		XLabel: "x", YLabel: "y",
+		Points: func(scenario.Scale) ([]scenario.Point, error) {
+			return []scenario.Point{{Series: "a", X: 1, Params: map[string]float64{"x": 1}}}, nil
+		},
+		RunPoint: func(scenario.Scale, scenario.Point) (scenario.Result, error) {
+			return scenario.Result{}, fmt.Errorf("simulated failure")
+		},
+	})
+	srv, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	lines := postRun(t, ts, `{"experiment":"failing","scale":"quick"}`)
+	last := lines[len(lines)-1]
+	if last["type"] != "error" {
+		t.Fatalf("stream did not end with an error line: %v", lines)
+	}
+	msg := last["error"].(string)
+	if !strings.Contains(msg, "failing: point series") || !strings.Contains(msg, "simulated failure") {
+		t.Fatalf("error not attributed: %q", msg)
+	}
+}
+
+func TestStatsEndpointShape(t *testing.T) {
+	_, ts := newTestServer(t)
+	var st statsResponse
+	resp := getJSON(t, ts.URL+"/v1/stats", &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if st.Cache.Shards != DefaultCacheShards || st.Cache.Capacity != DefaultCacheCapacity {
+		t.Fatalf("cache config not surfaced: %+v", st.Cache)
+	}
+	if st.UptimeS < 0 {
+		t.Fatalf("uptime %v", st.UptimeS)
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	srv, err := New(Config{Registry: testRegistry(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var (
+		logMu sync.Mutex
+		logs  bytes.Buffer
+	)
+	logw := writerFunc(func(p []byte) (int, error) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return logs.Write(p)
+	})
+	served := make(chan error, 1)
+	go func() { served <- srv.ListenAndServe(ctx, "127.0.0.1:0", logw) }()
+
+	// Wait for the listen log line to learn the bound address.
+	var addr string
+	for i := 0; i < 200 && addr == ""; i++ {
+		time.Sleep(10 * time.Millisecond)
+		logMu.Lock()
+		if s := logs.String(); strings.Contains(s, "http://") {
+			addr = "http://" + strings.TrimSpace(strings.SplitAfter(s, "http://")[1])
+		}
+		logMu.Unlock()
+	}
+	if addr == "" {
+		t.Fatalf("server never logged its address: %q", logs.String())
+	}
+	resp, err := http.Get(addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("graceful shutdown timed out")
+	}
+	if _, err := http.Get(addr + "/v1/stats"); err == nil {
+		t.Fatal("server still serving after shutdown")
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

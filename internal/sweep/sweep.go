@@ -6,6 +6,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -16,6 +17,24 @@ import (
 // all in-flight work and returns the error from the smallest failing index
 // (deterministic error reporting). workers <= 0 selects GOMAXPROCS.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil point function")
+	}
+	return MapCtx(context.Background(), n, workers, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map with cancellation: when ctx is done, workers stop claiming
+// new indices, in-flight invocations are drained, and the context's error
+// is returned. Cancellation takes precedence over point errors, so a
+// cancelled run reports why it stopped rather than whichever point happened
+// to fail while the pool wound down. fn receives ctx so long-running points
+// can observe cancellation themselves.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("sweep: nil context")
+	}
 	if n < 0 {
 		return nil, fmt.Errorf("sweep: negative point count %d", n)
 	}
@@ -31,7 +50,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	if n == 0 {
-		return results, nil
+		return results, ctx.Err()
 	}
 
 	var (
@@ -40,6 +59,9 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		mu   sync.Mutex
 	)
 	claim := func() (int, bool) {
+		if ctx.Err() != nil {
+			return 0, false
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if next >= n {
@@ -58,12 +80,15 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 				if !ok {
 					return
 				}
-				results[i], errs[i] = fn(i)
+				results[i], errs[i] = fn(ctx, i)
 			}
 		}()
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -108,6 +109,59 @@ func TestMapBoundedConcurrency(t *testing.T) {
 	}
 	if p := atomic.LoadInt32(&peak); p > workers {
 		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestMapCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	_, err := MapCtx(ctx, 1000, 2, func(_ context.Context, i int) (int, error) {
+		if atomic.AddInt32(&ran, 1) == 3 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers stop claiming once the context is done: at most the points
+	// already in flight when cancel fired can still complete.
+	if n := atomic.LoadInt32(&ran); n >= 1000 {
+		t.Fatalf("cancellation did not stop the sweep (%d points ran)", n)
+	}
+}
+
+func TestMapCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	_, err := MapCtx(ctx, 100, 4, func(_ context.Context, i int) (int, error) {
+		atomic.AddInt32(&ran, 1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if atomic.LoadInt32(&ran) != 0 {
+		t.Fatal("points ran under an already-cancelled context")
+	}
+}
+
+func TestMapCtxCancellationBeatsPointError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapCtx(ctx, 4, 1, func(_ context.Context, i int) (int, error) {
+		return 0, errors.New("point failure")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want the context error to take precedence", err)
+	}
+}
+
+func TestMapCtxNilContext(t *testing.T) {
+	var nilCtx context.Context // the nil-context guard is what's under test
+	if _, err := MapCtx[int](nilCtx, 5, 2, func(context.Context, int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("nil context accepted")
 	}
 }
 
