@@ -12,6 +12,8 @@
 //	pbbf bench -out BENCH.json
 //	pbbf bench -out BENCH_new.json -baseline BENCH.json -threshold 0.30
 //	pbbf sweep -experiment all -scale paper -checkpoint paper.ckpt.json
+//	pbbf sweep -experiment all -scale paper -distribute :8099 -format json
+//	pbbf worker -coordinator http://coordinator-host:8099
 //	pbbf serve -addr :8080
 //
 // Scales: "quick" (CI-sized, seconds), "paper" (the paper's dimensions,
@@ -30,8 +32,12 @@
 //
 // The sweep subcommand is the long-run workhorse: per-point progress on
 // stderr and, with -checkpoint, crash-safe resumability — every completed
-// point is persisted and skipped on restart. The serve subcommand exposes
-// the registry over HTTP with a sharded result cache. See docs/SERVING.md.
+// point is persisted and skipped on restart. With -distribute it becomes
+// the coordinator of a multi-process sweep: `pbbf worker` processes lease
+// point batches over HTTP, killed workers' leases are requeued, and the
+// merged output is byte-identical to a local run (docs/DISTRIBUTED.md).
+// The serve subcommand exposes the registry over HTTP with a sharded
+// result cache. See docs/SERVING.md.
 package main
 
 import (
@@ -77,6 +83,8 @@ func runCtx(ctx context.Context, args []string, out, errOut io.Writer) error {
 			return runServe(ctx, args[1:], out, errOut)
 		case "sweep":
 			return runSweep(ctx, args[1:], out, errOut)
+		case "worker":
+			return runWorker(ctx, args[1:], out, errOut)
 		}
 	}
 	fs := flag.NewFlagSet("pbbf", flag.ContinueOnError)

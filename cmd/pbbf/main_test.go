@@ -349,22 +349,107 @@ func (l lockedWriter) Write(p []byte) (int, error) {
 
 func TestSubcommandErrors(t *testing.T) {
 	cases := [][]string{
-		{"sweep", "stray"},                     // positional junk
-		{"sweep", "-experiment", "nope"},       // unknown experiment
-		{"sweep", "-scale", "huge"},            // unknown scale
-		{"sweep", "-format", "xml"},            // unknown format
-		{"sweep", "-workers", "0"},             // zero workers
-		{"serve", "stray"},                     // positional junk
-		{"serve", "-cache-shards", "0"},        // bad shard count
-		{"serve", "-cache-entries", "1"},       // capacity below shards
-		{"serve", "-max-workers", "0"},         // bad worker cap
-		{"serve", "-addr", "not-a-valid:addr"}, // unbindable address
+		{"sweep", "stray"},                                      // positional junk
+		{"sweep", "-experiment", "nope"},                        // unknown experiment
+		{"sweep", "-scale", "huge"},                             // unknown scale
+		{"sweep", "-format", "xml"},                             // unknown format
+		{"sweep", "-workers", "0"},                              // zero workers
+		{"sweep", "-outstanding", "0"},                          // zero outstanding leases
+		{"sweep", "-lease-ttl", "-3s"},                          // negative lease TTL
+		{"sweep", "-distribute", "bad:addr:99"},                 // unbindable coordinator address
+		{"serve", "stray"},                                      // positional junk
+		{"serve", "-cache-shards", "0"},                         // bad shard count
+		{"serve", "-cache-entries", "1"},                        // capacity below shards
+		{"serve", "-max-workers", "0"},                          // bad worker cap
+		{"serve", "-addr", "not-a-valid:addr"},                  // unbindable address
+		{"worker", "stray"},                                     // positional junk
+		{"worker"},                                              // missing coordinator URL
+		{"worker", "-coordinator", "http://x", "-workers", "0"}, // zero workers
+		{"worker", "-coordinator", "http://x", "-batch", "-1"},  // negative batch
 	}
 	for _, args := range cases {
 		var sb strings.Builder
 		if err := runCtx(context.Background(), args, &sb, io.Discard); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
+	}
+}
+
+// TestSweepDistributedMatchesLocal drives the whole CLI path: a sweep in
+// coordinator mode, two worker subcommands attached over real HTTP (one
+// cancelled mid-run), and the merged output compared byte-for-byte with a
+// plain local sweep.
+func TestSweepDistributedMatchesLocal(t *testing.T) {
+	var local strings.Builder
+	if err := runSweep(context.Background(),
+		[]string{"-experiment", "fig6", "-format", "json", "-progress=false"},
+		&local, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var out, errOut strings.Builder
+	sweepDone := make(chan error, 1)
+	go func() {
+		sweepDone <- runSweep(context.Background(),
+			[]string{"-experiment", "fig6", "-format", "json", "-progress=false",
+				"-distribute", "127.0.0.1:0", "-lease-ttl", "500ms"},
+			lockedWriter{mu: &mu, w: &out}, lockedWriter{mu: &mu, w: &errOut})
+	}()
+
+	// The coordinator announces its bound address on the progress stream.
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never announced its address: %q", errOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+		mu.Lock()
+		if s := errOut.String(); strings.Contains(s, "listening on http://") {
+			url = "http://" + strings.TrimSpace(strings.SplitAfter(s, "listening on http://")[1])
+		}
+		mu.Unlock()
+	}
+
+	workerCtx, killWorker := context.WithCancel(context.Background())
+	defer killWorker()
+	w1 := make(chan error, 1)
+	go func() {
+		w1 <- runWorker(context.Background(),
+			[]string{"-coordinator", url, "-name", "w1", "-workers", "2"},
+			io.Discard, io.Discard)
+	}()
+	go runWorker(workerCtx, // killed mid-run below; exit value irrelevant
+		[]string{"-coordinator", url, "-name", "w2", "-workers", "1", "-batch", "2"},
+		io.Discard, io.Discard)
+	// Let w2 join the sweep, then kill it mid-run; its unreported lease
+	// expires and the points are finished by w1.
+	time.Sleep(300 * time.Millisecond)
+	killWorker()
+
+	select {
+	case err := <-sweepDone:
+		if err != nil {
+			t.Fatalf("distributed sweep: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("distributed sweep never finished")
+	}
+	select {
+	case err := <-w1:
+		if err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never exited after sweep completion")
+	}
+
+	mu.Lock()
+	got := out.String()
+	mu.Unlock()
+	if got != local.String() {
+		t.Fatalf("distributed output differs from local:\nlocal:\n%s\ndistributed:\n%s", local.String(), got)
 	}
 }
 

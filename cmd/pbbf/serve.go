@@ -26,6 +26,7 @@ func runServe(ctx context.Context, args []string, out, errOut io.Writer) error {
 		shards     = fs.Int("cache-shards", server.DefaultCacheShards, "result-cache shard count")
 		capacity   = fs.Int("cache-entries", server.DefaultCacheCapacity, "result-cache total entry bound (LRU per shard)")
 		maxWorkers = fs.Int("max-workers", runtime.GOMAXPROCS(0), "per-request sweep worker cap")
+		verbose    = fs.Bool("verbose", false, "structured JSON access log on stderr, one line per request")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,10 +41,15 @@ func runServe(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var accessLog io.Writer
+	if *verbose {
+		accessLog = errOut
+	}
 	srv, err := server.New(server.Config{
 		Registry:   experiments.Registry(),
 		Cache:      c,
 		MaxWorkers: *maxWorkers,
+		AccessLog:  accessLog,
 	})
 	if err != nil {
 		return err

@@ -5,19 +5,28 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"runtime"
 	"sync"
 
+	"pbbf/internal/dist"
 	"pbbf/internal/experiments"
 	"pbbf/internal/scenario"
+	"pbbf/internal/server"
 )
 
 // runSweep implements the sweep subcommand: the same scenario selection
 // and output formats as the default run mode, plus per-point progress
-// lines and — with -checkpoint — a resumable run that persists every
-// completed point result to disk (atomically, after each point) and skips
-// already-recorded points on restart. Killing a checkpointed sweep at any
-// moment loses at most the points still in flight.
+// lines and two long-run modes that compose freely:
+//
+//   - -checkpoint FILE makes the run resumable: every completed point
+//     result is persisted (atomically, after each point) and skipped on
+//     restart, and a completed resumed run compacts the journal back to
+//     its minimal canonical form.
+//   - -distribute ADDR turns the process into a coordinator: instead of
+//     computing points locally it serves them to `pbbf worker` processes
+//     over HTTP (lease/result/heartbeat; see docs/DISTRIBUTED.md), merges
+//     their results, and emits output byte-identical to a local run.
 //
 // Experiment output goes to out; progress and the resume summary go to
 // errOut so `-format json > file` stays parseable.
@@ -25,19 +34,32 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("pbbf sweep", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		experiment = fs.String("experiment", "all", "scenario id (e.g. fig8) or \"all\"")
-		scaleName  = fs.String("scale", "quick", "scenario scale: quick, paper, or bench")
-		format     = fs.String("format", "table", "output format: table, csv, or json")
-		seed       = fs.Uint64("seed", 1, "root random seed")
-		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep")
-		checkpoint = fs.String("checkpoint", "", "checkpoint file for resumable runs (empty = no persistence)")
-		progress   = fs.Bool("progress", true, "print one line per completed point to stderr")
+		experiment  = fs.String("experiment", "all", "scenario id (e.g. fig8) or \"all\"")
+		scaleName   = fs.String("scale", "quick", "scenario scale: quick, paper, or bench")
+		format      = fs.String("format", "table", "output format: table, csv, or json")
+		seed        = fs.Uint64("seed", 1, "root random seed")
+		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep (local mode; -distribute uses -outstanding)")
+		checkpoint  = fs.String("checkpoint", "", "checkpoint file for resumable runs (empty = no persistence)")
+		progress    = fs.Bool("progress", true, "print one line per completed point to stderr")
+		distribute  = fs.String("distribute", "", "listen address for a distributed sweep (e.g. :8099); empty = compute locally")
+		leaseTTL    = fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "how long workers hold leased points before requeue (distributed mode)")
+		outstanding = fs.Int("outstanding", 256, "max points leased out concurrently (distributed mode)")
+		verbose     = fs.Bool("verbose", false, "structured access log for coordinator requests on stderr (distributed mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("sweep: unexpected arguments %v", fs.Args())
+	}
+	if *distribute != "" {
+		// The coordinator computes nothing locally, so a hand-set local
+		// pool size would silently do nothing; say so instead.
+		explicitWorkers := false
+		fs.Visit(func(f *flag.Flag) { explicitWorkers = explicitWorkers || f.Name == "workers" })
+		if explicitWorkers {
+			fmt.Fprintln(errOut, "sweep: -workers has no effect with -distribute; use -outstanding to bound in-flight leased points")
+		}
 	}
 	scale, err := scenario.ByName(*scaleName)
 	if err != nil {
@@ -52,6 +74,12 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if *workers <= 0 {
 		return fmt.Errorf("workers must be positive, got %d", *workers)
 	}
+	if *outstanding <= 0 {
+		return fmt.Errorf("outstanding must be positive, got %d", *outstanding)
+	}
+	if *leaseTTL <= 0 {
+		return fmt.Errorf("lease-ttl must be positive, got %v", *leaseTTL)
+	}
 
 	reg := experiments.Registry()
 	var selected []scenario.Scenario
@@ -63,6 +91,57 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 			return err
 		}
 		selected = []scenario.Scenario{sc}
+	}
+
+	// Distributed mode: stand up the coordinator endpoints and replace
+	// local point computation with queue dispatch. The scenario engine —
+	// enumeration, assembly, output — is unchanged, which is what makes
+	// the distributed output byte-identical to a local run.
+	var coord *dist.Coordinator
+	engineWorkers := *workers
+	if *distribute != "" {
+		coord = dist.NewCoordinator(dist.Config{LeaseTTL: *leaseTTL})
+		var accessLog io.Writer
+		if *verbose {
+			accessLog = errOut
+		}
+		srv, err := server.New(server.Config{
+			Registry:    reg,
+			Coordinator: coord,
+			AccessLog:   accessLog,
+		})
+		if err != nil {
+			return err
+		}
+		l, err := net.Listen("tcp", *distribute)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errOut, "sweep: coordinator listening on http://%s\n", l.Addr())
+		serveCtx, stopServe := context.WithCancel(context.Background())
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.ServeListener(serveCtx, l, nil) }()
+		defer func() {
+			// Let connected workers observe the sweep's end (their next
+			// lease poll answers Done) before the listener goes away.
+			coord.Close()
+			coord.Quiesce(ctx, 2*(*leaseTTL))
+			stopServe()
+			<-serveErr
+		}()
+		// In distributed mode the engine pool only tracks in-flight
+		// leases (each goroutine blocks in coord.Do, computing nothing),
+		// so it is sized by -outstanding, not local cores.
+		engineWorkers = *outstanding
+	}
+
+	// dispatch computes one point: remotely through the coordinator's
+	// queue when distributing, locally otherwise.
+	dispatch := func(sc scenario.Scenario, pt scenario.Point, compute func() (scenario.Result, error)) (scenario.Result, error) {
+		if coord != nil {
+			return coord.Do(ctx, scenario.NewPointSpec(sc, scale, pt))
+		}
+		return compute()
 	}
 
 	// Load or create the checkpoint. Identity (experiment, scale, seed)
@@ -88,8 +167,10 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 		mu                sync.Mutex
 		resumed, computed int
 	)
-	opts := scenario.RunOptions{Workers: *workers}
-	if cp != nil {
+	opts := scenario.RunOptions{Workers: engineWorkers}
+	var cpw *scenario.CheckpointWriter
+	switch {
+	case cp != nil:
 		// Completed points append to the journal as they finish: O(1)
 		// disk work per point under the writer's own lock, so workers
 		// never serialize on rewriting prior results.
@@ -97,6 +178,7 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 		if err != nil {
 			return err
 		}
+		cpw = w
 		defer w.Close()
 		opts.Intercept = func(sc scenario.Scenario, pt scenario.Point, compute func() (scenario.Result, error)) (scenario.Result, bool, error) {
 			key := scenario.PointKey(sc.ID, scale, pt)
@@ -109,7 +191,7 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 			if ok {
 				return res, true, nil
 			}
-			res, err := compute()
+			res, err := dispatch(sc, pt, compute)
 			if err != nil {
 				return res, false, err
 			}
@@ -121,6 +203,11 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 				return res, false, fmt.Errorf("checkpoint %s: %w", *checkpoint, err)
 			}
 			return res, false, nil
+		}
+	case coord != nil:
+		opts.Intercept = func(sc scenario.Scenario, pt scenario.Point, compute func() (scenario.Result, error)) (scenario.Result, bool, error) {
+			res, err := dispatch(sc, pt, compute)
+			return res, false, err
 		}
 	}
 	if *progress {
@@ -147,6 +234,21 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 	}
 	if cp != nil {
 		fmt.Fprintf(errOut, "sweep: done — resumed %d point(s) from checkpoint, computed %d\n", resumed, computed)
+		// A resumed run has an accumulated journal (append order of the
+		// interrupted runs, possibly a truncated torn tail). Compact it
+		// to the minimal canonical form now that the run is whole. The
+		// writer closes first so the rewrite never races a final append.
+		// Compaction is housekeeping: if it fails (disk full), the
+		// results are already safe in the append journal, so warn and
+		// emit the output rather than discarding a completed run.
+		if resumed > 0 {
+			cpw.Close()
+			if err := cp.WriteFile(*checkpoint); err != nil {
+				fmt.Fprintf(errOut, "sweep: WARNING: could not compact checkpoint %s: %v\n", *checkpoint, err)
+			} else {
+				fmt.Fprintf(errOut, "sweep: compacted checkpoint %s to %d entries\n", *checkpoint, len(cp.Results))
+			}
+		}
 	}
 	return emit(out, *format, outputs)
 }

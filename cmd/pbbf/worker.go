@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"pbbf/internal/dist"
+	"pbbf/internal/experiments"
+)
+
+// runWorker implements the worker subcommand: join a distributed sweep as
+// a compute worker. The worker registers with the coordinator (`pbbf
+// sweep -distribute`), leases batches of point specs, computes them with
+// a local pool, reports results, and exits when the coordinator declares
+// the sweep done. Killing a worker at any moment is safe: its unreported
+// lease expires on the coordinator and the points are handed to another
+// worker.
+func runWorker(ctx context.Context, args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("pbbf worker", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL (e.g. http://host:8099)")
+		name        = fs.String("name", "", "worker name shown in coordinator logs (default: host:pid)")
+		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel point computations")
+		batch       = fs.Int("batch", 0, "points leased per request (0 = 2x workers)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("worker: unexpected arguments %v", fs.Args())
+	}
+	if *coordinator == "" {
+		return fmt.Errorf("worker: missing -coordinator URL")
+	}
+	if *workers <= 0 {
+		return fmt.Errorf("workers must be positive, got %d", *workers)
+	}
+	if *batch < 0 {
+		return fmt.Errorf("batch must be non-negative, got %d", *batch)
+	}
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	return dist.RunWorker(ctx, dist.WorkerConfig{
+		CoordinatorURL: *coordinator,
+		Registry:       experiments.Registry(),
+		Name:           *name,
+		Parallelism:    *workers,
+		Batch:          *batch,
+		Logw:           errOut,
+	})
+}

@@ -1,0 +1,530 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pbbf/internal/scenario"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultLeaseTTL          = 30 * time.Second
+	DefaultMaxBatch          = 64
+	DefaultMaxPointAttempts  = 3
+	DefaultMaxWorkerFailures = 3
+	DefaultRetryDelay        = 500 * time.Millisecond
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrUnknownWorker marks a request naming a worker ID the coordinator
+	// never issued (or a coordinator restart — workers must re-register).
+	ErrUnknownWorker = errors.New("unknown worker")
+	// ErrQuarantined marks a worker excluded after repeated failures; it
+	// receives no further leases and should exit.
+	ErrQuarantined = errors.New("worker quarantined")
+)
+
+// Config tunes the coordinator's fault-tolerance state machine.
+type Config struct {
+	// LeaseTTL is how long a worker holds leased points before the
+	// coordinator requeues them. A worker that dies loses its lease at
+	// most LeaseTTL after its last request.
+	LeaseTTL time.Duration
+	// MaxBatch caps the points granted per lease.
+	MaxBatch int
+	// MaxPointAttempts is how many reported failures one point tolerates
+	// before the sweep fails with that point's error.
+	MaxPointAttempts int
+	// MaxWorkerFailures is how many consecutive failed points one worker
+	// may report before it is quarantined (excluded from further
+	// leases). A success resets the count, so a small transient error
+	// rate on a long sweep never quarantines a mostly-healthy worker.
+	MaxWorkerFailures int
+	// RetryDelay is the poll backoff told to workers when the queue is
+	// momentarily empty.
+	RetryDelay time.Duration
+
+	// clock overrides time.Now for deterministic expiry tests.
+	clock func() time.Time
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxPointAttempts <= 0 {
+		cfg.MaxPointAttempts = DefaultMaxPointAttempts
+	}
+	if cfg.MaxWorkerFailures <= 0 {
+		cfg.MaxWorkerFailures = DefaultMaxWorkerFailures
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = DefaultRetryDelay
+	}
+	if cfg.clock == nil {
+		cfg.clock = time.Now
+	}
+	return cfg
+}
+
+// task is one point's life in the queue: pending (in queue), leased (out
+// with a worker), or resolved (result or terminal error set, done closed).
+type task struct {
+	spec     scenario.PointSpec
+	lease    *lease          // non-nil while leased
+	pending  bool            // true while the task sits in the queue
+	attempts int             // reported failures so far
+	failedBy map[string]bool // worker IDs that failed this point
+	resolved bool
+	result   scenario.Result
+	err      error
+	done     chan struct{} // closed on resolution
+}
+
+// lease is one granted batch with its requeue deadline.
+type lease struct {
+	id       string
+	deadline time.Time
+	tasks    map[string]*task // by point key; shrinks as results land
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id, name    string
+	lastSeen    time.Time
+	alive       bool
+	quarantined bool
+	sawDone     bool // the worker has been told the sweep is done
+	leases      map[string]*lease
+	completed   int
+	failed      int // lifetime failures, for observability
+	// streak counts consecutive failures — the quarantine budget. A
+	// success resets it, so a small transient error rate on a long sweep
+	// never quarantines a mostly-healthy worker.
+	streak int
+}
+
+// Coordinator owns a distributed sweep's work queue. Points enter through
+// Do (called concurrently by the scenario engine's intercept hook), are
+// handed to workers in leases, and resolve back through Result — or
+// through the requeue paths when leases expire, workers die, or points
+// fail. All methods are safe for concurrent use.
+type Coordinator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	tasks    map[string]*task // every task ever submitted, by point key
+	queue    []*task          // pending tasks, FIFO (requeues go to the front)
+	workers  map[string]*workerState
+	order    []string // worker registration order, for stable snapshots
+	seq      int
+	requeues uint64
+	stale    uint64
+	doneN    int
+	failedN  int
+	closed   bool
+}
+
+// NewCoordinator returns a coordinator with an empty queue.
+func NewCoordinator(cfg Config) *Coordinator {
+	return &Coordinator{
+		cfg:     cfg.withDefaults(),
+		tasks:   make(map[string]*task),
+		workers: make(map[string]*workerState),
+	}
+}
+
+// Do submits one point for remote computation and blocks until a worker
+// resolves it or ctx is cancelled. Concurrent calls with the same key
+// join the same task (and a key already resolved returns immediately), so
+// the queue never holds duplicates.
+func (c *Coordinator) Do(ctx context.Context, spec scenario.PointSpec) (scenario.Result, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return scenario.Result{}, fmt.Errorf("dist: coordinator closed")
+	}
+	t, ok := c.tasks[spec.Key]
+	if !ok {
+		t = &task{spec: spec, pending: true, done: make(chan struct{})}
+		c.tasks[spec.Key] = t
+		c.queue = append(c.queue, t)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-t.done:
+		return t.result, t.err
+	case <-ctx.Done():
+		return scenario.Result{}, ctx.Err()
+	}
+}
+
+// Register admits a worker and returns its identity and cadence. An empty
+// name gets a generated one.
+func (c *Coordinator) Register(name string) RegisterResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	id := fmt.Sprintf("w%d", c.seq)
+	if name == "" {
+		name = id
+	}
+	c.workers[id] = &workerState{
+		id: id, name: name,
+		lastSeen: c.cfg.clock(),
+		alive:    true,
+		leases:   make(map[string]*lease),
+	}
+	c.order = append(c.order, id)
+	return RegisterResponse{
+		WorkerID:    id,
+		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMS: (c.cfg.LeaseTTL / 3).Milliseconds(),
+	}
+}
+
+// Lease grants the worker up to req.Max pending points. An empty grant
+// carries a retry delay; once the sweep is closed it reports Done so the
+// worker exits.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.clock()
+	c.expireLocked(now)
+	w, err := c.touchLocked(req.WorkerID, now)
+	if err != nil {
+		return LeaseResponse{}, err
+	}
+	if c.closed {
+		w.sawDone = true
+		return LeaseResponse{Done: true}, nil
+	}
+	max := req.Max
+	if max <= 0 || max > c.cfg.MaxBatch {
+		max = c.cfg.MaxBatch
+	}
+	c.seq++
+	l := &lease{
+		id:       fmt.Sprintf("l%d", c.seq),
+		deadline: now.Add(c.cfg.LeaseTTL),
+		tasks:    make(map[string]*task),
+	}
+	resp := LeaseResponse{LeaseID: l.id}
+	// Grant up to max pending tasks, dropping any resolved while queued
+	// (a requeued point whose original worker reported late after all)
+	// and routing a point's retries away from workers that already
+	// failed it, so one broken environment cannot burn a point's whole
+	// attempt budget while healthy workers idle. The exclusion cannot
+	// deadlock: once every live, non-quarantined worker has failed a
+	// point, it is grantable to any of them again — the attempt budget
+	// stays the hard stop.
+	grantable := func(t *task) bool {
+		if !t.failedBy[w.id] {
+			return true
+		}
+		for _, ow := range c.workers {
+			if ow.alive && !ow.quarantined && !t.failedBy[ow.id] {
+				return false // a worker that hasn't failed it should get it
+			}
+		}
+		return true
+	}
+	kept := c.queue[:0]
+	for _, t := range c.queue {
+		switch {
+		case t.resolved:
+			t.pending = false
+		case len(l.tasks) >= max || !grantable(t):
+			kept = append(kept, t)
+		default:
+			t.pending = false
+			t.lease = l
+			l.tasks[t.spec.Key] = t
+			resp.Points = append(resp.Points, t.spec)
+		}
+	}
+	c.queue = kept
+	if len(l.tasks) == 0 {
+		return LeaseResponse{RetryMS: c.cfg.RetryDelay.Milliseconds()}, nil
+	}
+	w.leases[l.id] = l
+	return resp, nil
+}
+
+// Result merges a batch of computed points. Results for already-resolved
+// points (a requeued point both workers finished) are counted stale and
+// ignored — they are byte-identical by construction, so dropping either
+// copy is safe. A reported failure requeues the point until its attempt
+// budget is spent, then fails the sweep; a worker crossing its failure
+// budget is quarantined and its outstanding leases requeued.
+func (c *Coordinator) Result(req ResultRequest) (ResultResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.clock()
+	c.expireLocked(now)
+	w, err := c.touchLocked(req.WorkerID, now)
+	if err != nil {
+		return ResultResponse{}, err
+	}
+	var resp ResultResponse
+	for _, pr := range req.Results {
+		t := c.tasks[pr.Key]
+		if t == nil || t.resolved {
+			c.stale++
+			resp.Stale++
+			continue
+		}
+		c.detachLocked(t)
+		resp.Accepted++
+		if pr.Error == "" {
+			w.completed++
+			w.streak = 0
+			c.resolveLocked(t, pr.Result, nil)
+			continue
+		}
+		t.attempts++
+		if t.failedBy == nil {
+			t.failedBy = make(map[string]bool)
+		}
+		t.failedBy[w.id] = true
+		w.failed++
+		w.streak++
+		if w.streak >= c.cfg.MaxWorkerFailures && !w.quarantined {
+			c.quarantineLocked(w)
+		}
+		if t.attempts >= c.cfg.MaxPointAttempts {
+			// The sweep is now doomed — the engine will surface this
+			// error once every job resolves. Abort the remaining tasks
+			// instead of waiting for workers to compute results that can
+			// no longer be used (or hanging forever if none are left).
+			c.abortLocked(fmt.Errorf(
+				"dist: point failed on %d attempt(s), last on %s: %s", t.attempts, w.name, pr.Error), t)
+		} else {
+			c.requeueLocked(t)
+		}
+	}
+	resp.Done = c.closed
+	return resp, nil
+}
+
+// abortLocked resolves culprit with err and every other unresolved task
+// with a wrapper naming it, so no Do call blocks on a sweep that has
+// already failed.
+func (c *Coordinator) abortLocked(err error, culprit *task) {
+	c.resolveLocked(culprit, scenario.Result{}, err)
+	for _, t := range c.tasks {
+		if !t.resolved {
+			c.detachLocked(t)
+			c.resolveLocked(t, scenario.Result{}, fmt.Errorf("dist: sweep aborted (%s)", err))
+		}
+	}
+	c.queue = nil
+}
+
+// Heartbeat records worker liveness between leases.
+func (c *Coordinator) Heartbeat(workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.clock()
+	c.expireLocked(now)
+	_, err := c.touchLocked(workerID, now)
+	return err
+}
+
+// Snapshot reports the workers and queue for GET /v1/workers.
+func (c *Coordinator) Snapshot() WorkersResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.clock()
+	c.expireLocked(now)
+	resp := WorkersResponse{
+		Workers: make([]WorkerInfo, 0, len(c.order)),
+		Queue: QueueStats{
+			Pending:      len(c.queue),
+			Done:         c.doneN,
+			Failed:       c.failedN,
+			Total:        len(c.tasks),
+			Requeues:     c.requeues,
+			StaleResults: c.stale,
+			Closed:       c.closed,
+		},
+	}
+	for _, id := range c.order {
+		w := c.workers[id]
+		leased := 0
+		for _, l := range w.leases {
+			leased += len(l.tasks)
+		}
+		resp.Queue.Leased += leased
+		resp.Workers = append(resp.Workers, WorkerInfo{
+			ID: w.id, Name: w.name,
+			Alive: w.alive, Quarantined: w.quarantined,
+			LastSeenAgoMS: now.Sub(w.lastSeen).Milliseconds(),
+			Leased:        leased, Completed: w.completed, Failed: w.failed,
+		})
+	}
+	return resp
+}
+
+// Close marks the sweep complete: subsequent leases answer Done so
+// workers drain and exit. Unresolved tasks (a failed run's leftovers) are
+// resolved with an error so no Do call blocks forever.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, t := range c.tasks {
+		if !t.resolved {
+			c.detachLocked(t)
+			c.resolveLocked(t, scenario.Result{}, fmt.Errorf("dist: coordinator closed"))
+		}
+	}
+	c.queue = nil
+}
+
+// Quiesce waits (up to timeout, or until ctx cancels) for every live,
+// non-quarantined worker to observe the sweep's completion through a
+// Done lease response, so workers exit cleanly before the coordinator's
+// HTTP listener goes away. Call after Close. Only workers seen within
+// the last few poll intervals count: one that stopped contacting us
+// (Ctrl-C'd, crashed, network gone) will never poll again and must not
+// hold the process exit hostage for the full timeout.
+func (c *Coordinator) Quiesce(ctx context.Context, timeout time.Duration) {
+	// The grace must cover the slowest advertised contact cadence — the
+	// heartbeat interval (LeaseTTL/3) — plus poll slack, or a worker
+	// alive between heartbeats would be abandoned mid-drain.
+	grace := c.cfg.LeaseTTL/3 + 4*c.cfg.RetryDelay + time.Second
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		c.mu.Lock()
+		waiting := false
+		now := c.cfg.clock()
+		c.expireLocked(now)
+		for _, w := range c.workers {
+			if w.alive && !w.quarantined && !w.sawDone && now.Sub(w.lastSeen) <= grace {
+				waiting = true
+			}
+		}
+		c.mu.Unlock()
+		if !waiting {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// touchLocked resolves a worker ID, bumps its liveness, and enforces
+// quarantine. Any contact — lease, result, heartbeat — renews the
+// worker's outstanding lease deadlines, so a lease only expires when its
+// worker goes silent for the TTL, never merely because a batch computes
+// slowly while the worker keeps heartbeating.
+func (c *Coordinator) touchLocked(id string, now time.Time) (*workerState, error) {
+	w := c.workers[id]
+	if w == nil {
+		return nil, fmt.Errorf("dist: %w: %q", ErrUnknownWorker, id)
+	}
+	w.lastSeen = now
+	w.alive = true
+	if w.quarantined {
+		return nil, fmt.Errorf("dist: %w: %s failed %d point(s)", ErrQuarantined, w.name, w.failed)
+	}
+	for _, l := range w.leases {
+		l.deadline = now.Add(c.cfg.LeaseTTL)
+	}
+	return w, nil
+}
+
+// expireLocked runs the requeue paths: leases past their deadline, and
+// workers silent past the death threshold (twice the lease TTL — missed
+// heartbeats many times over), whose leases are requeued immediately.
+func (c *Coordinator) expireLocked(now time.Time) {
+	deadAfter := 2 * c.cfg.LeaseTTL
+	for _, w := range c.workers {
+		if w.alive && now.Sub(w.lastSeen) > deadAfter {
+			w.alive = false
+			c.requeueWorkerLocked(w)
+			continue
+		}
+		for id, l := range w.leases {
+			if now.After(l.deadline) {
+				for _, t := range l.tasks {
+					t.lease = nil
+					c.requeueLocked(t)
+				}
+				delete(w.leases, id)
+			}
+		}
+	}
+}
+
+// requeueWorkerLocked returns every point leased to w to the queue.
+func (c *Coordinator) requeueWorkerLocked(w *workerState) {
+	for id, l := range w.leases {
+		for _, t := range l.tasks {
+			t.lease = nil
+			c.requeueLocked(t)
+		}
+		delete(w.leases, id)
+	}
+}
+
+// quarantineLocked excludes the worker and requeues its outstanding work.
+func (c *Coordinator) quarantineLocked(w *workerState) {
+	w.quarantined = true
+	c.requeueWorkerLocked(w)
+}
+
+// detachLocked removes the task from its lease's bookkeeping (dropping
+// the lease once empty).
+func (c *Coordinator) detachLocked(t *task) {
+	l := t.lease
+	if l == nil {
+		return
+	}
+	t.lease = nil
+	delete(l.tasks, t.spec.Key)
+	if len(l.tasks) == 0 {
+		for _, w := range c.workers {
+			delete(w.leases, l.id)
+		}
+	}
+}
+
+// requeueLocked puts an unresolved task back at the front of the queue,
+// so retried points clear before fresh ones stack behind them. A task
+// already queued stays put — e.g. a failure report arriving after the
+// point's lease expired and requeued it — so the queue never holds
+// duplicates.
+func (c *Coordinator) requeueLocked(t *task) {
+	if t.pending || t.resolved {
+		return
+	}
+	t.pending = true
+	c.requeues++
+	c.queue = append([]*task{t}, c.queue...)
+}
+
+// resolveLocked finishes a task and wakes its Do caller.
+func (c *Coordinator) resolveLocked(t *task, res scenario.Result, err error) {
+	t.resolved = true
+	t.result = res
+	t.err = err
+	if err != nil {
+		c.failedN++
+	} else {
+		c.doneN++
+	}
+	close(t.done)
+}

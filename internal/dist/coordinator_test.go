@@ -1,0 +1,712 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pbbf/internal/scenario"
+)
+
+// fakeClock is a manually advanced clock for deterministic expiry tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// testSpec builds a distinct, verifiable point spec per index.
+func testSpec(i int) scenario.PointSpec {
+	s := scenario.Quick()
+	pt := scenario.Point{Series: "a", X: float64(i), Params: map[string]float64{"p": 0.5}}
+	return scenario.PointSpec{
+		ScenarioID: "spec",
+		Scale:      s,
+		Point:      pt,
+		Key:        scenario.PointKey("spec", s, pt),
+	}
+}
+
+// submit launches Do calls for n specs and returns a channel per point.
+func submit(t *testing.T, c *Coordinator, n int) []chan error {
+	t.Helper()
+	chans := make([]chan error, n)
+	for i := range chans {
+		ch := make(chan error, 1)
+		chans[i] = ch
+		spec := testSpec(i)
+		go func() {
+			res, err := c.Do(context.Background(), spec)
+			if err == nil && res.Y != float64(100) {
+				err = fmt.Errorf("unexpected result %+v", res)
+			}
+			ch <- err
+		}()
+	}
+	// Wait until all tasks are queued so leases see the full set.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.mu.Lock()
+		queued := len(c.tasks)
+		c.mu.Unlock()
+		if queued >= n {
+			return chans
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d tasks queued", queued, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// okResults answers every point in the lease with Y=100.
+func okResults(grant LeaseResponse) []PointResult {
+	prs := make([]PointResult, len(grant.Points))
+	for i, sp := range grant.Points {
+		prs[i] = PointResult{Key: sp.Key, Result: scenario.Result{Y: 100}}
+	}
+	return prs
+}
+
+func newTestCoordinator(clk *fakeClock) *Coordinator {
+	return NewCoordinator(Config{
+		LeaseTTL:          10 * time.Second,
+		MaxBatch:          4,
+		MaxPointAttempts:  3,
+		MaxWorkerFailures: 3,
+		clock:             clk.Now,
+	})
+}
+
+func TestLeaseResultHappyPath(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCoordinator(clk)
+	waits := submit(t, c, 3)
+	reg := c.Register("w")
+	if reg.WorkerID == "" || reg.LeaseTTLMS != 10_000 || reg.HeartbeatMS <= 0 {
+		t.Fatalf("registration: %+v", reg)
+	}
+
+	grant, err := c.Lease(LeaseRequest{WorkerID: reg.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grant.Points) != 3 || grant.LeaseID == "" {
+		t.Fatalf("grant: %+v", grant)
+	}
+	ack, err := c.Result(ResultRequest{WorkerID: reg.WorkerID, LeaseID: grant.LeaseID, Results: okResults(grant)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 3 || ack.Stale != 0 {
+		t.Fatalf("ack: %+v", ack)
+	}
+	for i, ch := range waits {
+		if err := <-ch; err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+	}
+
+	snap := c.Snapshot()
+	if snap.Queue.Done != 3 || snap.Queue.Pending != 0 || snap.Queue.Leased != 0 {
+		t.Fatalf("queue: %+v", snap.Queue)
+	}
+	if len(snap.Workers) != 1 || snap.Workers[0].Completed != 3 || !snap.Workers[0].Alive {
+		t.Fatalf("workers: %+v", snap.Workers)
+	}
+}
+
+func TestLeaseBatchBound(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCoordinator(clk) // MaxBatch 4
+	waits := submit(t, c, 6)
+	w := c.Register("w")
+
+	g1, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID, Max: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Points) != 4 {
+		t.Fatalf("batch bound not enforced: %d points", len(g1.Points))
+	}
+	g2, _ := c.Lease(LeaseRequest{WorkerID: w.WorkerID, Max: 1})
+	if len(g2.Points) != 1 {
+		t.Fatalf("explicit max ignored: %d points", len(g2.Points))
+	}
+	g3, _ := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+	if len(g3.Points) != 1 {
+		t.Fatalf("remaining point not granted: %+v", g3)
+	}
+	// Queue empty, sweep live: the worker is told to poll again.
+	g4, _ := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+	if g4.RetryMS <= 0 || g4.Done || len(g4.Points) != 0 {
+		t.Fatalf("empty grant: %+v", g4)
+	}
+	for _, g := range []LeaseResponse{g1, g2, g3} {
+		if _, err := c.Result(ResultRequest{WorkerID: w.WorkerID, LeaseID: g.LeaseID, Results: okResults(g)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ch := range waits {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLeaseExpiryRequeues(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCoordinator(clk)
+	waits := submit(t, c, 2)
+	w1 := c.Register("w1")
+	w2 := c.Register("w2")
+
+	g1, err := c.Lease(LeaseRequest{WorkerID: w1.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Points) != 2 {
+		t.Fatalf("grant: %+v", g1)
+	}
+	// w1 goes silent past the TTL: the lease expires and the points go
+	// to w2. The late heartbeat arrives after the expiry already ran, so
+	// it revives the worker but cannot resurrect the lease.
+	clk.Advance(11 * time.Second)
+	if err := c.Heartbeat(w1.WorkerID); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Lease(LeaseRequest{WorkerID: w2.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Points) != 2 {
+		t.Fatalf("expired lease not requeued: %+v", g2)
+	}
+	if _, err := c.Result(ResultRequest{WorkerID: w2.WorkerID, LeaseID: g2.LeaseID, Results: okResults(g2)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range waits {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap := c.Snapshot(); snap.Queue.Requeues != 2 {
+		t.Fatalf("requeues not counted: %+v", snap.Queue)
+	}
+}
+
+// TestHeartbeatExtendsLease: a slow batch must survive as long as its
+// worker keeps heartbeating — leases expire on silence, not on wall
+// time since the grant.
+func TestHeartbeatExtendsLease(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCoordinator(clk) // TTL 10s
+	waits := submit(t, c, 1)
+	w1 := c.Register("w1")
+	w2 := c.Register("w2")
+
+	g1, err := c.Lease(LeaseRequest{WorkerID: w1.WorkerID})
+	if err != nil || len(g1.Points) != 1 {
+		t.Fatalf("grant: %+v, %v", g1, err)
+	}
+	// 12s elapse since the grant — past the original deadline — but a
+	// heartbeat at 6s renewed the lease, so w2 must not steal the point.
+	clk.Advance(6 * time.Second)
+	if err := c.Heartbeat(w1.WorkerID); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(6 * time.Second)
+	g2, err := c.Lease(LeaseRequest{WorkerID: w2.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Points) != 0 || g2.RetryMS <= 0 {
+		t.Fatalf("heartbeated lease was stolen: %+v", g2)
+	}
+	if _, err := c.Result(ResultRequest{WorkerID: w1.WorkerID, LeaseID: g1.LeaseID, Results: okResults(g1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-waits[0]; err != nil {
+		t.Fatal(err)
+	}
+	if snap := c.Snapshot(); snap.Queue.Requeues != 0 {
+		t.Fatalf("slow-but-alive batch was requeued: %+v", snap.Queue)
+	}
+}
+
+func TestDeadWorkerRequeuesBeforeLeaseExpiry(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{
+		LeaseTTL: 10 * time.Second, MaxBatch: 4, clock: clk.Now,
+	})
+	waits := submit(t, c, 1)
+	w1 := c.Register("w1")
+	w2 := c.Register("w2")
+
+	// w2 leases at t+15s so its own lease (deadline t+25s) outlives w1's
+	// death threshold (2xTTL = 20s of silence).
+	g1, err := c.Lease(LeaseRequest{WorkerID: w1.WorkerID})
+	if err != nil || len(g1.Points) != 1 {
+		t.Fatalf("grant: %+v, %v", g1, err)
+	}
+	clk.Advance(21 * time.Second)
+	g2, err := c.Lease(LeaseRequest{WorkerID: w2.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Points) != 1 {
+		t.Fatalf("dead worker's lease not requeued: %+v", g2)
+	}
+	snap := c.Snapshot()
+	if snap.Workers[0].Alive {
+		t.Fatalf("silent worker still alive: %+v", snap.Workers[0])
+	}
+	if !snap.Workers[1].Alive {
+		t.Fatalf("active worker marked dead: %+v", snap.Workers[1])
+	}
+	if _, err := c.Result(ResultRequest{WorkerID: w2.WorkerID, LeaseID: g2.LeaseID, Results: okResults(g2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-waits[0]; err != nil {
+		t.Fatal(err)
+	}
+	// The dead worker revives on its next contact.
+	if err := c.Heartbeat(w1.WorkerID); err != nil {
+		t.Fatal(err)
+	}
+	if snap := c.Snapshot(); !snap.Workers[0].Alive {
+		t.Fatal("heartbeat did not revive the worker")
+	}
+}
+
+func TestPointFailureRetriesThenFailsSweep(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{
+		LeaseTTL: 10 * time.Second, MaxPointAttempts: 2, MaxWorkerFailures: 100, clock: clk.Now,
+	})
+	waits := submit(t, c, 1)
+	w := c.Register("w")
+
+	fail := func() ResultResponse {
+		g, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Points) != 1 {
+			t.Fatalf("grant: %+v", g)
+		}
+		ack, err := c.Result(ResultRequest{WorkerID: w.WorkerID, LeaseID: g.LeaseID,
+			Results: []PointResult{{Key: g.Points[0].Key, Error: "simulated crash"}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ack
+	}
+	fail() // attempt 1: requeued
+	select {
+	case err := <-waits[0]:
+		t.Fatalf("point resolved after first failure: %v", err)
+	default:
+	}
+	fail() // attempt 2: budget spent, sweep fails
+	err := <-waits[0]
+	if err == nil || !strings.Contains(err.Error(), "simulated crash") || !strings.Contains(err.Error(), "2 attempt(s)") {
+		t.Fatalf("terminal failure not surfaced: %v", err)
+	}
+	if snap := c.Snapshot(); snap.Queue.Failed != 1 {
+		t.Fatalf("failed count: %+v", snap.Queue)
+	}
+}
+
+// TestTerminalFailureAbortsPendingTasks: once any point exhausts its
+// attempt budget the sweep is doomed; every other pending task must
+// resolve immediately (with an abort error naming the culprit) instead
+// of waiting on workers that may never come — a version-skewed fleet
+// whose workers all quarantine and exit must fail the sweep, not hang
+// it.
+func TestTerminalFailureAbortsPendingTasks(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{
+		LeaseTTL: 10 * time.Second, MaxBatch: 2,
+		MaxPointAttempts: 1, MaxWorkerFailures: 100, clock: clk.Now,
+	})
+	waits := submit(t, c, 3)
+	w := c.Register("w")
+	g, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID}) // 2 of 3 points
+	if err != nil || len(g.Points) != 2 {
+		t.Fatalf("grant: %+v, %v", g, err)
+	}
+	if _, err := c.Result(ResultRequest{WorkerID: w.WorkerID, LeaseID: g.LeaseID,
+		Results: []PointResult{{Key: g.Points[0].Key, Error: "boom"}}}); err != nil {
+		t.Fatal(err)
+	}
+	sawCulprit := 0
+	for i, ch := range waits {
+		select {
+		case err := <-ch:
+			if err == nil {
+				t.Fatalf("point %d resolved without error on a doomed sweep", i)
+			}
+			if strings.Contains(err.Error(), "boom") && !strings.Contains(err.Error(), "aborted") {
+				sawCulprit++
+			} else if !strings.Contains(err.Error(), "sweep aborted") {
+				t.Fatalf("point %d: %v", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("point %d still blocked after terminal failure", i)
+		}
+	}
+	if sawCulprit != 1 {
+		t.Fatalf("culprit error surfaced %d times", sawCulprit)
+	}
+}
+
+func TestWorkerQuarantine(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{
+		LeaseTTL: 10 * time.Second, MaxBatch: 2,
+		MaxPointAttempts: 100, MaxWorkerFailures: 2, clock: clk.Now,
+	})
+	waits := submit(t, c, 3)
+	bad := c.Register("bad")
+	good := c.Register("good")
+
+	g, err := c.Lease(LeaseRequest{WorkerID: bad.WorkerID}) // 2 points
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both fail: the worker crosses its failure budget and is quarantined.
+	prs := []PointResult{
+		{Key: g.Points[0].Key, Error: "bad env"},
+		{Key: g.Points[1].Key, Error: "bad env"},
+	}
+	if _, err := c.Result(ResultRequest{WorkerID: bad.WorkerID, LeaseID: g.LeaseID, Results: prs}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lease(LeaseRequest{WorkerID: bad.WorkerID}); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined worker leased again: %v", err)
+	}
+	if _, err := c.Result(ResultRequest{WorkerID: bad.WorkerID}); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined worker's results accepted: %v", err)
+	}
+	// The healthy worker finishes everything, including the requeues.
+	for {
+		g, err := c.Lease(LeaseRequest{WorkerID: good.WorkerID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Points) == 0 {
+			break
+		}
+		if _, err := c.Result(ResultRequest{WorkerID: good.WorkerID, LeaseID: g.LeaseID, Results: okResults(g)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ch := range waits {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+	if !snap.Workers[0].Quarantined || snap.Workers[1].Quarantined {
+		t.Fatalf("quarantine flags: %+v", snap.Workers)
+	}
+}
+
+// TestFailedWorkerRoutedAway: a point's retry must go to a worker that
+// has not failed it while one exists, even though the failing worker
+// polls again first — one broken environment must not burn the point's
+// attempt budget while a healthy worker idles.
+func TestFailedWorkerRoutedAway(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{
+		LeaseTTL: 10 * time.Second, MaxBatch: 1,
+		MaxPointAttempts: 3, MaxWorkerFailures: 100, clock: clk.Now,
+	})
+	waits := submit(t, c, 2)
+	a := c.Register("a")
+	b := c.Register("b")
+
+	g1, err := c.Lease(LeaseRequest{WorkerID: a.WorkerID})
+	if err != nil || len(g1.Points) != 1 {
+		t.Fatalf("grant: %+v, %v", g1, err)
+	}
+	failedKey := g1.Points[0].Key
+	if _, err := c.Result(ResultRequest{WorkerID: a.WorkerID, LeaseID: g1.LeaseID,
+		Results: []PointResult{{Key: failedKey, Error: "bad env"}}}); err != nil {
+		t.Fatal(err)
+	}
+	// a polls again immediately: it must get the other point, not its
+	// own requeued failure.
+	g2, err := c.Lease(LeaseRequest{WorkerID: a.WorkerID})
+	if err != nil || len(g2.Points) != 1 || g2.Points[0].Key == failedKey {
+		t.Fatalf("failed point re-leased to the failing worker: %+v, %v", g2, err)
+	}
+	g3, err := c.Lease(LeaseRequest{WorkerID: b.WorkerID})
+	if err != nil || len(g3.Points) != 1 || g3.Points[0].Key != failedKey {
+		t.Fatalf("healthy worker did not get the retry: %+v, %v", g3, err)
+	}
+	for _, g := range []LeaseResponse{g2, g3} {
+		wid := a.WorkerID
+		if g.LeaseID == g3.LeaseID {
+			wid = b.WorkerID
+		}
+		if _, err := c.Result(ResultRequest{WorkerID: wid, LeaseID: g.LeaseID, Results: okResults(g)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ch := range waits {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExclusionFallbackSingleWorker: when every live worker has failed a
+// point, it is grantable again — exclusion must never deadlock a
+// single-worker sweep.
+func TestExclusionFallbackSingleWorker(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{
+		LeaseTTL: 10 * time.Second, MaxBatch: 1,
+		MaxPointAttempts: 3, MaxWorkerFailures: 100, clock: clk.Now,
+	})
+	waits := submit(t, c, 1)
+	w := c.Register("w")
+	g1, _ := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+	if _, err := c.Result(ResultRequest{WorkerID: w.WorkerID, LeaseID: g1.LeaseID,
+		Results: []PointResult{{Key: g1.Points[0].Key, Error: "flaky"}}}); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+	if err != nil || len(g2.Points) != 1 {
+		t.Fatalf("only worker starved of its own retry: %+v, %v", g2, err)
+	}
+	if _, err := c.Result(ResultRequest{WorkerID: w.WorkerID, LeaseID: g2.LeaseID, Results: okResults(g2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-waits[0]; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreakResetOnSuccess: the quarantine budget counts consecutive
+// failures; interleaved successes reset it, so a long sweep with a small
+// transient error rate keeps its workers.
+func TestStreakResetOnSuccess(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(Config{
+		LeaseTTL: 10 * time.Second, MaxBatch: 1,
+		MaxPointAttempts: 100, MaxWorkerFailures: 2, clock: clk.Now,
+	})
+	waits := submit(t, c, 4)
+	w := c.Register("w")
+	report := func(fail bool) {
+		t.Helper()
+		g, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+		if err != nil || len(g.Points) != 1 {
+			t.Fatalf("grant: %+v, %v", g, err)
+		}
+		pr := PointResult{Key: g.Points[0].Key, Result: scenario.Result{Y: 100}}
+		if fail {
+			pr = PointResult{Key: g.Points[0].Key, Error: "transient"}
+		}
+		if _, err := c.Result(ResultRequest{WorkerID: w.WorkerID, LeaseID: g.LeaseID,
+			Results: []PointResult{pr}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report(true)  // streak 1
+	report(false) // success resets the streak
+	report(true)  // streak 1 again — not quarantined
+	if _, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID}); errors.Is(err, ErrQuarantined) {
+		t.Fatal("worker quarantined despite interleaved successes")
+	}
+	report(true) // streak 2: now quarantined
+	if _, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID}); !errors.Is(err, ErrQuarantined) {
+		t.Fatal("consecutive failure budget never fired")
+	}
+	// Lifetime failures stay visible for observability.
+	if snap := c.Snapshot(); snap.Workers[0].Failed != 3 {
+		t.Fatalf("lifetime failure count: %+v", snap.Workers[0])
+	}
+	// Close releases the Do calls still blocked on the unfinished points.
+	c.Close()
+	for _, ch := range waits {
+		<-ch
+	}
+}
+
+// TestQuiesceSkipsSilentWorkers: a worker that stopped contacting the
+// coordinator (crash, Ctrl-C) must not hold Quiesce for the full
+// timeout after the sweep completes.
+func TestQuiesceSkipsSilentWorkers(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCoordinator(clk) // RetryDelay default 500ms → grace 3s
+	c.Register("ghost")          // registers, then never polls again
+	clk.Advance(10 * time.Second)
+	c.Close()
+	start := time.Now()
+	c.Quiesce(context.Background(), 10*time.Second)
+	if time.Since(start) > time.Second {
+		t.Fatal("quiesce waited on a long-silent worker")
+	}
+}
+
+func TestStaleAndLateResults(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCoordinator(clk)
+	waits := submit(t, c, 1)
+	w1 := c.Register("w1")
+	w2 := c.Register("w2")
+
+	g1, err := c.Lease(LeaseRequest{WorkerID: w1.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lease expires and the point is re-leased to w2 ...
+	clk.Advance(11 * time.Second)
+	g2, err := c.Lease(LeaseRequest{WorkerID: w2.WorkerID})
+	if err != nil || len(g2.Points) != 1 {
+		t.Fatalf("requeue grant: %+v, %v", g2, err)
+	}
+	// ... but w1 finishes after all. The late result is accepted — the
+	// computation is deterministic, so either copy is the right answer.
+	ack, err := c.Result(ResultRequest{WorkerID: w1.WorkerID, LeaseID: g1.LeaseID, Results: okResults(g1)})
+	if err != nil || ack.Accepted != 1 {
+		t.Fatalf("late result rejected: %+v, %v", ack, err)
+	}
+	if err := <-waits[0]; err != nil {
+		t.Fatal(err)
+	}
+	// w2's copy is now a duplicate: counted stale, ignored.
+	ack2, err := c.Result(ResultRequest{WorkerID: w2.WorkerID, LeaseID: g2.LeaseID, Results: okResults(g2)})
+	if err != nil || ack2.Stale != 1 || ack2.Accepted != 0 {
+		t.Fatalf("duplicate not stale: %+v, %v", ack2, err)
+	}
+	// Unknown keys are also stale, never a crash.
+	ack3, err := c.Result(ResultRequest{WorkerID: w2.WorkerID, LeaseID: "l999",
+		Results: []PointResult{{Key: "no such key", Result: scenario.Result{Y: 1}}}})
+	if err != nil || ack3.Stale != 1 {
+		t.Fatalf("unknown key not stale: %+v, %v", ack3, err)
+	}
+}
+
+func TestUnknownWorker(t *testing.T) {
+	c := NewCoordinator(Config{})
+	if _, err := c.Lease(LeaseRequest{WorkerID: "w99"}); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("lease: %v", err)
+	}
+	if _, err := c.Result(ResultRequest{WorkerID: "w99"}); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("result: %v", err)
+	}
+	if err := c.Heartbeat("w99"); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("heartbeat: %v", err)
+	}
+}
+
+func TestCloseDrainsWorkersAndBlockedCalls(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCoordinator(clk)
+	waits := submit(t, c, 1)
+	w := c.Register("w")
+
+	c.Close()
+	g, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+	if err != nil || !g.Done {
+		t.Fatalf("post-close lease: %+v, %v", g, err)
+	}
+	// The unresolved Do call is released with an error, never stranded.
+	if err := <-waits[0]; err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("blocked Do after close: %v", err)
+	}
+	if _, err := c.Do(context.Background(), testSpec(9)); err == nil {
+		t.Fatal("Do accepted after close")
+	}
+	// Quiesce returns immediately: the only worker saw Done.
+	start := time.Now()
+	c.Quiesce(context.Background(), 5*time.Second)
+	if time.Since(start) > time.Second {
+		t.Fatal("quiesce waited despite all workers drained")
+	}
+	if snap := c.Snapshot(); !snap.Queue.Closed {
+		t.Fatalf("snapshot not closed: %+v", snap.Queue)
+	}
+}
+
+func TestDoCtxCancellation(t *testing.T) {
+	c := NewCoordinator(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, testSpec(0))
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do ignored cancellation")
+	}
+}
+
+func TestDoJoinsDuplicateKeys(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCoordinator(clk)
+	spec := testSpec(0)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = c.Do(context.Background(), spec)
+		}()
+	}
+	// Wait for the single task to appear, then serve it once.
+	for {
+		c.mu.Lock()
+		n := len(c.tasks)
+		c.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w := c.Register("w")
+	g, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+	if err != nil || len(g.Points) != 1 {
+		t.Fatalf("duplicate keys queued separately: %+v, %v", g, err)
+	}
+	if _, err := c.Result(ResultRequest{WorkerID: w.WorkerID, LeaseID: g.LeaseID, Results: okResults(g)}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package dist shards a sweep's point set across remote workers over
+// HTTP. The coordinator side (Coordinator) owns the work queue and the
+// fault-tolerance state machine: points are handed out in leases with a
+// deadline, a lease that expires — or whose worker stops heartbeating —
+// is requeued, a point that keeps failing fails the sweep with its error,
+// and a worker that keeps failing is quarantined and excluded from
+// further leases. The worker side (RunWorker) registers, leases batches
+// of point specs, computes them with a local pool, and reports results.
+//
+// Determinism is the design anchor: every point is a pure function of its
+// scenario.PointSpec (the engine derives all randomness from the scale
+// seed and the point coordinates), results are merged by canonical
+// PointKey, and the output is assembled locally by the unchanged scenario
+// engine — so a distributed run is byte-identical to a local one
+// regardless of worker count, scheduling, or failure order. See
+// docs/DISTRIBUTED.md.
+package dist
+
+import "pbbf/internal/scenario"
+
+// RegisterRequest is the POST /v1/workers body.
+type RegisterRequest struct {
+	// Name is a human-readable label for logs and GET /v1/workers
+	// (defaulted by the coordinator when empty).
+	Name string `json:"name,omitempty"`
+}
+
+// RegisterResponse assigns the worker its identity and cadence.
+type RegisterResponse struct {
+	// WorkerID identifies the worker in every later request.
+	WorkerID string `json:"worker_id"`
+	// LeaseTTLMS is how long the coordinator holds leased points before
+	// requeueing them.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// HeartbeatMS is the interval the worker should heartbeat at.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// LeaseRequest is the POST /v1/work/lease body.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	// Max caps the number of points in the lease (clamped by the
+	// coordinator's batch bound; <= 0 means the coordinator's bound).
+	Max int `json:"max"`
+}
+
+// LeaseResponse hands out a batch of points, or tells the worker to wait
+// or exit.
+type LeaseResponse struct {
+	// LeaseID identifies the lease when reporting results (empty when no
+	// points were granted).
+	LeaseID string `json:"lease_id,omitempty"`
+	// Points are the granted point specs, verified and computed by the
+	// worker.
+	Points []scenario.PointSpec `json:"points,omitempty"`
+	// RetryMS, on an empty grant, is how long to wait before polling
+	// again — the queue is momentarily empty but the sweep is not done.
+	RetryMS int64 `json:"retry_ms,omitempty"`
+	// Done reports that the sweep has completed; the worker should exit.
+	Done bool `json:"done,omitempty"`
+}
+
+// PointResult is one computed point reported back to the coordinator.
+// Exactly one of Result or Error is meaningful.
+type PointResult struct {
+	// Key is the point's canonical scenario.PointKey.
+	Key string `json:"key"`
+	// Result is the computed value when Error is empty.
+	Result scenario.Result `json:"result"`
+	// Error carries the point's computation failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// ResultRequest is the POST /v1/work/result body.
+type ResultRequest struct {
+	WorkerID string        `json:"worker_id"`
+	LeaseID  string        `json:"lease_id"`
+	Results  []PointResult `json:"results"`
+}
+
+// ResultResponse acknowledges a result batch.
+type ResultResponse struct {
+	// Accepted counts results merged into the sweep.
+	Accepted int `json:"accepted"`
+	// Stale counts results for points already resolved elsewhere (a
+	// requeued point both workers finished) — harmless duplicates.
+	Stale int `json:"stale"`
+	// Done reports that the sweep has completed.
+	Done bool `json:"done,omitempty"`
+}
+
+// WorkerInfo is one worker's row in GET /v1/workers.
+type WorkerInfo struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Alive is false once the worker has missed heartbeats for longer
+	// than the death threshold (its leased work has been requeued).
+	Alive bool `json:"alive"`
+	// Quarantined workers are excluded from further leases.
+	Quarantined bool `json:"quarantined"`
+	// LastSeenAgoMS is the time since the worker's last request.
+	LastSeenAgoMS int64 `json:"last_seen_ago_ms"`
+	// Leased, Completed, and Failed count the worker's points.
+	Leased    int `json:"leased"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+}
+
+// QueueStats summarizes the coordinator's work queue.
+type QueueStats struct {
+	// Pending points await a lease; Leased are out with workers; Done
+	// and Failed are resolved. Total = Pending + Leased + Done + Failed.
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	Total   int `json:"total"`
+	// Requeues counts points returned to the queue by lease expiry,
+	// worker death, worker quarantine, or a retryable failure.
+	Requeues uint64 `json:"requeues"`
+	// StaleResults counts duplicate/late results that were ignored.
+	StaleResults uint64 `json:"stale_results"`
+	// Closed reports that the sweep has completed and workers are being
+	// told to exit.
+	Closed bool `json:"closed"`
+}
+
+// WorkersResponse is the GET /v1/workers payload.
+type WorkersResponse struct {
+	Workers []WorkerInfo `json:"workers"`
+	Queue   QueueStats   `json:"queue"`
+}

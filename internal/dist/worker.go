@@ -1,0 +1,307 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"pbbf/internal/scenario"
+	"pbbf/internal/sweep"
+)
+
+// WorkerConfig assembles one worker process's connection to a
+// coordinator.
+type WorkerConfig struct {
+	// CoordinatorURL is the coordinator's base URL, e.g.
+	// "http://host:8099". Required.
+	CoordinatorURL string
+	// Registry resolves leased point specs to runnable scenarios; it must
+	// register the same scenarios as the coordinator's (the per-point key
+	// check catches skew). Required.
+	Registry *scenario.Registry
+	// Name labels the worker in coordinator logs and GET /v1/workers.
+	Name string
+	// Parallelism is the local point-computation pool size; <= 0 selects
+	// GOMAXPROCS.
+	Parallelism int
+	// Batch is the number of points requested per lease; <= 0 selects
+	// twice the parallelism, so the pool never idles while a lease is in
+	// flight.
+	Batch int
+	// Logw receives progress lines (nil discards them).
+	Logw io.Writer
+	// Client issues the HTTP requests; nil uses a default with a
+	// per-request timeout.
+	Client *http.Client
+
+	// RetryAttempts and RetryDelay govern transport-level retries: a
+	// coordinator briefly unreachable (restart, network blip) is retried
+	// that many times with that delay before the worker gives up. Zero
+	// values select 5 attempts, 1 s apart.
+	RetryAttempts int
+	RetryDelay    time.Duration
+}
+
+// RunWorker registers with the coordinator and computes leased points
+// until the coordinator reports the sweep done (returns nil), the worker
+// is quarantined or the coordinator becomes unreachable (returns the
+// error), or ctx is cancelled (returns nil after a graceful stop: the
+// in-flight lease is abandoned unreported, and the coordinator requeues
+// it when the lease expires — exactly the kill-mid-run path).
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.CoordinatorURL == "" {
+		return fmt.Errorf("dist: missing coordinator URL")
+	}
+	if cfg.Registry == nil {
+		return fmt.Errorf("dist: nil registry")
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 2 * cfg.Parallelism
+	}
+	if cfg.Logw == nil {
+		cfg.Logw = io.Discard
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 5
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = time.Second
+	}
+	w := &workerClient{cfg: cfg, base: strings.TrimRight(cfg.CoordinatorURL, "/")}
+
+	// The worker ID changes when a restarted coordinator forces a
+	// re-registration, and the heartbeat goroutine reads it concurrently.
+	var (
+		idMu        sync.Mutex
+		workerID    string
+		heartbeatMS int64
+	)
+	id := func() string {
+		idMu.Lock()
+		defer idMu.Unlock()
+		return workerID
+	}
+	register := func() error {
+		var rr RegisterResponse
+		if err := w.post(ctx, "/v1/workers", RegisterRequest{Name: cfg.Name}, &rr); err != nil {
+			return err
+		}
+		idMu.Lock()
+		workerID = rr.WorkerID
+		heartbeatMS = rr.HeartbeatMS
+		idMu.Unlock()
+		fmt.Fprintf(cfg.Logw, "worker %s: registered with %s (lease ttl %dms)\n",
+			rr.WorkerID, cfg.CoordinatorURL, rr.LeaseTTLMS)
+		return nil
+	}
+	if err := register(); err != nil {
+		return fmt.Errorf("dist: register with %s: %w", cfg.CoordinatorURL, err)
+	}
+
+	// A 404 unknown-worker means the coordinator restarted (resuming from
+	// its checkpoint) and lost our registration: re-register and carry
+	// on, as the error's contract promises.
+	reregistered := func(err error) bool {
+		var he *httpStatusError
+		if !errors.As(err, &he) || he.status != http.StatusNotFound || !strings.Contains(he.msg, "unknown worker") {
+			return false
+		}
+		if rerr := register(); rerr != nil {
+			return false
+		}
+		fmt.Fprintf(cfg.Logw, "worker %s: coordinator lost our registration (restart?); re-registered\n", id())
+		return true
+	}
+
+	// Heartbeat in the background at the coordinator's cadence, so leases
+	// survive long point computations. Transient failures are ignored —
+	// the next lease or result call also counts as liveness.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	idMu.Lock()
+	interval := time.Duration(heartbeatMS) * time.Millisecond
+	idMu.Unlock()
+	go func() {
+		if interval <= 0 {
+			interval = 10 * time.Second
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				w.post(hbCtx, "/v1/workers/"+id()+"/heartbeat", struct{}{}, nil) //nolint:errcheck
+			}
+		}
+	}()
+
+	computed := 0
+	for {
+		if ctx.Err() != nil {
+			return nil // graceful stop; the lease TTL requeues anything in flight
+		}
+		var grant LeaseResponse
+		err := w.post(ctx, "/v1/work/lease", LeaseRequest{WorkerID: id(), Max: cfg.Batch}, &grant)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if reregistered(err) {
+				continue
+			}
+			return fmt.Errorf("dist: lease from %s: %w", cfg.CoordinatorURL, err)
+		}
+		if grant.Done {
+			fmt.Fprintf(cfg.Logw, "worker %s: sweep done after %d point(s)\n", id(), computed)
+			return nil
+		}
+		if len(grant.Points) == 0 {
+			delay := time.Duration(grant.RetryMS) * time.Millisecond
+			if delay <= 0 {
+				delay = DefaultRetryDelay
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(delay):
+			}
+			continue
+		}
+
+		results := computeBatch(ctx, cfg, grant.Points)
+		if ctx.Err() != nil {
+			return nil // killed mid-batch: report nothing, let the lease expire
+		}
+		report := func() (ResultResponse, error) {
+			var ack ResultResponse
+			err := w.post(ctx, "/v1/work/result",
+				ResultRequest{WorkerID: id(), LeaseID: grant.LeaseID, Results: results}, &ack)
+			return ack, err
+		}
+		ack, err := report()
+		if err != nil && reregistered(err) {
+			// Results are merged by point key, not lease, so a restarted
+			// coordinator still accepts them under the new registration.
+			ack, err = report()
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("dist: report results to %s: %w", cfg.CoordinatorURL, err)
+		}
+		computed += ack.Accepted
+		fmt.Fprintf(cfg.Logw, "worker %s: lease %s: %d point(s) reported (%d accepted, %d stale)\n",
+			id(), grant.LeaseID, len(results), ack.Accepted, ack.Stale)
+	}
+}
+
+// computeBatch runs a lease's points across the local pool. Point-level
+// failures become PointResult.Error entries — the coordinator decides
+// between retry and sweep failure — so one bad point never aborts its
+// batchmates.
+func computeBatch(ctx context.Context, cfg WorkerConfig, specs []scenario.PointSpec) []PointResult {
+	// The per-point fn never errors, so MapCtx only fails on ctx
+	// cancellation — in which case results are discarded anyway.
+	results, _ := sweep.MapCtx(ctx, len(specs), cfg.Parallelism,
+		func(ctx context.Context, i int) (PointResult, error) {
+			pr := PointResult{Key: specs[i].Key}
+			res, err := specs[i].Run(cfg.Registry)
+			if err != nil {
+				pr.Error = err.Error()
+			} else {
+				pr.Result = res
+			}
+			return pr, nil
+		})
+	// A cancelled pool returns nil results; the caller checks ctx and
+	// abandons the batch.
+	return results
+}
+
+// httpStatusError is a non-2xx coordinator response: the status decides
+// whether the worker exits (403 quarantine), re-registers (404 unknown
+// worker after a coordinator restart), or fails.
+type httpStatusError struct {
+	status int
+	msg    string
+}
+
+func (e *httpStatusError) Error() string { return e.msg }
+
+// workerClient is the worker's thin JSON-over-HTTP client with transport
+// retries.
+type workerClient struct {
+	cfg  WorkerConfig
+	base string
+}
+
+// post sends one JSON request and decodes the JSON response into out
+// (when non-nil). Transport errors retry with a delay; HTTP error
+// statuses are terminal and carry the server's {"error": ...} message.
+func (w *workerClient) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	var last error
+	for attempt := 0; attempt < w.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.cfg.RetryDelay):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.cfg.Client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			last = err
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			last = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+			var e struct {
+				Error string `json:"error"`
+			}
+			msg := strings.TrimSpace(string(data))
+			if json.Unmarshal(data, &e) == nil && e.Error != "" {
+				msg = e.Error
+			}
+			return &httpStatusError{status: resp.StatusCode, msg: fmt.Sprintf("%s: %s", resp.Status, msg)}
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(data, out)
+	}
+	return fmt.Errorf("after %d attempt(s): %w", w.cfg.RetryAttempts, last)
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -110,8 +111,13 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 }
 
 // WriteFile persists the whole checkpoint as a fresh journal, atomically
-// (temp file + rename). Running sweeps append via CheckpointWriter
-// instead; WriteFile is for compaction and tests.
+// (temp file + rename), with entries in sorted-key order so the same
+// result set always produces the same bytes. Running sweeps append via
+// CheckpointWriter instead; WriteFile is the compaction path — `pbbf
+// sweep` calls it after a successful resumed run, so a completed run
+// leaves a minimal, canonical journal instead of the accumulated
+// append-only history (torn tails, whatever append order the worker pool
+// produced).
 func (c *Checkpoint) WriteFile(path string) error {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
@@ -120,8 +126,13 @@ func (c *Checkpoint) WriteFile(path string) error {
 	}); err != nil {
 		return err
 	}
-	for key, res := range c.Results {
-		if err := enc.Encode(checkpointEntry{Key: key, Result: res}); err != nil {
+	keys := make([]string, 0, len(c.Results))
+	for key := range c.Results {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if err := enc.Encode(checkpointEntry{Key: key, Result: c.Results[key]}); err != nil {
 			return err
 		}
 	}

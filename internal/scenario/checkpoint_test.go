@@ -168,6 +168,79 @@ func TestCheckpointToleratesTornFinalLine(t *testing.T) {
 	}
 }
 
+// TestCheckpointCompaction: WriteFile is the compaction path — it must
+// emit a canonical journal (header + sorted entries, same bytes for the
+// same result set) and erase a torn tail left by a kill.
+func TestCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.ckpt")
+	cp := NewCheckpoint("all", "quick", 1)
+	w, err := cp.OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append in non-sorted order, as a parallel pool would.
+	for _, k := range []string{"kz", "ka", "km"} {
+		if err := w.Append(k, Result{Y: float64(len(k))}); err != nil {
+			t.Fatal(err)
+		}
+		cp.Results[k] = Result{Y: float64(len(k))}
+	}
+	w.Close()
+	// Simulate a kill mid-append: a torn tail the compaction must drop.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	grown, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	compact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(compact)) >= grown.Size() {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d bytes", grown.Size(), len(compact))
+	}
+	lines := strings.Split(strings.TrimRight(string(compact), "\n"), "\n")
+	if len(lines) != 4 { // header + one line per unique key
+		t.Fatalf("compacted journal has %d lines:\n%s", len(lines), compact)
+	}
+	// Entries must be in sorted-key order so identical result sets always
+	// compact to identical bytes.
+	for i, want := range []string{"ka", "km", "kz"} {
+		if !strings.Contains(lines[i+1], `"key":"`+want+`"`) {
+			t.Fatalf("line %d not %q:\n%s", i+1, want, compact)
+		}
+	}
+	if err := cp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(compact) {
+		t.Fatal("compaction output not deterministic")
+	}
+	back, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Results, cp.Results) {
+		t.Fatalf("compaction lost results: %+v vs %+v", back.Results, cp.Results)
+	}
+}
+
 func TestCheckpointMatches(t *testing.T) {
 	cp := NewCheckpoint("all", "quick", 1)
 	if err := cp.Matches("all", "quick", 1); err != nil {

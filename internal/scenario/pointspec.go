@@ -1,0 +1,71 @@
+package scenario
+
+import "fmt"
+
+// PointSpec is the wire form of one point computation: everything a remote
+// worker needs to reproduce the point — the scenario ID (resolved against
+// the worker's own registry), the complete scale including the seed, and
+// the point's coordinates — plus the canonical PointKey the sender derived
+// from them. Carrying the key redundantly lets the receiver re-derive and
+// compare it, so a coordinator/worker version skew that changes point
+// identity (a new Scale dimension, a renamed parameter) fails loudly at
+// dispatch instead of silently merging results from two different
+// computations.
+type PointSpec struct {
+	// ScenarioID names the scenario in the registry ("fig8", ...).
+	ScenarioID string `json:"scenario"`
+	// Scale is the complete scale the point runs at, seed included.
+	Scale Scale `json:"scale"`
+	// Point is the parameter assignment to compute.
+	Point Point `json:"point"`
+	// Key is the sender's canonical PointKey for this computation.
+	Key string `json:"key"`
+}
+
+// NewPointSpec builds the wire spec for one point of one scenario run.
+func NewPointSpec(sc Scenario, s Scale, pt Point) PointSpec {
+	return PointSpec{
+		ScenarioID: sc.ID,
+		Scale:      s,
+		Point:      pt,
+		Key:        PointKey(sc.ID, s, pt),
+	}
+}
+
+// Verify re-derives the canonical key from the spec's own fields and
+// checks it against the carried key.
+func (ps PointSpec) Verify() error {
+	if ps.Key == "" {
+		return fmt.Errorf("point spec %s: missing key", ps.ScenarioID)
+	}
+	if derived := PointKey(ps.ScenarioID, ps.Scale, ps.Point); derived != ps.Key {
+		return fmt.Errorf("point spec %s: key mismatch: carried %q, derived %q (coordinator/worker version skew?)",
+			ps.ScenarioID, ps.Key, derived)
+	}
+	return nil
+}
+
+// Run resolves the spec against the registry, verifies its identity, and
+// computes the point. The result is exactly what a local RunPoint call
+// would have produced: RunPoint derives all randomness from the scale seed
+// and the point coordinates, so where the point runs cannot change its
+// value.
+func (ps PointSpec) Run(reg *Registry) (Result, error) {
+	if reg == nil {
+		return Result{}, fmt.Errorf("point spec %s: nil registry", ps.ScenarioID)
+	}
+	if err := ps.Verify(); err != nil {
+		return Result{}, err
+	}
+	sc, err := reg.ByID(ps.ScenarioID)
+	if err != nil {
+		return Result{}, err
+	}
+	if sc.RunPoint == nil {
+		return Result{}, fmt.Errorf("point spec %s: scenario is not point-based", ps.ScenarioID)
+	}
+	if err := ps.Scale.Validate(); err != nil {
+		return Result{}, fmt.Errorf("point spec %s: %w", ps.ScenarioID, err)
+	}
+	return sc.RunPoint(ps.Scale, ps.Point)
+}

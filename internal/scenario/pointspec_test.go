@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// specScenario is a minimal point-based scenario for wire-format tests.
+func specScenario() Scenario {
+	return Scenario{
+		ID: "spec", Title: "spec scenario", Artifact: "extension",
+		Summary: "point-spec test scenario",
+		Params:  []ParamDoc{{Name: "p", Desc: "probability"}},
+		XLabel:  "x", YLabel: "y",
+		Points: func(s Scale) ([]Point, error) {
+			return []Point{{Series: "a", X: 1, Params: map[string]float64{"p": 0.25}}}, nil
+		},
+		RunPoint: func(s Scale, pt Point) (Result, error) {
+			// Seed-dependent so a spec that dropped the scale would show.
+			return Result{Y: pt.X + float64(s.Seed)/1000, Delivery: 1}, nil
+		},
+	}
+}
+
+func TestPointSpecRoundTrip(t *testing.T) {
+	sc := specScenario()
+	s := Quick()
+	s.Seed = 42
+	pts, err := sc.Points(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := NewPointSpec(sc, s, pts[0])
+	if err := spec.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// JSON round-trip must preserve the identity exactly: the re-derived
+	// key on the far side must match the carried one.
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PointSpec
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Verify(); err != nil {
+		t.Fatalf("round-tripped spec fails verification: %v", err)
+	}
+	if got.Key != spec.Key {
+		t.Fatalf("key changed across the wire: %q vs %q", got.Key, spec.Key)
+	}
+
+	reg := NewRegistry()
+	reg.MustRegister(sc)
+	res, err := got.Run(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sc.RunPoint(s, pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != want {
+		t.Fatalf("remote result %+v differs from local %+v", res, want)
+	}
+}
+
+func TestPointSpecVerifyCatchesTampering(t *testing.T) {
+	sc := specScenario()
+	s := Quick()
+	pts, _ := sc.Points(s)
+	spec := NewPointSpec(sc, s, pts[0])
+
+	// A changed seed (a different computation) must not pass under the old
+	// key — this is the coordinator/worker skew guard.
+	tampered := spec
+	tampered.Scale.Seed = 999
+	if err := tampered.Verify(); err == nil || !strings.Contains(err.Error(), "key mismatch") {
+		t.Fatalf("seed change passed verification: %v", err)
+	}
+	missing := spec
+	missing.Key = ""
+	if err := missing.Verify(); err == nil {
+		t.Fatal("empty key passed verification")
+	}
+}
+
+func TestPointSpecRunErrors(t *testing.T) {
+	sc := specScenario()
+	s := Quick()
+	pts, _ := sc.Points(s)
+	spec := NewPointSpec(sc, s, pts[0])
+
+	if _, err := spec.Run(nil); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+	empty := NewRegistry()
+	if _, err := spec.Run(empty); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+
+	reg := NewRegistry()
+	reg.MustRegister(sc)
+	bad := spec
+	bad.Scale.GridW = -1
+	bad.Key = PointKey(bad.ScenarioID, bad.Scale, bad.Point) // re-key so Verify passes
+	if _, err := bad.Run(reg); err == nil {
+		t.Fatal("invalid scale accepted")
+	}
+}

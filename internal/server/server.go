@@ -18,10 +18,12 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"pbbf/internal/cache"
+	"pbbf/internal/dist"
 	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
 )
@@ -43,6 +45,14 @@ type Config struct {
 	Cache *cache.Cache[scenario.Result]
 	// MaxWorkers caps the per-request sweep pool; <= 0 means GOMAXPROCS.
 	MaxWorkers int
+	// Coordinator, when non-nil, backs the distributed-sweep work
+	// endpoints (/v1/work/*, /v1/workers) — the `pbbf sweep -distribute`
+	// mode. When nil (plain `pbbf serve`), those endpoints answer 503.
+	Coordinator *dist.Coordinator
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (method, path, status, bytes, duration, remote address) —
+	// the `-verbose` flag.
+	AccessLog io.Writer
 }
 
 // Server is the HTTP front end. It implements http.Handler; use
@@ -51,8 +61,12 @@ type Server struct {
 	reg        *scenario.Registry
 	cache      *cache.Cache[scenario.Result]
 	maxWorkers int
+	coord      *dist.Coordinator
 	mux        *http.ServeMux
 	start      time.Time
+
+	accessMu  sync.Mutex
+	accessLog io.Writer
 
 	runs         atomic.Uint64
 	pointsServed atomic.Uint64
@@ -76,22 +90,83 @@ func New(cfg Config) (*Server, error) {
 		reg:        cfg.Registry,
 		cache:      cfg.Cache,
 		maxWorkers: cfg.MaxWorkers,
+		coord:      cfg.Coordinator,
+		accessLog:  cfg.AccessLog,
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /v1/scenarios/{id}", s.handleScenario)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	s.mux.HandleFunc("GET /v1/workers", s.handleWorkersList)
+	s.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+	s.mux.HandleFunc("POST /v1/work/lease", s.handleWorkLease)
+	s.mux.HandleFunc("POST /v1/work/result", s.handleWorkResult)
 	// Unregistered routes fall through to the mux's own handling, which
 	// also answers wrong-method requests with 405 + Allow.
 	return s, nil
 }
 
-// ServeHTTP dispatches to the API routes.
+// ServeHTTP dispatches to the API routes, logging each request when an
+// access log is configured.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if s.accessLog == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	line, err := json.Marshal(accessLine{
+		Method:     r.Method,
+		Path:       r.URL.Path,
+		Status:     rec.status,
+		Bytes:      rec.bytes,
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		Remote:     r.RemoteAddr,
+	})
+	if err != nil {
+		return
+	}
+	s.accessMu.Lock()
+	s.accessLog.Write(append(line, '\n')) //nolint:errcheck // logging is best-effort
+	s.accessMu.Unlock()
 }
+
+// accessLine is one structured access-log record.
+type accessLine struct {
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	Bytes      int64   `json:"bytes"`
+	DurationMS float64 `json:"duration_ms"`
+	Remote     string  `json:"remote"`
+}
+
+// statusRecorder captures the response status and size for the access
+// log. Unwrap exposes the underlying writer so http.ResponseController
+// (the NDJSON stream's flusher) keeps working through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // ListenAndServe serves the API on addr until ctx is cancelled, then shuts
 // down gracefully (in-flight requests get ShutdownTimeout to finish). The
@@ -102,6 +177,13 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, logw io.Writer
 	if err != nil {
 		return err
 	}
+	return s.serve(ctx, l, logw)
+}
+
+// ServeListener is ListenAndServe on an existing listener, for callers
+// that must know the bound address before serving (`pbbf sweep
+// -distribute 127.0.0.1:0` announces the coordinator address itself).
+func (s *Server) ServeListener(ctx context.Context, l net.Listener, logw io.Writer) error {
 	return s.serve(ctx, l, logw)
 }
 
@@ -344,6 +426,124 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		WallMS: float64(time.Since(start).Microseconds()) / 1000,
 		Cache:  s.cache.Stats(),
 	})
+}
+
+// healthResponse is the GET /healthz payload — the liveness/readiness
+// probe for load balancers and distributed-sweep workers.
+type healthResponse struct {
+	Status    string  `json:"status"`
+	UptimeS   float64 `json:"uptime_s"`
+	Scenarios int     `json:"scenarios"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:    "ok",
+		UptimeS:   time.Since(s.start).Seconds(),
+		Scenarios: s.reg.Len(),
+	})
+}
+
+// coordinator gates the distributed-sweep endpoints: plain `pbbf serve`
+// has no coordinator and answers 503, telling workers they dialed a
+// server that is not running a distributed sweep.
+func (s *Server) coordinator(w http.ResponseWriter) (*dist.Coordinator, bool) {
+	if s.coord == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no distributed sweep active on this server"))
+		return nil, false
+	}
+	return s.coord, true
+}
+
+// decodeJSON parses a request body strictly, answering 400 on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeDistError maps the coordinator's sentinel errors to status codes:
+// an unknown worker must re-register (404), a quarantined worker must
+// exit (403).
+func writeDistError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, dist.ErrUnknownWorker):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, dist.ErrQuarantined):
+		writeError(w, http.StatusForbidden, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	coord, ok := s.coordinator(w)
+	if !ok {
+		return
+	}
+	var req dist.RegisterRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, coord.Register(req.Name))
+}
+
+func (s *Server) handleWorkersList(w http.ResponseWriter, _ *http.Request) {
+	coord, ok := s.coordinator(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, coord.Snapshot())
+}
+
+func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
+	coord, ok := s.coordinator(w)
+	if !ok {
+		return
+	}
+	if err := coord.Heartbeat(r.PathValue("id")); err != nil {
+		writeDistError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
+	coord, ok := s.coordinator(w)
+	if !ok {
+		return
+	}
+	var req dist.LeaseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := coord.Lease(req)
+	if err != nil {
+		writeDistError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWorkResult(w http.ResponseWriter, r *http.Request) {
+	coord, ok := s.coordinator(w)
+	if !ok {
+		return
+	}
+	var req dist.ResultRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := coord.Result(req)
+	if err != nil {
+		writeDistError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // errorResponse is the JSON error body of every non-200 response.

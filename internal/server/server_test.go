@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"pbbf/internal/dist"
 	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
 )
@@ -383,3 +384,235 @@ func TestGracefulShutdown(t *testing.T) {
 type writerFunc func([]byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var h healthResponse
+	resp := getJSON(t, ts.URL+"/healthz", &h)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if h.Status != "ok" || h.UptimeS < 0 || h.Scenarios != 2 {
+		t.Fatalf("health: %+v", h)
+	}
+}
+
+// TestWorkEndpointsWithoutCoordinator: plain `pbbf serve` has no
+// distributed sweep; every work endpoint must answer 503 with a JSON
+// error, so a misdirected worker fails with a message instead of a hang.
+func TestWorkEndpointsWithoutCoordinator(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct{ method, path string }{
+		{"POST", "/v1/workers"},
+		{"GET", "/v1/workers"},
+		{"POST", "/v1/workers/w1/heartbeat"},
+		{"POST", "/v1/work/lease"},
+		{"POST", "/v1/work/result"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Fatalf("%s %s: error body not JSON: %v", c.method, c.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s: status %d, want 503", c.method, c.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestWorkerLifecycleOverHTTP drives the coordination endpoints the way a
+// worker does: register, poll an empty queue, lease a point submitted
+// through the coordinator, report its result, observe it in /v1/workers,
+// and drain after close.
+func TestWorkerLifecycleOverHTTP(t *testing.T) {
+	reg := testRegistry(t)
+	coord := dist.NewCoordinator(dist.Config{LeaseTTL: 5 * time.Second})
+	srv, err := New(Config{Registry: reg, Coordinator: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	postJSON := func(path, body string, into any) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if into != nil {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("POST %s: %v", path, err)
+			}
+		}
+		return resp
+	}
+
+	var regResp dist.RegisterResponse
+	postJSON("/v1/workers", `{"name":"httpw"}`, &regResp)
+	if regResp.WorkerID == "" || regResp.LeaseTTLMS != 5000 {
+		t.Fatalf("register: %+v", regResp)
+	}
+
+	// Empty queue: the lease answers with a retry delay, not points.
+	var idle dist.LeaseResponse
+	postJSON("/v1/work/lease", `{"worker_id":"`+regResp.WorkerID+`"}`, &idle)
+	if idle.RetryMS <= 0 || len(idle.Points) != 0 {
+		t.Fatalf("idle lease: %+v", idle)
+	}
+
+	// Submit one point through the coordinator and serve it over HTTP.
+	sc, err := reg.ByID("fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := scenario.Quick()
+	pt := scenario.Point{Series: "a", X: 1, Params: map[string]float64{"x": 1}}
+	spec := scenario.NewPointSpec(sc, scale, pt)
+	doErr := make(chan error, 1)
+	go func() {
+		res, err := coord.Do(context.Background(), spec)
+		if err == nil && res.Y != 42 {
+			err = fmt.Errorf("result %+v", res)
+		}
+		doErr <- err
+	}()
+	var grant dist.LeaseResponse
+	for i := 0; i < 200 && len(grant.Points) == 0; i++ {
+		time.Sleep(5 * time.Millisecond)
+		postJSON("/v1/work/lease", `{"worker_id":"`+regResp.WorkerID+`"}`, &grant)
+	}
+	if len(grant.Points) != 1 || grant.Points[0].Key != spec.Key {
+		t.Fatalf("grant: %+v", grant)
+	}
+
+	// Heartbeat while "computing".
+	resp := postJSON("/v1/workers/"+regResp.WorkerID+"/heartbeat", "{}", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("heartbeat status %d", resp.StatusCode)
+	}
+	if resp := postJSON("/v1/workers/w999/heartbeat", "{}", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown worker heartbeat status %d", resp.StatusCode)
+	}
+
+	var ack dist.ResultResponse
+	body, err := json.Marshal(dist.ResultRequest{
+		WorkerID: regResp.WorkerID, LeaseID: grant.LeaseID,
+		Results: []dist.PointResult{{Key: spec.Key, Result: scenario.Result{Y: 42}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postJSON("/v1/work/result", string(body), &ack)
+	if ack.Accepted != 1 || ack.Stale != 0 {
+		t.Fatalf("ack: %+v", ack)
+	}
+	if err := <-doErr; err != nil {
+		t.Fatal(err)
+	}
+
+	var workers dist.WorkersResponse
+	getJSON(t, ts.URL+"/v1/workers", &workers)
+	if len(workers.Workers) != 1 || workers.Workers[0].Name != "httpw" || workers.Workers[0].Completed != 1 {
+		t.Fatalf("workers: %+v", workers)
+	}
+	if workers.Queue.Done != 1 || workers.Queue.Pending != 0 {
+		t.Fatalf("queue: %+v", workers.Queue)
+	}
+
+	coord.Close()
+	var done dist.LeaseResponse
+	postJSON("/v1/work/lease", `{"worker_id":"`+regResp.WorkerID+`"}`, &done)
+	if !done.Done {
+		t.Fatalf("post-close lease: %+v", done)
+	}
+
+	// Malformed bodies are 400s, not panics.
+	if resp := postJSON("/v1/work/lease", "{not json", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad lease body status %d", resp.StatusCode)
+	}
+}
+
+// TestAccessLog: with AccessLog configured every request writes one JSON
+// line carrying method, path, status, and timing; without it, nothing is
+// logged (the default).
+func TestAccessLog(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		buf bytes.Buffer
+	)
+	srv, err := New(Config{
+		Registry: testRegistry(t),
+		AccessLog: writerFunc(func(p []byte) (int, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return buf.Write(p)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/v1/scenarios/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// The NDJSON streaming path must keep flushing through the recorder.
+	lines := postRun(t, ts, `{"experiment":"fast","scale":"quick"}`)
+	if lines[len(lines)-1]["type"] != "done" {
+		t.Fatalf("streamed run broke under access logging: %v", lines)
+	}
+
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	records := strings.Split(strings.TrimSpace(logged), "\n")
+	if len(records) != 3 {
+		t.Fatalf("got %d access-log lines:\n%s", len(records), logged)
+	}
+	type rec struct {
+		Method     string  `json:"method"`
+		Path       string  `json:"path"`
+		Status     int     `json:"status"`
+		Bytes      int64   `json:"bytes"`
+		DurationMS float64 `json:"duration_ms"`
+		Remote     string  `json:"remote"`
+	}
+	var r rec
+	if err := json.Unmarshal([]byte(records[0]), &r); err != nil {
+		t.Fatalf("access line not JSON: %v\n%s", err, records[0])
+	}
+	if r.Method != "GET" || r.Path != "/healthz" || r.Status != 200 || r.Bytes <= 0 || r.Remote == "" {
+		t.Fatalf("healthz record: %+v", r)
+	}
+	if err := json.Unmarshal([]byte(records[1]), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != 404 || r.Path != "/v1/scenarios/nope" {
+		t.Fatalf("404 record: %+v", r)
+	}
+	if err := json.Unmarshal([]byte(records[2]), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Method != "POST" || r.Path != "/v1/run" || r.Status != 200 {
+		t.Fatalf("run record: %+v", r)
+	}
+}
