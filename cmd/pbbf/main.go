@@ -21,8 +21,10 @@
 // BENCH.json). With -experiment all, every parameter point of every
 // scenario fans out across one bounded worker pool; output order is
 // deterministic regardless of scheduling. Formats: an aligned text table,
-// CSV, or JSON (scenario metadata, the assembled table, and per-point
-// energy/latency/delivery results).
+// CSV, JSON (scenario metadata, the assembled table, and per-point
+// energy/latency/delivery results), or NDJSON (one line per parameter
+// point in enumeration order — the byte-diffable stream the nightly CI
+// sweep archives).
 //
 // The bench subcommand runs every registered scenario sequentially at the
 // bench scale, writes the machine-readable report (wall time, ns/point,
@@ -92,7 +94,7 @@ func runCtx(ctx context.Context, args []string, out, errOut io.Writer) error {
 	var (
 		experiment = fs.String("experiment", "", "scenario id (e.g. fig8) or \"all\"")
 		scaleName  = fs.String("scale", "quick", "scenario scale: quick, paper, or bench")
-		format     = fs.String("format", "table", "output format: table, csv, or json")
+		format     = fs.String("format", "table", "output format: table, csv, json, or ndjson")
 		seed       = fs.Uint64("seed", 1, "root random seed")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep")
 		list       = fs.Bool("list", false, "list available scenarios with their metadata and exit")
@@ -114,10 +116,8 @@ func runCtx(ctx context.Context, args []string, out, errOut io.Writer) error {
 	}
 	scale.Seed = *seed
 
-	switch *format {
-	case "table", "csv", "json":
-	default:
-		return fmt.Errorf("unknown format %q (want table, csv, or json)", *format)
+	if err := validFormat(*format); err != nil {
+		return err
 	}
 	if *workers <= 0 {
 		return fmt.Errorf("workers must be positive, got %d", *workers)
@@ -253,12 +253,24 @@ func printList(out io.Writer, reg *scenario.Registry) error {
 	return nil
 }
 
+// validFormat checks the shared -format flag value.
+func validFormat(format string) error {
+	switch format {
+	case "table", "csv", "json", "ndjson":
+		return nil
+	}
+	return fmt.Errorf("unknown format %q (want table, csv, json, or ndjson)", format)
+}
+
 // emit renders the run outputs in the requested format.
 func emit(out io.Writer, format string, outputs []scenario.Output) error {
 	if format == "json" {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(outputs)
+	}
+	if format == "ndjson" {
+		return emitNDJSON(out, outputs)
 	}
 	for i, o := range outputs {
 		if i > 0 {
@@ -270,6 +282,48 @@ func emit(out io.Writer, format string, outputs []scenario.Output) error {
 		case "csv":
 			fmt.Fprintf(out, "# %s\n", o.Table.Title)
 			fmt.Fprint(out, o.Table.CSV())
+		}
+	}
+	return nil
+}
+
+// ndjsonLine is one row of the ndjson output: a flat, per-point record in
+// deterministic enumeration order — the byte-diffable stream format the
+// nightly full-registry CI sweep archives and compares night over night.
+// TableFn scenarios (static artifacts with no parameter points) emit one
+// line carrying the whole table instead.
+type ndjsonLine struct {
+	Scenario string                `json:"scenario"`
+	Artifact string                `json:"artifact"`
+	Point    *scenario.PointOutput `json:"point,omitempty"`
+	Table    any                   `json:"table,omitempty"`
+}
+
+// emitNDJSON writes one JSON line per parameter point (or per static
+// table). Lines follow scenario registration order, then point enumeration
+// order, so two runs of the same workload are byte-identical iff their
+// results are.
+func emitNDJSON(out io.Writer, outputs []scenario.Output) error {
+	enc := json.NewEncoder(out)
+	for _, o := range outputs {
+		if len(o.Points) == 0 {
+			if err := enc.Encode(ndjsonLine{
+				Scenario: o.Scenario.ID,
+				Artifact: o.Scenario.Artifact,
+				Table:    o.Table,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		for i := range o.Points {
+			if err := enc.Encode(ndjsonLine{
+				Scenario: o.Scenario.ID,
+				Artifact: o.Scenario.Artifact,
+				Point:    &o.Points[i],
+			}); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

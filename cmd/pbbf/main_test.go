@@ -116,6 +116,81 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+// TestUnknownExperimentSuggests pins the did-you-mean behaviour: a typo'd
+// scenario ID must fail (non-zero exit through main) with the closest
+// registered IDs in the message, in every mode that takes -experiment.
+func TestUnknownExperimentSuggests(t *testing.T) {
+	for _, args := range [][]string{
+		{"-experiment", "figg8"},
+		{"sweep", "-experiment", "figg8", "-progress=false"},
+	} {
+		var sb strings.Builder
+		err := runCtx(context.Background(), args, &sb, io.Discard)
+		if err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+		if !strings.Contains(err.Error(), "did you mean") || !strings.Contains(err.Error(), "fig8") {
+			t.Fatalf("args %v: error lacks a fig8 suggestion: %v", args, err)
+		}
+	}
+	// Nothing close: fall back to the full known-ID list.
+	var sb strings.Builder
+	err := run([]string{"-experiment", "zzzzzz"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Fatalf("no-suggestion error should list known IDs: %v", err)
+	}
+}
+
+// TestRunNDJSON checks the ndjson format: one parseable JSON object per
+// line, per-point lines in enumeration order, and a whole-table line for
+// static artifacts.
+func TestRunNDJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "fig6", "-format", "ndjson"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("ndjson produced %d lines", len(lines))
+	}
+	for _, line := range lines {
+		var rec struct {
+			Scenario string                `json:"scenario"`
+			Point    *scenario.PointOutput `json:"point"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid ndjson line %q: %v", line, err)
+		}
+		if rec.Scenario != "fig6" || rec.Point == nil {
+			t.Fatalf("unexpected ndjson line %q", line)
+		}
+	}
+
+	sb.Reset()
+	if err := run([]string{"-experiment", "table1", "-format", "ndjson"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Table any `json:"table"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &rec); err != nil || rec.Table == nil {
+		t.Fatalf("table scenario ndjson line bad (%v): %s", err, sb.String())
+	}
+
+	// Determinism across worker counts — the property the nightly CI
+	// byte-diff depends on.
+	outFor := func(workers string) string {
+		var b strings.Builder
+		if err := run([]string{"-experiment", "extlinkloss", "-format", "ndjson", "-workers", workers}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if outFor("1") != outFor("4") {
+		t.Fatal("ndjson output differs across worker counts")
+	}
+}
+
 // benchArgs runs the bench subcommand at quick scale (the frozen bench
 // scale is too slow for unit tests) and returns the report path.
 func benchArgs(t *testing.T, dir string, extra ...string) (string, error) {

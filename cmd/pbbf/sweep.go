@@ -36,7 +36,7 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 	var (
 		experiment  = fs.String("experiment", "all", "scenario id (e.g. fig8) or \"all\"")
 		scaleName   = fs.String("scale", "quick", "scenario scale: quick, paper, or bench")
-		format      = fs.String("format", "table", "output format: table, csv, or json")
+		format      = fs.String("format", "table", "output format: table, csv, json, or ndjson")
 		seed        = fs.Uint64("seed", 1, "root random seed")
 		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep (local mode; -distribute uses -outstanding)")
 		checkpoint  = fs.String("checkpoint", "", "checkpoint file for resumable runs (empty = no persistence)")
@@ -66,10 +66,8 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 		return err
 	}
 	scale.Seed = *seed
-	switch *format {
-	case "table", "csv", "json":
-	default:
-		return fmt.Errorf("unknown format %q (want table, csv, or json)", *format)
+	if err := validFormat(*format); err != nil {
+		return err
 	}
 	if *workers <= 0 {
 		return fmt.Errorf("workers must be positive, got %d", *workers)

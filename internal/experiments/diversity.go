@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"pbbf/internal/core"
+	"pbbf/internal/mac"
+	"pbbf/internal/rng"
+	"pbbf/internal/scenario"
+	"pbbf/internal/topo"
+)
+
+// The scenario-diversity families. The paper measures the energy-latency
+// trade-off only on uniform random disks and grids with homogeneous,
+// always-reliable, immortal nodes; each family below relaxes exactly one of
+// those assumptions and sweeps the relaxation as an axis, so the registry
+// covers clustered, stretched, lossy, churning, and heterogeneous fields
+// with the same protocols and metrics as the original figures. All five
+// run through runNetPoint and the unchanged engine, so they compose with
+// `pbbf sweep` (parallel, -checkpoint, -distribute), `pbbf serve` caching,
+// and `pbbf bench` with no special cases.
+
+// divProtocols is the protocol set the diversity sweeps compare: the two
+// paper baselines bracketing a mid-range PBBF operating point.
+func divProtocols() []core.Params {
+	return []core.Params{core.PSM(), {P: 0.5, Q: 0.25}, core.AlwaysOn()}
+}
+
+// divPoints enumerates (protocol, x) for every protocol and sweep value,
+// storing the protocol under "p"/"q" and the swept axis under name.
+func divPoints(name string, sweep []float64) []scenario.Point {
+	protos := divProtocols()
+	pts := make([]scenario.Point, 0, len(protos)*len(sweep))
+	for _, proto := range protos {
+		for _, x := range sweep {
+			pts = append(pts, scenario.Point{
+				Series: proto.Label(),
+				X:      x,
+				Params: map[string]float64{"p": proto.P, "q": proto.Q, name: x},
+			})
+		}
+	}
+	return pts
+}
+
+// divProtocolDocs documents the shared protocol dimensions.
+func divProtocolDocs(extra ...scenario.ParamDoc) []scenario.ParamDoc {
+	docs := []scenario.ParamDoc{
+		{Name: "p", Desc: "PBBF immediate-rebroadcast probability of the series' operating point"},
+		{Name: "q", Desc: "PBBF stay-awake probability of the series' operating point"},
+	}
+	return append(docs, extra...)
+}
+
+// Densities for the structured deployments: clustering and corridors both
+// concentrate disconnection risk, so they run denser than the paper's
+// Δ=10 to keep the connected-retry loop reliable while preserving the
+// shape each family is meant to stress.
+const (
+	clusterDelta  = 14
+	corridorDelta = 16
+	clusterCount  = 4
+)
+
+// extClusterScenario sweeps the spread of a Gaussian-clustered deployment:
+// nodes scatter around four deployment sites with standard deviation
+// sigma = (sigma/R)·R. Tight clusters (small sigma) are internally dense —
+// rebroadcast storms collide — while the few inter-cluster links become
+// bridges every broadcast must cross.
+func extClusterScenario() scenario.Scenario {
+	return scenario.Scenario{
+		ID:       "extcluster",
+		Title:    "Extension: Gaussian-clustered deployments (latency vs cluster spread)",
+		Artifact: "extension",
+		Summary:  "Relaxes the uniform-placement assumption: nodes scatter around 4 Gaussian deployment sites and the cluster spread σ/R is swept from tight blobs to near-uniform, tracing how inter-cluster bridge links reshape the energy-latency trade-off.",
+		Params: divProtocolDocs(
+			scenario.ParamDoc{Name: "sigma_r", Desc: "cluster spread: per-axis Gaussian stddev as a multiple of the radio range R"},
+		),
+		XLabel: "cluster spread sigma/R",
+		YLabel: "average update latency (s)",
+		Points: func(s Scale) ([]scenario.Point, error) {
+			return divPoints("sigma_r", []float64{0.5, 1, 2, 4}), nil
+		},
+		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+			sigmaR := pt.Params["sigma_r"]
+			build := func(s Scale, delta float64, r *rng.Source) (topo.Topology, error) {
+				cfg := topo.ClusterConfig{
+					N:        s.NetNodes,
+					Range:    30,
+					Area:     topo.AreaForDensity(s.NetNodes, 30, delta),
+					Clusters: clusterCount,
+					Sigma:    sigmaR * 30,
+				}
+				return topo.NewConnectedField(func(r *rng.Source) (*topo.Field, error) {
+					return topo.NewGaussianClusters(cfg, r)
+				}, r, 500)
+			}
+			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
+			point, err := runNetPoint(s, params, clusterDelta, 109,
+				netOpts{field: build})
+			if err != nil {
+				return scenario.Result{}, err
+			}
+			return netResult(point, point.Latency.Mean(), point.Latency.N() > 0), nil
+		},
+	}
+}
+
+// extCorridorScenario stretches the deployment rectangle at fixed area and
+// density: corridor networks (pipelines, tunnels, roadsides) force every
+// broadcast through a chain of narrow gaps, so latency compounds per hop
+// and a single sleepy bottleneck stalls the whole tail of the strip.
+func extCorridorScenario() scenario.Scenario {
+	return scenario.Scenario{
+		ID:       "extcorridor",
+		Title:    "Extension: corridor deployments (latency vs aspect ratio)",
+		Artifact: "extension",
+		Summary:  "Relaxes the square-region assumption: the deployment is stretched into a strip of swept length/width ratio at fixed area and density, the pipeline/roadside regime where hop counts grow and one asleep bottleneck stalls the broadcast.",
+		Params: divProtocolDocs(
+			scenario.ParamDoc{Name: "aspect", Desc: "corridor length/width ratio at fixed area (1 = the paper's square)"},
+		),
+		XLabel: "corridor aspect ratio (length/width)",
+		YLabel: "average update latency (s)",
+		Points: func(s Scale) ([]scenario.Point, error) {
+			return divPoints("aspect", []float64{1, 4, 8, 16}), nil
+		},
+		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+			aspect := pt.Params["aspect"]
+			build := func(s Scale, delta float64, r *rng.Source) (topo.Topology, error) {
+				cfg := topo.CorridorConfig{
+					N:      s.NetNodes,
+					Range:  30,
+					Area:   topo.AreaForDensity(s.NetNodes, 30, delta),
+					Aspect: aspect,
+				}
+				return topo.NewConnectedField(func(r *rng.Source) (*topo.Field, error) {
+					return topo.NewCorridor(cfg, r)
+				}, r, 500)
+			}
+			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
+			point, err := runNetPoint(s, params, corridorDelta, 110,
+				netOpts{field: build})
+			if err != nil {
+				return scenario.Result{}, err
+			}
+			return netResult(point, point.Latency.Mean(), point.Latency.N() > 0), nil
+		},
+	}
+}
+
+// extLinkLossScenario sweeps persistent per-link loss: every link draws
+// its own rate uniformly in [0, 2·mean), so some links are clean and some
+// nearly dead. Contrast with extloss, whose iid fading treats every
+// reception identically — here the *topology of bad links* matters, and
+// PBBF's redundant rebroadcasts route around them.
+func extLinkLossScenario() scenario.Scenario {
+	return scenario.Scenario{
+		ID:       "extlinkloss",
+		Title:    "Extension: per-link loss diversity (reliability vs mean link loss)",
+		Artifact: "extension",
+		Summary:  "Relaxes the reliable-link assumption: each link holds a persistent seeded loss rate drawn uniform in [0,2·mean), modelling quality diversity rather than iid fading; delivery is traced as the mean link loss rises.",
+		Params: divProtocolDocs(
+			scenario.ParamDoc{Name: "linkloss", Desc: "mean per-link loss probability; individual links draw uniform in [0, 2·mean)"},
+		),
+		XLabel: "mean per-link loss probability",
+		YLabel: "updates received / total updates sent at source",
+		Points: func(s Scale) ([]scenario.Point, error) {
+			return divPoints("linkloss", []float64{0, 0.1, 0.2, 0.3, 0.4}), nil
+		},
+		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
+			point, err := runNetPoint(s, params, 10, 111,
+				netOpts{linkLossMean: pt.Params["linkloss"]})
+			if err != nil {
+				return scenario.Result{}, err
+			}
+			return netResult(point, point.Received.Mean(), point.Received.N() > 0), nil
+		},
+	}
+}
+
+// extChurnScenario sweeps fail-stop node churn: a seeded fraction of
+// non-source nodes dies permanently at uniform times mid-run. Dead nodes
+// stop forwarding and receiving, so the delivered fraction bounds from
+// above at the survivors' share — what the sweep shows is how much *extra*
+// delivery each protocol loses to the forwarding holes the dead leave
+// behind.
+func extChurnScenario() scenario.Scenario {
+	return scenario.Scenario{
+		ID:       "extchurn",
+		Title:    "Extension: fail-stop node churn (reliability vs death fraction)",
+		Artifact: "extension",
+		Summary:  "Relaxes the immortal-node assumption: a swept fraction of non-source nodes fail-stops at seeded uniform times mid-broadcast, and delivery shows how each protocol tolerates the forwarding holes the dead leave.",
+		Params: divProtocolDocs(
+			scenario.ParamDoc{Name: "churn", Desc: "fraction of non-source nodes that die (fail-stop) during the run"},
+		),
+		XLabel: "fraction of nodes dying during the run",
+		YLabel: "updates received / total updates sent at source",
+		Points: func(s Scale) ([]scenario.Point, error) {
+			return divPoints("churn", []float64{0, 0.1, 0.2, 0.3}), nil
+		},
+		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
+			point, err := runNetPoint(s, params, 10, 112,
+				netOpts{churnFraction: pt.Params["churn"]})
+			if err != nil {
+				return scenario.Result{}, err
+			}
+			return netResult(point, point.Received.Mean(), point.Received.N() > 0), nil
+		},
+	}
+}
+
+// extHeteroScenario sweeps heterogeneous per-node duty cycles: each node's
+// stay-awake probability is drawn uniform in q ± spread (clamped to [0,1])
+// instead of the paper's single global q. The sweep holds the *mean* q
+// fixed at 0.3 (spreads ≤ 0.3 never clamp), so any delivery or latency
+// shift is pure heterogeneity: low-q nodes punch sleep holes that the
+// high-q nodes' extra wakefulness cannot fully repair.
+func extHeteroScenario() scenario.Scenario {
+	const baseQ = 0.3
+	operatingPoints := []struct {
+		series string
+		p      float64
+	}{
+		{"PSM (p=0, q=0.3±spread)", 0},
+		{"PBBF-0.5 (q=0.3±spread)", 0.5},
+	}
+	return scenario.Scenario{
+		ID:       "exthetero",
+		Title:    "Extension: heterogeneous per-node duty cycles (reliability vs q spread)",
+		Artifact: "extension",
+		Summary:  "Relaxes the homogeneous-parameter assumption: each node draws its stay-awake probability uniform in 0.3±spread from a seeded distribution, holding the mean fixed, so the sweep isolates what parameter diversity alone does to delivery.",
+		Params: divProtocolDocs(
+			scenario.ParamDoc{Name: "spread", Desc: "half-width of the uniform per-node jitter on q around the 0.3 base (mean-preserving for spread ≤ 0.3)"},
+		),
+		XLabel: "per-node q jitter half-width",
+		YLabel: "updates received / total updates sent at source",
+		Points: func(s Scale) ([]scenario.Point, error) {
+			var pts []scenario.Point
+			for _, op := range operatingPoints {
+				for _, spread := range []float64{0, 0.1, 0.2, 0.3} {
+					pts = append(pts, scenario.Point{
+						Series: op.series,
+						X:      spread,
+						Params: map[string]float64{"p": op.p, "q": baseQ, "spread": spread},
+					})
+				}
+			}
+			return pts, nil
+		},
+		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
+			point, err := runNetPoint(s, params, 10, 113,
+				netOpts{hetero: mac.HeteroConfig{QSpread: pt.Params["spread"]}})
+			if err != nil {
+				return scenario.Result{}, err
+			}
+			return netResult(point, point.Received.Mean(), point.Received.N() > 0), nil
+		},
+	}
+}
+
+// diversityScenarios returns the scenario-diversity families in
+// presentation order.
+func diversityScenarios() []scenario.Scenario {
+	return []scenario.Scenario{
+		extClusterScenario(),
+		extCorridorScenario(),
+		extLinkLossScenario(),
+		extChurnScenario(),
+		extHeteroScenario(),
+	}
+}

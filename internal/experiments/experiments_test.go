@@ -109,8 +109,8 @@ func TestAllIDsUnique(t *testing.T) {
 			t.Fatalf("experiment %q incomplete", e.ID)
 		}
 	}
-	if len(seen) != 23 {
-		t.Fatalf("registry has %d entries, want 23 (2 tables + 15 figures + 6 extensions)", len(seen))
+	if len(seen) != 28 {
+		t.Fatalf("registry has %d entries, want 28 (2 tables + 15 figures + 11 extensions)", len(seen))
 	}
 }
 
@@ -453,5 +453,82 @@ func TestNetsimDeterministicAcrossWorkers(t *testing.T) {
 		if got := blobFor(workers); !bytes.Equal(want, got) {
 			t.Fatalf("workers=%d changed the netsim Result bytes", workers)
 		}
+	}
+}
+
+// seriesY returns the y values of the named series of a regenerated
+// scenario, keyed by x, failing the test if the series is absent.
+func seriesY(t *testing.T, id, series string, s Scale) map[float64]float64 {
+	t.Helper()
+	tbl, err := runByID(id, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ser := range tbl.Series {
+		if ser.Name != series {
+			continue
+		}
+		out := make(map[float64]float64, ser.Len())
+		for i := 0; i < ser.Len(); i++ {
+			out[ser.X[i]] = ser.Y[i]
+		}
+		return out
+	}
+	t.Fatalf("%s: series %q missing", id, series)
+	return nil
+}
+
+// TestExtChurnReliabilityFalls: killing nodes mid-run must never improve
+// delivery — for every protocol, the churn-free point bounds the
+// max-churn point from above.
+func TestExtChurnReliabilityFalls(t *testing.T) {
+	s := tinyScale()
+	for _, series := range []string{"PSM", "PBBF-0.5", "NO PSM"} {
+		y := seriesY(t, "extchurn", series, s)
+		if y[0] < y[0.3]-1e-9 {
+			t.Fatalf("%s: delivery rose under churn: %v -> %v", series, y[0], y[0.3])
+		}
+	}
+}
+
+// TestExtLinkLossShape: the always-on baseline out-delivers PSM once links
+// get bad (awake nodes give every retransmission a chance), and PSM itself
+// degrades from its clean-channel delivery.
+func TestExtLinkLossShape(t *testing.T) {
+	s := tinyScale()
+	psm := seriesY(t, "extlinkloss", "PSM", s)
+	noPSM := seriesY(t, "extlinkloss", "NO PSM", s)
+	if noPSM[0.4] < psm[0.4]-1e-9 {
+		t.Fatalf("NO PSM (%v) under PSM (%v) at 40%% mean link loss", noPSM[0.4], psm[0.4])
+	}
+	if psm[0] < psm[0.4]-1e-9 {
+		t.Fatalf("PSM delivery rose with link loss: %v -> %v", psm[0], psm[0.4])
+	}
+}
+
+// TestExtClusterLatencyGrowsWithSpread: for PSM, spreading the clusters
+// apart stretches hop distances and therefore per-update latency, while
+// the always-on baseline stays within a few seconds regardless — the
+// spread axis stresses sleeping protocols, not the network itself.
+func TestExtClusterLatencyGrowsWithSpread(t *testing.T) {
+	s := tinyScale()
+	psm := seriesY(t, "extcluster", "PSM", s)
+	if psm[4] <= psm[0.5] {
+		t.Fatalf("PSM latency did not grow with cluster spread: %v -> %v", psm[0.5], psm[4])
+	}
+	for x, y := range seriesY(t, "extcluster", "NO PSM", s) {
+		if y > 3 {
+			t.Fatalf("NO PSM latency %v at spread %v — always-on should be near-immediate", y, x)
+		}
+	}
+}
+
+// TestExtCorridorLatencyGrowsWithAspect: stretching the square into an 8:1
+// strip lengthens the broadcast's hop chain under PSM.
+func TestExtCorridorLatencyGrowsWithAspect(t *testing.T) {
+	s := tinyScale()
+	psm := seriesY(t, "extcorridor", "PSM", s)
+	if psm[8] <= psm[1] {
+		t.Fatalf("PSM latency did not grow with corridor aspect: %v -> %v", psm[1], psm[8])
 	}
 }

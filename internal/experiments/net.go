@@ -48,7 +48,20 @@ type netOpts struct {
 	k        int // updates per packet; 0 means 1
 	lossRate float64
 	adaptive *core.AdaptiveConfig
+
+	// Scenario-diversity knobs (see diversity.go). field replaces the
+	// default connected uniform random disk; the rest thread straight
+	// into netsim.Config.
+	field         fieldBuilder
+	linkLossMean  float64
+	churnFraction float64
+	hetero        mac.HeteroConfig
 }
+
+// fieldBuilder draws one deployment for a run. delta is the target density
+// Δ; the builder must keep retrying until the placement is connected (or
+// fail), mirroring NewConnectedRandomDisk.
+type fieldBuilder func(s Scale, delta float64, r *rng.Source) (topo.Topology, error)
 
 func runNetPoint(s Scale, params core.Params, delta float64, tag uint64, opts netOpts) (*netPoint, error) {
 	if opts.k == 0 {
@@ -64,12 +77,17 @@ func runNetPoint(s Scale, params core.Params, delta float64, tag uint64, opts ne
 	for run := 0; run < s.NetRuns; run++ {
 		seed := pointSeed(s.Seed, tag, fbits(params.P), fbits(params.Q), fbits(delta), uint64(run))
 		r := rng.New(seed)
-		diskCfg := topo.DiskConfig{
-			N:     s.NetNodes,
-			Range: 30,
-			Area:  topo.AreaForDensity(s.NetNodes, 30, delta),
+		var field topo.Topology
+		var err error
+		if opts.field != nil {
+			field, err = opts.field(s, delta, r)
+		} else {
+			field, err = topo.NewConnectedRandomDisk(topo.DiskConfig{
+				N:     s.NetNodes,
+				Range: 30,
+				Area:  topo.AreaForDensity(s.NetNodes, 30, delta),
+			}, r, 500)
 		}
-		field, err := topo.NewConnectedRandomDisk(diskCfg, r, 500)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: net point Δ=%v: %w", delta, err)
 		}
@@ -78,15 +96,18 @@ func runNetPoint(s Scale, params core.Params, delta float64, tag uint64, opts ne
 		// The paper chooses one random node as source per scenario.
 		source := topo.NodeID(r.Intn(field.N()))
 		res, err := netsim.Run(netsim.Config{
-			Topo:      field,
-			Source:    source,
-			MAC:       macCfg,
-			Lambda:    0.01,
-			Duration:  s.NetDuration,
-			K:         opts.k,
-			TrackHops: s.NetTrackHops,
-			LossRate:  opts.lossRate,
-			Seed:      seed,
+			Topo:              field,
+			Source:            source,
+			MAC:               macCfg,
+			Lambda:            0.01,
+			Duration:          s.NetDuration,
+			K:                 opts.k,
+			TrackHops:         s.NetTrackHops,
+			LossRate:          opts.lossRate,
+			LinkLossMean:      opts.linkLossMean,
+			ChurnFailFraction: opts.churnFraction,
+			Hetero:            opts.hetero,
+			Seed:              seed,
 		})
 		if err != nil {
 			return nil, err

@@ -101,6 +101,9 @@ func Registry() *scenario.Registry {
 		for _, sc := range extScenarios() {
 			registry.MustRegister(sc)
 		}
+		for _, sc := range diversityScenarios() {
+			registry.MustRegister(sc)
+		}
 	})
 	return registry
 }
@@ -171,3 +174,9 @@ func ExtAdaptive(s Scale) (*stats.Table, error) { return runByID("extadaptive", 
 func ExtLoss(s Scale) (*stats.Table, error)     { return runByID("extloss", s) }
 func ExtTMAC(s Scale) (*stats.Table, error)     { return runByID("exttmac", s) }
 func ExtWakeup(s Scale) (*stats.Table, error)   { return runByID("extwakeup", s) }
+
+func ExtCluster(s Scale) (*stats.Table, error)  { return runByID("extcluster", s) }
+func ExtCorridor(s Scale) (*stats.Table, error) { return runByID("extcorridor", s) }
+func ExtLinkLoss(s Scale) (*stats.Table, error) { return runByID("extlinkloss", s) }
+func ExtChurn(s Scale) (*stats.Table, error)    { return runByID("extchurn", s) }
+func ExtHetero(s Scale) (*stats.Table, error)   { return runByID("exthetero", s) }

@@ -1,0 +1,62 @@
+package mac
+
+import (
+	"fmt"
+
+	"pbbf/internal/core"
+	"pbbf/internal/rng"
+)
+
+// HeteroConfig draws per-node PBBF operating points from a seeded
+// distribution around a shared base, replacing the paper's single global
+// wake probability with heterogeneous per-node duty cycles: a field of
+// mixed hardware revisions or battery states where each node runs its own
+// q (and optionally p). Sampling is mean-preserving as long as the jitter
+// window stays inside [0,1]; clamping at the borders skews the mean.
+type HeteroConfig struct {
+	// QSpread is the half-width of the uniform jitter applied to the base
+	// stay-awake probability q: node values are drawn from
+	// [q-QSpread, q+QSpread], clamped to [0,1].
+	QSpread float64
+	// PSpread is the same half-width for the immediate-rebroadcast
+	// probability p (0 keeps p homogeneous).
+	PSpread float64
+}
+
+// Validate checks the configuration.
+func (h HeteroConfig) Validate() error {
+	if h.QSpread < 0 || h.QSpread > 1 {
+		return fmt.Errorf("mac: hetero q spread %v outside [0,1]", h.QSpread)
+	}
+	if h.PSpread < 0 || h.PSpread > 1 {
+		return fmt.Errorf("mac: hetero p spread %v outside [0,1]", h.PSpread)
+	}
+	return nil
+}
+
+// Enabled reports whether any jitter is configured.
+func (h HeteroConfig) Enabled() bool { return h.QSpread > 0 || h.PSpread > 0 }
+
+// Sample returns base with q (and p, when PSpread > 0) independently
+// jittered for one node. Each call consumes at most two draws from r, in
+// (q, p) order, so per-node parameter streams are deterministic.
+func (h HeteroConfig) Sample(base core.Params, r *rng.Source) core.Params {
+	out := base
+	if h.QSpread > 0 {
+		out.Q = clampUnit(base.Q + (2*r.Float64()-1)*h.QSpread)
+	}
+	if h.PSpread > 0 {
+		out.P = clampUnit(base.P + (2*r.Float64()-1)*h.PSpread)
+	}
+	return out
+}
+
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,129 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"pbbf/internal/core"
+	"pbbf/internal/rng"
+)
+
+func TestHeteroConfigValidate(t *testing.T) {
+	good := []HeteroConfig{{}, {QSpread: 0.3}, {QSpread: 1, PSpread: 1}}
+	for _, h := range good {
+		if err := h.Validate(); err != nil {
+			t.Fatalf("config %+v rejected: %v", h, err)
+		}
+	}
+	bad := []HeteroConfig{{QSpread: -0.1}, {QSpread: 1.5}, {PSpread: -1}, {PSpread: 2}}
+	for _, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Fatalf("config %+v accepted", h)
+		}
+	}
+	if (HeteroConfig{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if !(HeteroConfig{QSpread: 0.1}).Enabled() {
+		t.Fatal("q-jittered config reports disabled")
+	}
+}
+
+func TestHeteroSampleBoundsAndMean(t *testing.T) {
+	h := HeteroConfig{QSpread: 0.2}
+	base := core.Params{P: 0.5, Q: 0.3}
+	r := rng.New(17)
+	var sum float64
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		got := h.Sample(base, r)
+		if got.P != base.P {
+			t.Fatalf("p jittered with PSpread=0: %v", got.P)
+		}
+		if got.Q < base.Q-h.QSpread-1e-12 || got.Q > base.Q+h.QSpread+1e-12 {
+			t.Fatalf("q %v outside %v±%v", got.Q, base.Q, h.QSpread)
+		}
+		sum += got.Q
+	}
+	if mean := sum / draws; mean < base.Q-0.01 || mean > base.Q+0.01 {
+		t.Fatalf("sample mean q %v drifted from base %v (jitter window is inside [0,1])", mean, base.Q)
+	}
+}
+
+func TestHeteroSampleClampsAtBorders(t *testing.T) {
+	h := HeteroConfig{QSpread: 0.5, PSpread: 0.5}
+	r := rng.New(23)
+	for i := 0; i < 2000; i++ {
+		got := h.Sample(core.Params{P: 0.9, Q: 0.1}, r)
+		if got.Q < 0 || got.Q > 1 || got.P < 0 || got.P > 1 {
+			t.Fatalf("sample %+v escaped [0,1]", got)
+		}
+	}
+}
+
+func TestHeteroSampleDeterministic(t *testing.T) {
+	h := HeteroConfig{QSpread: 0.2, PSpread: 0.1}
+	base := core.Params{P: 0.5, Q: 0.5}
+	a, b := rng.New(7), rng.New(7)
+	for i := 0; i < 100; i++ {
+		if h.Sample(base, a) != h.Sample(base, b) {
+			t.Fatalf("draw %d diverged for equal seeds", i)
+		}
+	}
+}
+
+// TestKillSilencesNode: a killed node stops originating, forwarding,
+// receiving, and waking for beacons; the survivors keep running.
+func TestKillSilencesNode(t *testing.T) {
+	cfg := DefaultConfig(core.Params{P: 1, Q: 1}) // always forward, always awake
+	h := newHarness(t, 3, 1, cfg, 1)
+
+	// Kill the middle node before any traffic: the chain 0-1-2 is cut.
+	h.kernel.ScheduleAt(time.Second, h.nodes[1].Kill)
+	h.kernel.ScheduleAt(2*time.Second, func() {
+		h.nodes[0].Broadcast(Packet{Key: PacketKeyFor(0, 0)})
+	})
+	h.run(40 * time.Second)
+
+	dead := h.nodes[1]
+	if !dead.Dead() || dead.Awake() {
+		t.Fatalf("killed node state: dead=%v awake=%v", dead.Dead(), dead.Awake())
+	}
+	if s := dead.Stats(); s.DataSent != 0 || s.DataReceived != 0 || s.ATIMSent != 0 {
+		t.Fatalf("killed node participated: %+v", s)
+	}
+	if len(h.got[1]) != 0 {
+		t.Fatal("killed node delivered to the application")
+	}
+	if len(h.got[2]) != 0 {
+		t.Fatal("packet crossed the dead relay")
+	}
+	if s := h.nodes[0].Stats(); s.DataSent == 0 {
+		t.Fatal("survivor never transmitted")
+	}
+
+	// Kill is idempotent and Broadcast on a dead node is a no-op.
+	dead.Kill()
+	dead.Broadcast(Packet{Key: PacketKeyFor(1, 0)})
+	if s := dead.Stats(); s.ImmediateSent != 0 {
+		t.Fatalf("dead node accepted a broadcast: %+v", s)
+	}
+}
+
+// TestKillFreezesEnergyAtSleepPower: after death the meter accrues only
+// sleep-level power, so a node dead for most of the run spends far less
+// than a survivor.
+func TestKillFreezesEnergyAtSleepPower(t *testing.T) {
+	cfg := DefaultConfig(core.Params{P: 0, Q: 1}) // all awake all the time
+	h := newHarness(t, 2, 1, cfg, 3)
+	const horizon = 100 * time.Second
+	h.kernel.ScheduleAt(10*time.Second, h.nodes[1].Kill)
+	h.run(horizon)
+	for _, n := range h.nodes {
+		n.FinishMetering(horizon)
+	}
+	alive, dead := h.nodes[0].EnergyAt(horizon), h.nodes[1].EnergyAt(horizon)
+	if dead >= alive/2 {
+		t.Fatalf("dead node burned %.3f J vs survivor %.3f J — meter not asleep", dead, alive)
+	}
+}

@@ -193,6 +193,7 @@ type Node struct {
 	seen    *core.DuplicateFilter
 
 	awake    bool
+	dead     bool // fail-stop: node left the network permanently (churn)
 	mustStay bool // ATIM sent/received or traffic pending this BI
 	atimOK   bool // this frame's ATIM made it onto the air
 
@@ -283,6 +284,33 @@ func (n *Node) Stats() Stats { return n.stats }
 // Awake reports whether the radio is on.
 func (n *Node) Awake() bool { return n.awake }
 
+// Dead reports whether the node has been removed by Kill.
+func (n *Node) Dead() bool { return n.dead }
+
+// Kill removes the node from the network permanently (fail-stop churn):
+// the radio turns off, queued traffic is dropped, and every later MAC
+// entry point — beacons, deliveries, application broadcasts, pending CSMA
+// callbacks — becomes a no-op. A frame already on the air when the node
+// dies completes normally and is billed at transmit power until its
+// airtime ends (the radio was committed to it); from then on the meter
+// sits at sleep power, modelling a depleted battery rather than a node
+// that vanished retroactively.
+func (n *Node) Kill() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	n.setAwake(false)
+	if !n.channel.Transmitting(n.id) {
+		n.meter.SetState(energy.Sleep, n.kernel.Now())
+	} // else txDone drops the meter to sleep when the frame leaves the air
+	n.mustStay = false
+	n.pendingNormal = nil
+	n.announced = nil
+	n.txQueue = nil
+	n.txBusy = false
+}
+
 // EnergyAt returns the node's cumulative energy use at time now.
 func (n *Node) EnergyAt(now time.Duration) float64 { return n.meter.EnergyAt(now) }
 
@@ -306,6 +334,9 @@ func (n *Node) setAwake(awake bool) {
 // The PBBF p coin applies at origination as well (Figure 2: the source may
 // send immediately instead of waiting for the next ATIM window).
 func (n *Node) Broadcast(pkt Packet) {
+	if n.dead {
+		return
+	}
 	n.seen.MarkSeen(pkt.Key) // never re-forward our own packet
 	n.routePacket(pkt)
 }
@@ -335,6 +366,9 @@ func (n *Node) wakeForTraffic() {
 // window, pending normal traffic is promoted for announcement, and the
 // ATIM (if any) contends for the channel.
 func (n *Node) StartFrame() {
+	if n.dead {
+		return
+	}
 	now := n.kernel.Now()
 	n.setAwake(true)
 	n.meter.SetState(energy.Idle, now)
@@ -375,6 +409,9 @@ func (n *Node) sendATIM() {
 // node announced traffic, releases the data frames to contend for the
 // channel.
 func (n *Node) EndATIMWindow() {
+	if n.dead {
+		return
+	}
 	now := n.kernel.Now()
 	stay := n.mustStay || n.txBusy || len(n.txQueue) > 0
 	if !stay && n.Params().StayAwake(n.rng) {
@@ -445,6 +482,9 @@ func (rec *releaseRec) run() {
 
 // Deliver implements phy.Receiver.
 func (n *Node) Deliver(f phy.Frame) {
+	if n.dead {
+		return
+	}
 	w, ok := f.Payload.(*wire)
 	if !ok {
 		return // foreign payload: ignore
@@ -496,6 +536,9 @@ func (n *Node) observeSequence(key core.PacketKey) {
 // enqueueTx appends a frame to the node's transmit queue and starts the
 // CSMA machinery if idle. immediate marks p-coin data frames for stats.
 func (n *Node) enqueueTx(w wire, immediate bool) {
+	if n.dead {
+		return // deferred releases may fire after a fail-stop death
+	}
 	if immediate {
 		n.stats.ImmediateSent++
 	}
@@ -518,6 +561,9 @@ func (n *Node) inATIMWindow(t time.Duration) bool {
 
 // attemptTx runs one CSMA attempt for the head of the transmit queue.
 func (n *Node) attemptTx() {
+	if n.dead {
+		return
+	}
 	if len(n.txQueue) == 0 {
 		n.txBusy = false
 		return
@@ -555,6 +601,9 @@ func (n *Node) attemptTx() {
 // afterBackoff fires when the contention backoff expires: transmit if the
 // medium stayed idle, otherwise re-contend.
 func (n *Node) afterBackoff() {
+	if n.dead {
+		return
+	}
 	if n.channel.CarrierBusy(n.id) {
 		n.attemptTx() // medium got busy during backoff: re-contend
 		return
@@ -592,6 +641,12 @@ func (n *Node) transmitHead() {
 // txDone runs when this node's frame leaves the air: back to idle power and
 // on to the next queued frame.
 func (n *Node) txDone() {
+	if n.dead {
+		// Died mid-airtime: the transmission was billed to completion;
+		// now the dead radio rests at sleep power.
+		n.meter.SetState(energy.Sleep, n.kernel.Now())
+		return
+	}
 	n.meter.SetState(energy.Idle, n.kernel.Now())
 	n.attemptTx()
 }

@@ -44,6 +44,17 @@ type Config struct {
 	// LossRate injects independent per-reception frame loss at the PHY
 	// (0 = the paper's collision-only channel).
 	LossRate float64
+	// LinkLossMean, when positive, draws a persistent loss rate for every
+	// link uniformly in [0, 2·LinkLossMean) — link quality diversity on
+	// top of (or instead of) the iid LossRate. Must stay below 0.5.
+	LinkLossMean float64
+	// ChurnFailFraction, when positive, kills this fraction of non-source
+	// nodes (fail-stop, permanent) at seeded uniform times during the run.
+	ChurnFailFraction float64
+	// Hetero, when enabled, jitters each node's PBBF operating point
+	// around MAC.Params from a seeded per-node distribution —
+	// heterogeneous duty cycles instead of one global wake probability.
+	Hetero mac.HeteroConfig
 	// Seed drives every coin in the run.
 	Seed uint64
 }
@@ -71,6 +82,15 @@ func (c Config) Validate() error {
 	if c.LossRate < 0 || c.LossRate >= 1 {
 		return fmt.Errorf("netsim: loss rate %v outside [0,1)", c.LossRate)
 	}
+	if c.LinkLossMean < 0 || c.LinkLossMean >= 0.5 {
+		return fmt.Errorf("netsim: mean link loss %v outside [0,0.5)", c.LinkLossMean)
+	}
+	if c.ChurnFailFraction < 0 || c.ChurnFailFraction >= 1 {
+		return fmt.Errorf("netsim: churn fraction %v outside [0,1)", c.ChurnFailFraction)
+	}
+	if err := c.Hetero.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -91,6 +111,8 @@ type Result struct {
 	LatencyAtHop map[int]*stats.Accumulator
 	// NodesAtHop counts nodes at each tracked distance in this scenario.
 	NodesAtHop map[int]int
+	// NodesDied counts fail-stop churn deaths during the run.
+	NodesDied int
 	// Channel-level counters (diagnostics).
 	FramesStarted, FramesDelivered, FramesCollided int
 }
@@ -108,6 +130,22 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Every diversity feature draws its splits conditionally, so runs with
+	// the feature off consume the exact random stream they always did —
+	// existing scenarios stay byte-identical.
+	if cfg.LinkLossMean > 0 {
+		table, err := phy.NewUniformLinkLoss(cfg.Topo, cfg.LinkLossMean, base.Split())
+		if err != nil {
+			return nil, err
+		}
+		if err := channel.SetLinkLoss(table, base.Split()); err != nil {
+			return nil, err
+		}
+	}
+	var heteroRNG *rng.Source
+	if cfg.Hetero.Enabled() {
+		heteroRNG = base.Split()
+	}
 
 	n := cfg.Topo.N()
 	trackers := make([]*codedist.Tracker, n)
@@ -115,7 +153,11 @@ func Run(cfg Config) (*Result, error) {
 	for i := 0; i < n; i++ {
 		trackers[i] = codedist.NewTracker()
 		tracker := trackers[i]
-		node, err := mac.NewNode(topo.NodeID(i), cfg.MAC, kernel, channel, base.Split(),
+		nodeCfg := cfg.MAC
+		if heteroRNG != nil {
+			nodeCfg.Params = cfg.Hetero.Sample(cfg.MAC.Params, heteroRNG)
+		}
+		node, err := mac.NewNode(topo.NodeID(i), nodeCfg, kernel, channel, base.Split(),
 			func(pkt mac.Packet, _ topo.NodeID, now time.Duration) {
 				if payload, ok := pkt.Payload.(codedist.Payload); ok {
 					tracker.Observe(payload, now)
@@ -125,6 +167,27 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		nodes[i] = node
+	}
+
+	// Churn: pick the victims and their death times from one dedicated
+	// split, then schedule the fail-stop kills. The source is never killed
+	// (a dead source makes the delivery metric meaningless).
+	if cfg.ChurnFailFraction > 0 {
+		churnRNG := base.Split()
+		deaths := int(cfg.ChurnFailFraction*float64(n-1) + 0.5)
+		victims := make([]topo.NodeID, 0, deaths)
+		for _, id := range churnRNG.Perm(n) {
+			if len(victims) == deaths {
+				break
+			}
+			if topo.NodeID(id) != cfg.Source {
+				victims = append(victims, topo.NodeID(id))
+			}
+		}
+		for _, id := range victims {
+			at := time.Duration(churnRNG.Float64() * float64(cfg.Duration))
+			kernel.ScheduleAt(at, nodes[id].Kill)
+		}
 	}
 
 	// Update generation: deterministic at rate λ, starting at t=0 (frame
@@ -200,6 +263,9 @@ func harvest(cfg Config, nodes []*mac.Node, trackers []*codedist.Tracker,
 	for i, node := range nodes {
 		node.FinishMetering(cfg.Duration)
 		energyTotal += node.EnergyAt(cfg.Duration)
+		if node.Dead() {
+			res.NodesDied++
+		}
 		if topo.NodeID(i) == cfg.Source {
 			continue
 		}

@@ -1,0 +1,84 @@
+package phy
+
+import (
+	"fmt"
+
+	"pbbf/internal/rng"
+	"pbbf/internal/topo"
+)
+
+// LinkLoss assigns every undirected link of a topology its own persistent
+// frame-loss probability, drawn once from a seeded distribution. Unlike the
+// channel-wide SetLoss rate — which models iid fading that every reception
+// samples identically — a LinkLoss table models *link quality diversity*:
+// some links are permanently bad (foliage, multipath, marginal range) while
+// others are clean, so a broadcast's fate depends on which links it happens
+// to traverse. The table is symmetric (loss is a property of the link, not
+// the direction) and immutable after construction, so sharing one table
+// across a run is race-free and replayable.
+type LinkLoss struct {
+	rates map[uint64]float64
+	mean  float64
+}
+
+// linkKey packs an undirected node pair into one map key.
+func linkKey(a, b topo.NodeID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(uint32(b))
+}
+
+// NewUniformLinkLoss draws a loss rate for every edge of t uniformly in
+// [0, 2·mean), so the configured mean is the expected per-link rate and
+// individual links span clean to nearly-twice-mean. mean must be in
+// [0, 0.5) so every drawn rate stays below 1. Edges are visited in
+// ascending (node, neighbor) order, making the table a pure function of
+// the topology and the random source.
+func NewUniformLinkLoss(t topo.Topology, mean float64, r *rng.Source) (*LinkLoss, error) {
+	if mean < 0 || mean >= 0.5 {
+		return nil, fmt.Errorf("phy: mean link loss %v outside [0,0.5)", mean)
+	}
+	if mean > 0 && r == nil {
+		return nil, fmt.Errorf("phy: link loss requires a random source")
+	}
+	ll := &LinkLoss{rates: make(map[uint64]float64), mean: mean}
+	if mean == 0 {
+		return ll, nil
+	}
+	for id := 0; id < t.N(); id++ {
+		a := topo.NodeID(id)
+		for _, b := range t.Neighbors(a) {
+			if b < a {
+				continue // drawn when the lower endpoint was visited
+			}
+			ll.rates[linkKey(a, b)] = r.Float64() * 2 * mean
+		}
+	}
+	return ll, nil
+}
+
+// Rate returns the link's loss probability (0 for unknown pairs).
+func (ll *LinkLoss) Rate(a, b topo.NodeID) float64 {
+	return ll.rates[linkKey(a, b)]
+}
+
+// Mean returns the configured mean rate.
+func (ll *LinkLoss) Mean() float64 { return ll.mean }
+
+// Links returns how many links carry a drawn rate.
+func (ll *LinkLoss) Links() int { return len(ll.rates) }
+
+// SetLinkLoss installs a per-link loss table on the channel: an otherwise
+// successful reception over link (sender, receiver) is independently
+// dropped with the link's rate. Composes with SetLoss — the channel-wide
+// rate is applied first, then the link's. r must be non-nil when ll holds
+// any lossy link.
+func (c *Channel) SetLinkLoss(ll *LinkLoss, r *rng.Source) error {
+	if ll != nil && ll.Links() > 0 && r == nil {
+		return fmt.Errorf("phy: link loss requires a random source")
+	}
+	c.linkLoss = ll
+	c.linkRNG = r
+	return nil
+}

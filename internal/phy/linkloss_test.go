@@ -1,0 +1,148 @@
+package phy
+
+import (
+	"testing"
+	"time"
+
+	"pbbf/internal/rng"
+	"pbbf/internal/sim"
+	"pbbf/internal/topo"
+)
+
+func TestLinkLossValidation(t *testing.T) {
+	g := topo.MustGrid(2, 2)
+	if _, err := NewUniformLinkLoss(g, -0.1, rng.New(1)); err == nil {
+		t.Fatal("negative mean accepted")
+	}
+	if _, err := NewUniformLinkLoss(g, 0.5, rng.New(1)); err == nil {
+		t.Fatal("mean 0.5 accepted (rates could reach 1)")
+	}
+	if _, err := NewUniformLinkLoss(g, 0.2, nil); err == nil {
+		t.Fatal("nil rng accepted with positive mean")
+	}
+	if _, err := NewUniformLinkLoss(g, 0, nil); err != nil {
+		t.Fatal("zero mean should not need a random source")
+	}
+
+	c := NewChannel(nil, g)
+	ll, err := NewUniformLinkLoss(g, 0.2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLinkLoss(ll, nil); err == nil {
+		t.Fatal("nil rng accepted with lossy table")
+	}
+	if err := c.SetLinkLoss(ll, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := NewUniformLinkLoss(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLinkLoss(empty, nil); err != nil {
+		t.Fatalf("lossless table rejected: %v", err)
+	}
+}
+
+func TestLinkLossRatesSymmetricAndBounded(t *testing.T) {
+	g := topo.MustGrid(10, 10)
+	const mean = 0.2
+	ll, err := NewUniformLinkLoss(g, mean, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll.Links() != topo.EdgeCount(g) {
+		t.Fatalf("table has %d links, grid has %d edges", ll.Links(), topo.EdgeCount(g))
+	}
+	var sum float64
+	var count int
+	for id := 0; id < g.N(); id++ {
+		a := topo.NodeID(id)
+		for _, b := range g.Neighbors(a) {
+			r := ll.Rate(a, b)
+			if r != ll.Rate(b, a) {
+				t.Fatalf("asymmetric rate for link %d-%d", a, b)
+			}
+			if r < 0 || r >= 2*mean {
+				t.Fatalf("rate %v outside [0, %v)", r, 2*mean)
+			}
+			if b > a {
+				sum += r
+				count++
+			}
+		}
+	}
+	if avg := sum / float64(count); avg < 0.17 || avg > 0.23 {
+		t.Fatalf("empirical mean rate %v, want ≈%v", avg, mean)
+	}
+	// Unknown pairs carry no loss.
+	if ll.Rate(0, topo.NodeID(g.N()-1)) != 0 {
+		t.Fatal("non-adjacent pair has a rate")
+	}
+}
+
+func TestLinkLossDeterministic(t *testing.T) {
+	g := topo.MustGrid(8, 8)
+	a, err := NewUniformLinkLoss(g, 0.3, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewUniformLinkLoss(g, 0.3, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.N(); id++ {
+		n := topo.NodeID(id)
+		for _, nb := range g.Neighbors(n) {
+			if a.Rate(n, nb) != b.Rate(n, nb) {
+				t.Fatalf("same seed drew different rate for %d-%d", n, nb)
+			}
+		}
+	}
+}
+
+// TestLinkLossDropsExpectedFraction drives one 2-node link whose drawn
+// rate is known and checks the delivered fraction and the LinkFaded
+// counter, mirroring the SetLoss test.
+func TestLinkLossDropsExpectedFraction(t *testing.T) {
+	g := topo.MustGrid(2, 1)
+	k := sim.NewKernel()
+	c := NewChannel(k, g)
+	got := 0
+	c.Register(0, &stubReceiver{})
+	c.Register(1, &funcReceiver{fn: func(Frame) { got++ }})
+	ll, err := NewUniformLinkLoss(g, 0.3, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := ll.Rate(0, 1)
+	if rate <= 0 || rate >= 0.6 {
+		t.Fatalf("drawn rate %v outside (0, 0.6)", rate)
+	}
+	if err := c.SetLinkLoss(ll, rng.New(12)); err != nil {
+		t.Fatal(err)
+	}
+	const sends = 3000
+	for i := 0; i < sends; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		k.ScheduleAt(at, func() {
+			if err := c.Transmit(Frame{Sender: 0, Airtime: time.Millisecond}, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - rate
+	frac := float64(got) / sends
+	if frac < want-0.05 || frac > want+0.05 {
+		t.Fatalf("delivered fraction %v, want ≈%v at link rate %v", frac, want, rate)
+	}
+	if c.LinkFaded() != sends-got {
+		t.Fatalf("linkFaded=%d, want %d", c.LinkFaded(), sends-got)
+	}
+	if c.Faded() != 0 {
+		t.Fatalf("iid faded counter moved (%d) with only link loss configured", c.Faded())
+	}
+}

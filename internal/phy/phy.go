@@ -83,11 +83,18 @@ type Channel struct {
 	lossRate float64
 	lossRNG  *rng.Source
 
+	// linkLoss, when non-nil, additionally drops receptions with a
+	// persistent per-link probability (link quality diversity; see
+	// LinkLoss).
+	linkLoss *LinkLoss
+	linkRNG  *rng.Source
+
 	// Stats counters (whole-network, for diagnostics and tests).
 	started   int
 	delivered int
 	collided  int
 	faded     int
+	linkFaded int
 }
 
 // NewChannel returns a channel over the given topology.
@@ -163,6 +170,10 @@ func (c *Channel) Stats() (started, delivered, collided int) {
 // Faded returns how many receptions were dropped by loss injection.
 func (c *Channel) Faded() int { return c.faded }
 
+// LinkFaded returns how many receptions were dropped by the per-link loss
+// table.
+func (c *Channel) LinkFaded() int { return c.linkFaded }
+
 // Transmit puts f on the air now. onDone, if non-nil, runs when the frame's
 // airtime ends (after deliveries). Returns an error if the sender is
 // already transmitting — the MAC must serialize its own transmissions.
@@ -231,6 +242,12 @@ func (end *txEnd) run() {
 			if c.lossRate > 0 && c.lossRNG.Bool(c.lossRate) {
 				c.faded++
 				continue
+			}
+			if c.linkLoss != nil {
+				if rate := c.linkLoss.Rate(f.Sender, nb); rate > 0 && c.linkRNG.Bool(rate) {
+					c.linkFaded++
+					continue
+				}
 			}
 			c.delivered++
 			c.receivers[nb].Deliver(f)

@@ -58,15 +58,79 @@ func (r *Registry) All() []Scenario {
 // Len returns the number of registered scenarios.
 func (r *Registry) Len() int { return len(r.order) }
 
-// ByID looks a scenario up, tolerating case and surrounding space.
+// ByID looks a scenario up, tolerating case and surrounding space. Unknown
+// IDs fail with a did-you-mean list of the closest registered IDs (falling
+// back to the full listing when nothing is close), so a typo'd
+// `pbbf -experiment figg8` exits with an actionable message.
 func (r *Registry) ByID(id string) (Scenario, error) {
 	if sc, ok := r.byID[normalizeID(id)]; ok {
 		return sc, nil
+	}
+	if close := r.Suggest(id); len(close) > 0 {
+		return Scenario{}, fmt.Errorf("scenario: unknown id %q (did you mean %s?)", id, strings.Join(close, ", "))
 	}
 	ids := make([]string, len(r.order))
 	copy(ids, r.order)
 	sort.Strings(ids)
 	return Scenario{}, fmt.Errorf("scenario: unknown id %q (known: %s)", id, strings.Join(ids, ", "))
+}
+
+// Suggest returns up to three registered IDs close to the given (unknown)
+// ID, nearest first: prefix matches, then small edit distances. An empty
+// slice means nothing plausible is registered.
+func (r *Registry) Suggest(id string) []string {
+	id = normalizeID(id)
+	if id == "" {
+		return nil
+	}
+	type candidate struct {
+		id   string
+		dist int
+	}
+	var cands []candidate
+	for _, known := range r.order {
+		d := editDistance(id, known)
+		// Accept near misses (≤2 edits), or ≤3 for longer IDs, or a
+		// shared prefix of at least three characters ("extclu" → the
+		// extcluster family).
+		limit := 2
+		if len(known) >= 8 {
+			limit = 3
+		}
+		if d <= limit || (len(id) >= 3 && strings.HasPrefix(known, id)) {
+			cands = append(cands, candidate{known, d})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	if len(cands) > 3 {
+		cands = cands[:3]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// editDistance is the Levenshtein distance between two short IDs.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 func normalizeID(id string) string {

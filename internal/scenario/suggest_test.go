@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"pbbf/internal/stats"
+)
+
+func suggestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	for _, id := range []string{"fig8", "fig9", "fig18", "extcluster", "extchurn", "table1"} {
+		r.MustRegister(Scenario{
+			ID: id, Title: "t", Artifact: "a", Summary: "s",
+			TableFn: func(Scale) (*stats.Table, error) { return &stats.Table{}, nil },
+		})
+	}
+	return r
+}
+
+func TestSuggestRanksClosestFirst(t *testing.T) {
+	r := suggestRegistry(t)
+	got := r.Suggest("figg8")
+	if len(got) == 0 || got[0] != "fig8" {
+		t.Fatalf("Suggest(figg8) = %v, want fig8 first", got)
+	}
+	if len(got) > 3 {
+		t.Fatalf("Suggest returned %d candidates, cap is 3", len(got))
+	}
+}
+
+func TestSuggestPrefixesMatch(t *testing.T) {
+	r := suggestRegistry(t)
+	got := r.Suggest("extc")
+	joined := strings.Join(got, ",")
+	if !strings.Contains(joined, "extcluster") || !strings.Contains(joined, "extchurn") {
+		t.Fatalf("Suggest(extc) = %v, want the extc* family", got)
+	}
+}
+
+func TestSuggestNothingClose(t *testing.T) {
+	r := suggestRegistry(t)
+	for _, q := range []string{"zzzzzzzz", ""} {
+		if got := r.Suggest(q); len(got) != 0 {
+			t.Fatalf("Suggest(%q) = %v, want none", q, got)
+		}
+	}
+}
+
+func TestByIDErrorCarriesSuggestions(t *testing.T) {
+	r := suggestRegistry(t)
+	_, err := r.ByID("figg8")
+	if err == nil || !strings.Contains(err.Error(), "did you mean") || !strings.Contains(err.Error(), "fig8") {
+		t.Fatalf("ByID(figg8) error lacks suggestion: %v", err)
+	}
+	_, err = r.ByID("qqqqqq")
+	if err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Fatalf("ByID(qqqqqq) error lacks the known list: %v", err)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"fig8", "fig8", 0},
+		{"figg8", "fig8", 1},
+		{"fig8", "fig9", 1},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Fatalf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"pbbf/internal/rng"
+)
+
+func clusterCfg(n int, sigma float64) ClusterConfig {
+	return ClusterConfig{
+		N:        n,
+		Range:    30,
+		Area:     AreaForDensity(n, 30, 14),
+		Clusters: 4,
+		Sigma:    sigma,
+	}
+}
+
+func corridorCfg(n int, aspect float64) CorridorConfig {
+	return CorridorConfig{
+		N:      n,
+		Range:  30,
+		Area:   AreaForDensity(n, 30, 16),
+		Aspect: aspect,
+	}
+}
+
+func TestFieldConfigValidation(t *testing.T) {
+	r := rng.New(1)
+	bad := []ClusterConfig{
+		{N: 0, Range: 30, Area: 100, Clusters: 2, Sigma: 5},
+		{N: 10, Range: 0, Area: 100, Clusters: 2, Sigma: 5},
+		{N: 10, Range: 30, Area: 0, Clusters: 2, Sigma: 5},
+		{N: 10, Range: 30, Area: 100, Clusters: 0, Sigma: 5},
+		{N: 10, Range: 30, Area: 100, Clusters: 11, Sigma: 5},
+		{N: 10, Range: 30, Area: 100, Clusters: 2, Sigma: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := NewGaussianClusters(cfg, r); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	badC := []CorridorConfig{
+		{N: 0, Range: 30, Area: 100, Aspect: 4},
+		{N: 10, Range: -1, Area: 100, Aspect: 4},
+		{N: 10, Range: 30, Area: -5, Aspect: 4},
+		{N: 10, Range: 30, Area: 100, Aspect: 0.5},
+	}
+	for _, cfg := range badC {
+		if _, err := NewCorridor(cfg, r); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := NewField(nil, 10, 10, 30); err == nil {
+		t.Fatal("empty placement accepted")
+	}
+}
+
+// TestGaussianClustersSpread checks the generator's core statistic: the
+// per-axis sample deviation of nodes around their cluster's sample mean
+// approximates the configured sigma. Assignment is round-robin (node i →
+// cluster i mod k, documented behaviour), so clusters are recoverable
+// without exposing the drawn centers.
+func TestGaussianClustersSpread(t *testing.T) {
+	const n, k = 400, 4
+	cfg := clusterCfg(n, 0)
+	cfg.Area = 1e8 // huge region: clamping never bites, pure Gaussian spread
+	cfg.Sigma = 25
+	f, err := NewGaussianClusters(cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < k; c++ {
+		var xs, ys []float64
+		for i := c; i < n; i += k {
+			p := f.Position(NodeID(i))
+			xs = append(xs, p.X)
+			ys = append(ys, p.Y)
+		}
+		for axis, vals := range [][]float64{xs, ys} {
+			sd := sampleStddev(vals)
+			if sd < cfg.Sigma*0.8 || sd > cfg.Sigma*1.2 {
+				t.Fatalf("cluster %d axis %d: sample stddev %.2f, want ≈%v", c, axis, sd, cfg.Sigma)
+			}
+		}
+	}
+}
+
+func sampleStddev(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(ss / float64(len(vals)-1))
+}
+
+// TestGaussianClustersConcentrateDegree: tight clusters pack nodes far
+// denser than a uniform field of the same nominal density, so the average
+// degree must be markedly higher.
+func TestGaussianClustersConcentrateDegree(t *testing.T) {
+	const n = 60
+	tight, err := NewGaussianClusters(clusterCfg(n, 0.5*30), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := NewRandomDisk(DiskConfig{N: n, Range: 30, Area: AreaForDensity(n, 30, 14)}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.AverageDegree() < 1.5*uniform.AverageDegree() {
+		t.Fatalf("tight clusters degree %.1f not ≫ uniform %.1f",
+			tight.AverageDegree(), uniform.AverageDegree())
+	}
+}
+
+// TestCorridorGeometry: positions fill the stretched rectangle — the
+// occupied bounding box's aspect tracks the configured aspect, and no
+// position falls outside [0,w)×[0,h).
+func TestCorridorGeometry(t *testing.T) {
+	const n = 500
+	cfg := corridorCfg(n, 16)
+	f, err := NewCorridor(cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW := math.Sqrt(cfg.Area * cfg.Aspect)
+	wantH := cfg.Area / wantW
+	if f.Width() != wantW || f.Height() != wantH {
+		t.Fatalf("rectangle %vx%v, want %vx%v", f.Width(), f.Height(), wantW, wantH)
+	}
+	var maxX, maxY float64
+	for i := 0; i < f.N(); i++ {
+		p := f.Position(NodeID(i))
+		if p.X < 0 || p.X >= wantW || p.Y < 0 || p.Y >= wantH {
+			t.Fatalf("position %+v outside %vx%v", p, wantW, wantH)
+		}
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	boxAspect := maxX / maxY
+	if boxAspect < cfg.Aspect*0.7 || boxAspect > cfg.Aspect*1.4 {
+		t.Fatalf("occupied bounding-box aspect %.1f, want ≈%v", boxAspect, cfg.Aspect)
+	}
+}
+
+// TestCorridorAspectOneMatchesRandomDisk: a 1:1 corridor is exactly the
+// paper's uniform square field — same rng draw sequence, same positions,
+// same adjacency — so the new generator provably contains the old model.
+func TestCorridorAspectOneMatchesRandomDisk(t *testing.T) {
+	const n = 80
+	corridor, err := NewCorridor(CorridorConfig{N: n, Range: 30, Area: AreaForDensity(n, 30, 10), Aspect: 1}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := NewRandomDisk(DiskConfig{N: n, Range: 30, Area: AreaForDensity(n, 30, 10)}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		if corridor.Position(id) != disk.Position(id) {
+			t.Fatalf("node %d placed differently: %+v vs %+v", i, corridor.Position(id), disk.Position(id))
+		}
+		a, b := corridor.Neighbors(id), disk.Neighbors(id)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("node %d adjacency differs at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestCorridorStretchesDiameter: at fixed density, a 16:1 corridor's hop
+// diameter from node 0 must exceed the square's — the structural property
+// the extcorridor scenario leans on.
+func TestCorridorStretchesDiameter(t *testing.T) {
+	maxHops := func(aspect float64) int {
+		f, err := NewConnectedField(func(r *rng.Source) (*Field, error) {
+			return NewCorridor(corridorCfg(100, aspect), r)
+		}, rng.New(31), 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0
+		for _, d := range HopDistances(f, 0) {
+			if d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	square, strip := maxHops(1), maxHops(16)
+	if strip <= square {
+		t.Fatalf("16:1 corridor diameter %d not beyond square's %d", strip, square)
+	}
+}
+
+// TestConnectedFieldRate pins the empirical connectivity rate at the
+// scenario operating points: every seed in a 30-seed sample must produce a
+// connected field within the scenarios' 500-try budget, at the paper-scale
+// node count and the extreme ends of each sweep. A failure here means the
+// registered sweeps are at risk of erroring in CI.
+func TestConnectedFieldRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep")
+	}
+	gens := map[string]func(*rng.Source) (*Field, error){
+		"cluster sigma=0.5R": func(r *rng.Source) (*Field, error) {
+			return NewGaussianClusters(clusterCfg(50, 0.5*30), r)
+		},
+		"cluster sigma=4R": func(r *rng.Source) (*Field, error) {
+			return NewGaussianClusters(clusterCfg(50, 4*30), r)
+		},
+		"corridor aspect=16": func(r *rng.Source) (*Field, error) {
+			return NewCorridor(corridorCfg(50, 16), r)
+		},
+	}
+	for name, gen := range gens {
+		for seed := uint64(1); seed <= 30; seed++ {
+			f, err := NewConnectedField(gen, rng.New(seed), 500)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if !Connected(f) {
+				t.Fatalf("%s seed %d: disconnected field returned", name, seed)
+			}
+		}
+	}
+}
+
+// TestConnectedFieldGivesUp: an impossible generator (two nodes far out of
+// range) exhausts its budget with an error instead of looping.
+func TestConnectedFieldGivesUp(t *testing.T) {
+	gen := func(*rng.Source) (*Field, error) {
+		return NewField([]Point{{X: 0, Y: 0}, {X: 1000, Y: 1000}}, 2000, 2000, 30)
+	}
+	if _, err := NewConnectedField(gen, rng.New(1), 10); err == nil {
+		t.Fatal("disconnected-by-construction generator succeeded")
+	}
+}

@@ -7,7 +7,6 @@ package topo
 import (
 	"fmt"
 	"math"
-	"slices"
 
 	"pbbf/internal/rng"
 )
@@ -157,39 +156,19 @@ func NewRandomDisk(cfg DiskConfig, r *rng.Source) (*RandomDisk, error) {
 	side := math.Sqrt(cfg.Area)
 	d := &RandomDisk{
 		positions: make([]Point, cfg.N),
-		neighbors: make([][]NodeID, cfg.N),
 		rangeM:    cfg.Range,
 		side:      side,
 	}
 	for i := range d.positions {
 		d.positions[i] = Point{X: r.Float64() * side, Y: r.Float64() * side}
 	}
-	// Adjacency via the grid-bucket index: each node scans only the 3x3
-	// cell block around it (O(N·Δ) total) instead of every other node
-	// (O(N²)), and the whole adjacency lives in one backing array. Lists
-	// are sorted ascending, matching the order the pairwise construction
-	// produced, so topologies are bit-identical to the original builder.
-	d.index = NewCellIndex(d.positions, side, cfg.Range)
-	degree := make([]int32, cfg.N)
-	total := 0
-	for i := 0; i < cfg.N; i++ {
-		n := 0
-		d.index.ForEachWithin(d.positions[i], cfg.Range, func(NodeID) { n++ })
-		degree[i] = int32(n - 1) // exclude self
-		total += n - 1
-	}
-	backing := make([]NodeID, 0, total)
-	for i := 0; i < cfg.N; i++ {
-		start := len(backing)
-		d.index.ForEachWithin(d.positions[i], cfg.Range, func(j NodeID) {
-			if int(j) != i {
-				backing = append(backing, j)
-			}
-		})
-		list := backing[start : start+int(degree[i]) : start+int(degree[i])]
-		slices.Sort(list)
-		d.neighbors[i] = list
-	}
+	// Adjacency via the grid-bucket index (shared with Field): each node
+	// scans only the 3x3 cell block around it (O(N·Δ) total) instead of
+	// every other node (O(N²)), and the whole adjacency lives in one
+	// backing array. Lists are sorted ascending, matching the order the
+	// pairwise construction produced, so topologies are bit-identical to
+	// the original builder.
+	d.neighbors, d.index = diskAdjacency(d.positions, side, cfg.Range)
 	return d, nil
 }
 
