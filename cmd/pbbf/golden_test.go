@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// goldenLine is the slice of one NDJSON point line this test cares about:
+// enough structure to attribute a mismatch and to fold the per-point
+// energy/delivery metrics into per-scenario invariants.
+type goldenLine struct {
+	Scenario string `json:"scenario"`
+	Point    *struct {
+		Series string  `json:"series"`
+		X      float64 `json:"x"`
+		Result struct {
+			EnergyJ  float64 `json:"energy_j"`
+			Delivery float64 `json:"delivery"`
+		} `json:"result"`
+	} `json:"point"`
+}
+
+// TestGoldenQuickNDJSON pins the full registry's quick-scale NDJSON stream
+// to the committed pre-refactor golden, byte for byte. The golden was
+// recorded before the allocation-free kernel landed, so this is the proof
+// that the pooled node arrays, reused adjacency buffers, and recycled
+// duplicate-filter bitsets changed how the simulation allocates without
+// changing anything it computes — every RNG draw, every collision, every
+// joule. On top of the byte comparison it folds the stream into per-scenario
+// energy and delivery totals and checks those against the golden's totals,
+// so a failure reports which physics drifted, not just which byte.
+func TestGoldenQuickNDJSON(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_quick.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "all", "-scale", "quick", "-format", "ndjson", "-workers", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	// The aggregate invariants first: when these fail the byte diff below
+	// is a symptom, and the per-scenario totals say where to look.
+	wantSums := foldTotals(t, want)
+	gotSums := foldTotals(t, got)
+	for id, w := range wantSums {
+		g, ok := gotSums[id]
+		if !ok {
+			t.Errorf("scenario %s missing from output", id)
+			continue
+		}
+		if g != w {
+			t.Errorf("scenario %s invariants drifted: energy %v -> %v J, delivery %v -> %v, points %d -> %d",
+				id, w.energy, g.energy, w.delivery, g.delivery, w.points, g.points)
+		}
+	}
+	for id := range gotSums {
+		if _, ok := wantSums[id]; !ok {
+			t.Errorf("scenario %s not in golden", id)
+		}
+	}
+
+	if !bytes.Equal(got, want) {
+		t.Fatalf("quick-scale NDJSON diverged from the pre-refactor golden: %s", firstDiff(got, want))
+	}
+}
+
+// totals is one scenario's folded metrics: exact float sums are meaningful
+// because both streams fold the same points in the same enumeration order.
+type totals struct {
+	points   int
+	energy   float64
+	delivery float64
+}
+
+func foldTotals(t *testing.T, stream []byte) map[string]totals {
+	t.Helper()
+	sums := make(map[string]totals)
+	sc := bufio.NewScanner(bytes.NewReader(stream))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line goldenLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Point == nil {
+			continue // table scenarios carry no per-point metrics
+		}
+		s := sums[line.Scenario]
+		s.points++
+		s.energy += line.Point.Result.EnergyJ
+		s.delivery += line.Point.Result.Delivery
+		sums[line.Scenario] = s
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return sums
+}
+
+// firstDiff locates the first differing line for the failure message.
+func firstDiff(got, want []byte) string {
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return fmt.Sprintf("first difference at line %d:\ngot  %s\nwant %s", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d, want %d", len(gl), len(wl))
+}

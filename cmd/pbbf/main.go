@@ -51,6 +51,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"pbbf/internal/bench"
@@ -93,7 +94,7 @@ func runCtx(ctx context.Context, args []string, out, errOut io.Writer) error {
 	fs.SetOutput(out)
 	var (
 		experiment = fs.String("experiment", "", "scenario id (e.g. fig8) or \"all\"")
-		scaleName  = fs.String("scale", "quick", "scenario scale: quick, paper, or bench")
+		scaleName  = fs.String("scale", "quick", "scenario scale: quick, paper, bench, or large")
 		format     = fs.String("format", "table", "output format: table, csv, json, or ndjson")
 		seed       = fs.Uint64("seed", 1, "root random seed")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep")
@@ -157,7 +158,8 @@ func runBench(args []string, out io.Writer) error {
 		workers   = fs.Int("workers", 1, "sweep worker-pool size (1 = scheduler-independent timings)")
 		repeats   = fs.Int("repeats", bench.DefaultRepeats, "measurements per scenario; the fastest is recorded")
 		baseline  = fs.String("baseline", "", "baseline report to compare against (empty = no gate)")
-		threshold = fs.Float64("threshold", 0.30, "per-scenario ns/point regression tolerance vs the baseline")
+		threshold = fs.Float64("threshold", 0.30, "per-scenario ns/point and allocs/point regression tolerance vs the baseline")
+		heapOut   = fs.String("heap-profile", "", "write a pprof heap profile here after the run (empty = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -207,6 +209,27 @@ func runBench(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "wrote %s: %d scenarios in %.2fs\n",
 		*outPath, len(rep.Scenarios), float64(rep.TotalWallNS)/1e9)
+	if *heapOut != "" {
+		if err := writeHeapProfile(*heapOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote heap profile %s\n", *heapOut)
+	}
+
+	// The absolute allocation ceiling needs no baseline, so it always runs:
+	// the flagship scenarios must stay within the pooled kernel's budget on
+	// every bench-scale invocation, not only when someone passes -baseline.
+	if viols := bench.CheckCeilings(rep); len(viols) > 0 {
+		for _, v := range viols {
+			if v.Missing {
+				fmt.Fprintf(out, "ALLOC CEILING %-12s missing from the run (ceiling %d allocs/pt)\n", v.ID, v.Ceiling)
+				continue
+			}
+			fmt.Fprintf(out, "ALLOC CEILING %-12s %d allocs/pt exceeds the %d ceiling\n",
+				v.ID, v.AllocsPerPoint, v.Ceiling)
+		}
+		return fmt.Errorf("%d scenario(s) over the %d allocs/point flagship ceiling", len(viols), bench.FlagshipAllocCeiling)
+	}
 
 	if base == nil {
 		return nil
@@ -225,16 +248,36 @@ func runBench(args []string, out io.Writer) error {
 		return nil
 	}
 	for _, r := range regs {
-		if r.CurNSPerPoint == 0 {
+		switch {
+		case r.Ratio == 0:
 			fmt.Fprintf(out, "REGRESSION %-12s missing from current run (baseline %d ns/pt)\n",
 				r.ID, r.BaseNSPerPoint)
-			continue
+		case r.Metric == "allocs/point":
+			fmt.Fprintf(out, "REGRESSION %-12s %d -> %d allocs/pt (%.2fx)\n",
+				r.ID, r.BaseAllocsPerPoint, r.CurAllocsPerPoint, r.Ratio)
+		default:
+			fmt.Fprintf(out, "REGRESSION %-12s %d -> %d ns/pt (%.2fx)\n",
+				r.ID, r.BaseNSPerPoint, r.CurNSPerPoint, r.Ratio)
 		}
-		fmt.Fprintf(out, "REGRESSION %-12s %d -> %d ns/pt (%.2fx)\n",
-			r.ID, r.BaseNSPerPoint, r.CurNSPerPoint, r.Ratio)
 	}
 	return fmt.Errorf("%d scenario(s) regressed more than %.0f%% vs %s",
 		len(regs), *threshold*100, *baseline)
+}
+
+// writeHeapProfile dumps the post-run heap to path for pprof. The GC run
+// first makes the profile reflect retained state (the warmed pools), not
+// collectable garbage.
+func writeHeapProfile(path string) error {
+	runtime.GC()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return f.Close()
 }
 
 // printList renders the registry with its metadata: ID, paper artifact,

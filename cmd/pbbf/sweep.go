@@ -35,7 +35,7 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 	fs.SetOutput(out)
 	var (
 		experiment  = fs.String("experiment", "all", "scenario id (e.g. fig8) or \"all\"")
-		scaleName   = fs.String("scale", "quick", "scenario scale: quick, paper, or bench")
+		scaleName   = fs.String("scale", "quick", "scenario scale: quick, paper, bench, or large")
 		format      = fs.String("format", "table", "output format: table, csv, json, or ndjson")
 		seed        = fs.Uint64("seed", 1, "root random seed")
 		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep (local mode; -distribute uses -outstanding)")

@@ -24,12 +24,33 @@ import (
 
 // SchemaVersion identifies the report layout. Bump when fields change
 // incompatibly; Compare refuses to diff reports with different versions.
-const SchemaVersion = 1
+// v2 added AllocsPerPoint and the allocation gate.
+const SchemaVersion = 2
 
 // NoiseFloorNS is the baseline wall time below which Compare records a
 // scenario but does not gate it: sub-millisecond artifacts (the static
 // tables) measure timer and scheduler noise, not simulator performance.
 const NoiseFloorNS = 2_000_000
+
+// AllocNoiseFloor is the baseline allocs-per-point below which Compare
+// records but does not gate the allocation ratio: when a point costs a few
+// hundred allocations, one stray runtime allocation (a timer, a map bucket
+// split) swings the ratio past any reasonable threshold without meaning
+// anything. Pooled scenarios sit far below this floor and are protected by
+// the absolute FlagshipAllocCeiling instead.
+const AllocNoiseFloor = 512
+
+// FlagshipAllocCeiling is the absolute allocs-per-point budget for the
+// flagship Section 5 scenarios at the frozen bench scale. The pooled netsim
+// kernel runs steady-state points in a few dozen allocations (accumulator
+// maps and result assembly; the simulation itself is allocation-free), so
+// the ceiling failing means per-run state is being reallocated again.
+const FlagshipAllocCeiling = 100
+
+// FlagshipScenarios lists the scenario IDs held to FlagshipAllocCeiling:
+// the ns-style simulator figures whose hot path the arena layer keeps
+// allocation-free.
+var FlagshipScenarios = []string{"fig13", "fig14", "fig15", "fig16", "fig17", "fig18"}
 
 // DefaultRepeats is how many times Run measures each scenario when
 // Config.Repeats is unset; the fastest repeat is recorded. Minimum-of-N is
@@ -52,6 +73,12 @@ type ScenarioResult struct {
 	NSPerPoint int64 `json:"ns_per_point"`
 	// Allocs counts heap allocations during the run.
 	Allocs uint64 `json:"allocs"`
+	// AllocsPerPoint is the minimum allocations-per-point seen across the
+	// repeats — the allocation analogue of NSPerPoint. It is tracked
+	// independently of the fastest repeat: the work is deterministic, so the
+	// repeat with the fewest allocations is the one least polluted by
+	// runtime background activity.
+	AllocsPerPoint uint64 `json:"allocs_per_point"`
 	// AllocBytes counts bytes allocated during the run.
 	AllocBytes uint64 `json:"alloc_bytes"`
 	// EventsFired counts discrete-event kernel events executed during the
@@ -138,6 +165,7 @@ func Run(scenarios []scenario.Scenario, cfg Config) (*Report, error) {
 		// estimate of the scenario's cost and is robust against one
 		// repeat landing on a busy moment.
 		var res ScenarioResult
+		var minAllocs uint64
 		for try := 0; try < cfg.Repeats; try++ {
 			runtime.GC() // attribute floating garbage to this measurement
 			runtime.ReadMemStats(&ms0)
@@ -153,6 +181,13 @@ func Run(scenarios []scenario.Scenario, cfg Config) (*Report, error) {
 			if points == 0 {
 				points = 1 // TableFn scenarios: one unit of work
 			}
+			// The allocation minimum is tracked across all repeats, not
+			// taken from the fastest one: the repeat with the fewest
+			// allocations is the one least polluted by runtime background
+			// work, and it need not be the fastest.
+			if allocs := ms1.Mallocs - ms0.Mallocs; try == 0 || allocs < minAllocs {
+				minAllocs = allocs
+			}
 			if try > 0 && wall.Nanoseconds() >= res.WallNS {
 				continue
 			}
@@ -167,10 +202,11 @@ func Run(scenarios []scenario.Scenario, cfg Config) (*Report, error) {
 				EventsFired: sim.TotalFired() - fired0,
 			}
 		}
+		res.AllocsPerPoint = minAllocs / uint64(res.Points)
 		rep.Scenarios = append(rep.Scenarios, res)
 		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, "%-12s %10.2fms %8d pts %12d ns/pt %10d allocs %12d events\n",
-				res.ID, float64(res.WallNS)/1e6, res.Points, res.NSPerPoint, res.Allocs, res.EventsFired)
+			fmt.Fprintf(cfg.Progress, "%-12s %10.2fms %8d pts %12d ns/pt %8d allocs/pt %12d events\n",
+				res.ID, float64(res.WallNS)/1e6, res.Points, res.NSPerPoint, res.AllocsPerPoint, res.EventsFired)
 		}
 	}
 	rep.TotalWallNS = time.Since(total).Nanoseconds()
@@ -217,21 +253,32 @@ func ReadFile(path string) (*Report, error) {
 	return &r, nil
 }
 
-// Regression is one scenario that got slower than the baseline allows.
+// Regression is one scenario metric that got worse than the baseline
+// allows. Metric says which gate fired: "ns/point" (wall time) or
+// "allocs/point" (allocation count).
 type Regression struct {
 	ID string `json:"id"`
-	// BaseNSPerPoint and CurNSPerPoint are the compared measurements.
-	BaseNSPerPoint int64 `json:"base_ns_per_point"`
-	CurNSPerPoint  int64 `json:"cur_ns_per_point"`
-	// Ratio is Cur/Base (1.30 = 30% slower).
+	// Metric names the gated measurement: "ns/point" or "allocs/point".
+	Metric string `json:"metric"`
+	// BaseNSPerPoint and CurNSPerPoint are the compared wall measurements
+	// (zero for allocation regressions).
+	BaseNSPerPoint int64 `json:"base_ns_per_point,omitempty"`
+	CurNSPerPoint  int64 `json:"cur_ns_per_point,omitempty"`
+	// BaseAllocsPerPoint and CurAllocsPerPoint are the compared allocation
+	// measurements (zero for wall-time regressions).
+	BaseAllocsPerPoint uint64 `json:"base_allocs_per_point,omitempty"`
+	CurAllocsPerPoint  uint64 `json:"cur_allocs_per_point,omitempty"`
+	// Ratio is Cur/Base (1.30 = 30% worse).
 	Ratio float64 `json:"ratio"`
 }
 
 // Compare diffs current against base and returns every scenario whose
-// ns/point grew by more than threshold (0.30 = fail above +30%). Scenarios
-// present in the baseline but missing from the current run are reported as
-// regressions with Ratio 0 — a silently dropped benchmark must not pass.
-// New scenarios absent from the baseline are ignored.
+// ns/point or allocs/point grew by more than threshold (0.30 = fail above
+// +30%). Each metric has its own noise floor (NoiseFloorNS,
+// AllocNoiseFloor) below which the baseline is recorded but not gated.
+// Scenarios present in the baseline but missing from the current run are
+// reported as regressions with Ratio 0 — a silently dropped benchmark must
+// not pass. New scenarios absent from the baseline are ignored.
 func Compare(base, current *Report, threshold float64) ([]Regression, error) {
 	if threshold <= 0 {
 		return nil, fmt.Errorf("bench: threshold %v must be positive", threshold)
@@ -259,25 +306,69 @@ func Compare(base, current *Report, threshold float64) ([]Regression, error) {
 	for _, b := range base.Scenarios {
 		c, ok := cur[b.ID]
 		if !ok {
-			regs = append(regs, Regression{ID: b.ID, BaseNSPerPoint: b.NSPerPoint})
+			regs = append(regs, Regression{ID: b.ID, Metric: "ns/point", BaseNSPerPoint: b.NSPerPoint})
 			continue
 		}
-		if b.NSPerPoint <= 0 {
-			continue // degenerate baseline entry: nothing to compare
+		if b.NSPerPoint > 0 && b.WallNS >= NoiseFloorNS {
+			if ratio := float64(c.NSPerPoint) / float64(b.NSPerPoint); ratio > 1+threshold {
+				regs = append(regs, Regression{
+					ID:             b.ID,
+					Metric:         "ns/point",
+					BaseNSPerPoint: b.NSPerPoint,
+					CurNSPerPoint:  c.NSPerPoint,
+					Ratio:          ratio,
+				})
+			}
 		}
-		if b.WallNS < NoiseFloorNS {
-			continue // below the noise floor: recorded, not gated
-		}
-		ratio := float64(c.NSPerPoint) / float64(b.NSPerPoint)
-		if ratio > 1+threshold {
-			regs = append(regs, Regression{
-				ID:             b.ID,
-				BaseNSPerPoint: b.NSPerPoint,
-				CurNSPerPoint:  c.NSPerPoint,
-				Ratio:          ratio,
-			})
+		if b.AllocsPerPoint >= AllocNoiseFloor {
+			if ratio := float64(c.AllocsPerPoint) / float64(b.AllocsPerPoint); ratio > 1+threshold {
+				regs = append(regs, Regression{
+					ID:                 b.ID,
+					Metric:             "allocs/point",
+					BaseAllocsPerPoint: b.AllocsPerPoint,
+					CurAllocsPerPoint:  c.AllocsPerPoint,
+					Ratio:              ratio,
+				})
+			}
 		}
 	}
 	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
 	return regs, nil
+}
+
+// CeilingViolation is one flagship scenario over its absolute allocation
+// budget — or missing from the report entirely (AllocsPerPoint 0, Missing
+// true), which must fail for the same reason a dropped benchmark does.
+type CeilingViolation struct {
+	ID             string `json:"id"`
+	AllocsPerPoint uint64 `json:"allocs_per_point"`
+	Ceiling        uint64 `json:"ceiling"`
+	Missing        bool   `json:"missing,omitempty"`
+}
+
+// CheckCeilings enforces the absolute FlagshipAllocCeiling against a report.
+// Unlike Compare it needs no baseline: the ceiling is a property of the
+// pooled kernel, not a diff. It applies only to reports recorded at the
+// frozen "bench" scale — at other scales points aggregate different run
+// counts and the budget would not be comparable.
+func CheckCeilings(rep *Report) []CeilingViolation {
+	if rep.Scale != "bench" {
+		return nil
+	}
+	byID := make(map[string]ScenarioResult, len(rep.Scenarios))
+	for _, s := range rep.Scenarios {
+		byID[s.ID] = s
+	}
+	var out []CeilingViolation
+	for _, id := range FlagshipScenarios {
+		s, ok := byID[id]
+		if !ok {
+			out = append(out, CeilingViolation{ID: id, Ceiling: FlagshipAllocCeiling, Missing: true})
+			continue
+		}
+		if s.AllocsPerPoint > FlagshipAllocCeiling {
+			out = append(out, CeilingViolation{ID: id, AllocsPerPoint: s.AllocsPerPoint, Ceiling: FlagshipAllocCeiling})
+		}
+	}
+	return out
 }

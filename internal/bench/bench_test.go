@@ -241,6 +241,94 @@ func TestRunRejectsNegativeWorkers(t *testing.T) {
 	}
 }
 
+// allocReport builds a fixture with the given allocs-per-point entries,
+// keeping wall times below NoiseFloorNS so only the allocation gate fires.
+func allocReport(entries map[string]uint64) *Report {
+	r := &Report{SchemaVersion: SchemaVersion}
+	for _, id := range []string{"a", "b", "c"} {
+		n, ok := entries[id]
+		if !ok {
+			continue
+		}
+		r.Scenarios = append(r.Scenarios, ScenarioResult{
+			ID: id, Points: 1, WallNS: 1, NSPerPoint: 1, AllocsPerPoint: n,
+		})
+	}
+	return r
+}
+
+func TestCompareFlagsAllocRegressions(t *testing.T) {
+	base := allocReport(map[string]uint64{"a": 10 * AllocNoiseFloor, "b": 10 * AllocNoiseFloor})
+	cur := allocReport(map[string]uint64{"a": 15 * AllocNoiseFloor, "b": 11 * AllocNoiseFloor})
+	regs, err := Compare(base, cur, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].ID != "a" || regs[0].Metric != "allocs/point" {
+		t.Fatalf("regressions: %+v", regs)
+	}
+	if regs[0].Ratio < 1.49 || regs[0].Ratio > 1.51 {
+		t.Fatalf("ratio = %v", regs[0].Ratio)
+	}
+}
+
+// TestCompareAllocNoiseFloor: a baseline below AllocNoiseFloor is never
+// gated on allocations, however big the ratio — one stray runtime
+// allocation would otherwise fail builds at random.
+func TestCompareAllocNoiseFloor(t *testing.T) {
+	base := allocReport(map[string]uint64{"a": AllocNoiseFloor - 1})
+	cur := allocReport(map[string]uint64{"a": 100 * AllocNoiseFloor})
+	regs, err := Compare(base, cur, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("sub-floor alloc count gated: %+v", regs)
+	}
+}
+
+func TestCheckCeilings(t *testing.T) {
+	rep := &Report{SchemaVersion: SchemaVersion, Scale: "bench"}
+	for _, id := range FlagshipScenarios {
+		rep.Scenarios = append(rep.Scenarios, ScenarioResult{
+			ID: id, Points: 1, AllocsPerPoint: FlagshipAllocCeiling,
+		})
+	}
+	if viols := CheckCeilings(rep); len(viols) != 0 {
+		t.Fatalf("at-ceiling report flagged: %+v", viols)
+	}
+	rep.Scenarios[0].AllocsPerPoint = FlagshipAllocCeiling + 1
+	viols := CheckCeilings(rep)
+	if len(viols) != 1 || viols[0].ID != FlagshipScenarios[0] || viols[0].Missing {
+		t.Fatalf("over-ceiling report: %+v", viols)
+	}
+}
+
+// TestCheckCeilingsMissingFlagship: silently dropping a flagship scenario
+// from the bench run must fail, exactly like a dropped baseline benchmark.
+func TestCheckCeilingsMissingFlagship(t *testing.T) {
+	rep := &Report{SchemaVersion: SchemaVersion, Scale: "bench"}
+	viols := CheckCeilings(rep)
+	if len(viols) != len(FlagshipScenarios) {
+		t.Fatalf("got %d violations, want %d", len(viols), len(FlagshipScenarios))
+	}
+	for _, v := range viols {
+		if !v.Missing {
+			t.Fatalf("missing scenario not marked: %+v", v)
+		}
+	}
+}
+
+// TestCheckCeilingsOnlyAtBenchScale: the absolute budget is defined for the
+// frozen bench workload; other scales aggregate different run counts per
+// point and are exempt.
+func TestCheckCeilingsOnlyAtBenchScale(t *testing.T) {
+	rep := &Report{SchemaVersion: SchemaVersion, Scale: "quick"}
+	if viols := CheckCeilings(rep); viols != nil {
+		t.Fatalf("non-bench scale gated: %+v", viols)
+	}
+}
+
 // writeFile is a test helper (kept out of the library surface).
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)

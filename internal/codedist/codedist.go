@@ -40,6 +40,18 @@ func NewSource(k int) (*Source, error) {
 	return &Source{k: k, recent: make([]Update, 0, k)}, nil
 }
 
+// Reset reinitializes the source in place for a new run with batch size k,
+// keeping the recent-updates buffer.
+func (s *Source) Reset(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("codedist: k %d must be positive", k)
+	}
+	s.k = k
+	s.recent = s.recent[:0]
+	s.next = 0
+	return nil
+}
+
 // Generate creates the next update at time now and returns the payload to
 // broadcast (a copy; callers cannot alias internal state).
 func (s *Source) Generate(now time.Duration) Payload {
@@ -72,6 +84,14 @@ func NewTracker() *Tracker {
 	return &Tracker{}
 }
 
+// Reset clears the tracker for reuse across runs, keeping the flat slices'
+// capacity so a pooled tracker records a whole run without allocating.
+func (t *Tracker) Reset() {
+	t.seen = t.seen[:0]
+	t.latency = t.latency[:0]
+	t.received = 0
+}
+
 // maxSeq bounds the sequence numbers the tracker accepts. Sources number
 // updates densely from zero, so a sequence outside [0, maxSeq) means a
 // caller broke that invariant (hash or timestamp as Seq); fail loudly
@@ -85,10 +105,13 @@ func (t *Tracker) Observe(p Payload, now time.Duration) {
 		if u.Seq < 0 || u.Seq >= maxSeq {
 			panic(fmt.Sprintf("codedist: update sequence %d breaks the dense-seq invariant [0, %d)", u.Seq, maxSeq))
 		}
-		if len(t.seen) <= u.Seq {
-			grow := u.Seq + 1 - len(t.seen)
-			t.seen = append(t.seen, make([]bool, grow)...)
-			t.latency = append(t.latency, make([]time.Duration, grow)...)
+		// Grow element-wise: appending zero values one at a time reuses
+		// retained capacity (a Reset tracker re-records a run with no
+		// allocation) where appending a make()-temporary would allocate
+		// the temporary on every growth step.
+		for len(t.seen) <= u.Seq {
+			t.seen = append(t.seen, false)
+			t.latency = append(t.latency, 0)
 		}
 		if !t.seen[u.Seq] {
 			t.seen[u.Seq] = true

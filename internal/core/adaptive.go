@@ -73,10 +73,21 @@ type AdaptiveController struct {
 
 // NewAdaptiveController constructs a controller; the config must validate.
 func NewAdaptiveController(cfg AdaptiveConfig) (*AdaptiveController, error) {
-	if err := cfg.Validate(); err != nil {
+	a := &AdaptiveController{}
+	if err := a.Reset(cfg); err != nil {
 		return nil, err
 	}
-	return &AdaptiveController{cfg: cfg, params: cfg.Initial, loss: cfg.LossTarget}, nil
+	return a, nil
+}
+
+// Reset reinitializes the controller in place for a new run — the pooled
+// counterpart of NewAdaptiveController.
+func (a *AdaptiveController) Reset(cfg AdaptiveConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	*a = AdaptiveController{cfg: cfg, params: cfg.Initial, loss: cfg.LossTarget}
+	return nil
 }
 
 // Params returns the current operating point.

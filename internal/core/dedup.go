@@ -97,9 +97,15 @@ func (f *DuplicateFilter) MarkSeen(key PacketKey) bool {
 // Len returns the number of distinct broadcasts recorded.
 func (f *DuplicateFilter) Len() int { return f.count }
 
-// Reset clears the filter for reuse across simulation runs.
+// Reset clears the filter for reuse across simulation runs. Per-origin
+// bitsets are zeroed but kept: a pooled filter that sees the same origins
+// again (each netsim run has one broadcast source) marks them with no
+// allocation, where dropping the map entries would rebuild a bitset per
+// origin per run.
 func (f *DuplicateFilter) Reset() {
-	clear(f.byOrigin)
+	for _, b := range f.byOrigin {
+		clear(b.words)
+	}
 	f.last = nil
 	f.count = 0
 }

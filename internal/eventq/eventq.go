@@ -63,6 +63,19 @@ func (q *Queue) Len() int { return len(q.heap) }
 // pending); diagnostics for pool-reuse tests.
 func (q *Queue) Cap() int { return len(q.slots) }
 
+// Reset discards every pending event and restores the queue to its initial
+// state while keeping the slot slab, heap array, and free list capacity for
+// reuse. The insertion sequence restarts at zero, so a reused queue orders
+// equal-timestamp events exactly like a fresh one — the property the
+// simulation pools rely on for byte-identical reruns.
+func (q *Queue) Reset() {
+	for i := range q.heap {
+		q.release(q.heap[i].idx)
+	}
+	q.heap = q.heap[:0]
+	q.nextSeq = 0
+}
+
 // Push schedules fn at time at and returns a handle usable with Cancel.
 func (q *Queue) Push(at time.Duration, fn func()) Handle {
 	var idx int32

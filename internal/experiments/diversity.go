@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"pbbf/internal/core"
 	"pbbf/internal/mac"
 	"pbbf/internal/rng"
@@ -79,9 +81,9 @@ func extClusterScenario() scenario.Scenario {
 		Points: func(s Scale) ([]scenario.Point, error) {
 			return divPoints("sigma_r", []float64{0.5, 1, 2, 4}), nil
 		},
-		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
 			sigmaR := pt.Params["sigma_r"]
-			build := func(s Scale, delta float64, r *rng.Source) (topo.Topology, error) {
+			build := func(s Scale, delta float64, r *rng.Source, sc *topo.Scratch) (topo.Topology, error) {
 				cfg := topo.ClusterConfig{
 					N:        s.NetNodes,
 					Range:    30,
@@ -89,12 +91,12 @@ func extClusterScenario() scenario.Scenario {
 					Clusters: clusterCount,
 					Sigma:    sigmaR * 30,
 				}
-				return topo.NewConnectedField(func(r *rng.Source) (*topo.Field, error) {
-					return topo.NewGaussianClusters(cfg, r)
+				return sc.ConnectedField(func(r *rng.Source) (*topo.Field, error) {
+					return sc.GaussianClusters(cfg, r)
 				}, r, 500)
 			}
 			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
-			point, err := runNetPoint(s, params, clusterDelta, 109,
+			point, err := runNetPoint(ctx, s, params, clusterDelta, 109,
 				netOpts{field: build})
 			if err != nil {
 				return scenario.Result{}, err
@@ -122,21 +124,21 @@ func extCorridorScenario() scenario.Scenario {
 		Points: func(s Scale) ([]scenario.Point, error) {
 			return divPoints("aspect", []float64{1, 4, 8, 16}), nil
 		},
-		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
 			aspect := pt.Params["aspect"]
-			build := func(s Scale, delta float64, r *rng.Source) (topo.Topology, error) {
+			build := func(s Scale, delta float64, r *rng.Source, sc *topo.Scratch) (topo.Topology, error) {
 				cfg := topo.CorridorConfig{
 					N:      s.NetNodes,
 					Range:  30,
 					Area:   topo.AreaForDensity(s.NetNodes, 30, delta),
 					Aspect: aspect,
 				}
-				return topo.NewConnectedField(func(r *rng.Source) (*topo.Field, error) {
-					return topo.NewCorridor(cfg, r)
+				return sc.ConnectedField(func(r *rng.Source) (*topo.Field, error) {
+					return sc.Corridor(cfg, r)
 				}, r, 500)
 			}
 			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
-			point, err := runNetPoint(s, params, corridorDelta, 110,
+			point, err := runNetPoint(ctx, s, params, corridorDelta, 110,
 				netOpts{field: build})
 			if err != nil {
 				return scenario.Result{}, err
@@ -165,9 +167,9 @@ func extLinkLossScenario() scenario.Scenario {
 		Points: func(s Scale) ([]scenario.Point, error) {
 			return divPoints("linkloss", []float64{0, 0.1, 0.2, 0.3, 0.4}), nil
 		},
-		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
 			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
-			point, err := runNetPoint(s, params, 10, 111,
+			point, err := runNetPoint(ctx, s, params, 10, 111,
 				netOpts{linkLossMean: pt.Params["linkloss"]})
 			if err != nil {
 				return scenario.Result{}, err
@@ -197,9 +199,9 @@ func extChurnScenario() scenario.Scenario {
 		Points: func(s Scale) ([]scenario.Point, error) {
 			return divPoints("churn", []float64{0, 0.1, 0.2, 0.3}), nil
 		},
-		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
 			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
-			point, err := runNetPoint(s, params, 10, 112,
+			point, err := runNetPoint(ctx, s, params, 10, 112,
 				netOpts{churnFraction: pt.Params["churn"]})
 			if err != nil {
 				return scenario.Result{}, err
@@ -247,9 +249,9 @@ func extHeteroScenario() scenario.Scenario {
 			}
 			return pts, nil
 		},
-		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
 			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
-			point, err := runNetPoint(s, params, 10, 113,
+			point, err := runNetPoint(ctx, s, params, 10, 113,
 				netOpts{hetero: mac.HeteroConfig{QSpread: pt.Params["spread"]}})
 			if err != nil {
 				return scenario.Result{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -119,8 +120,8 @@ func extKScenario() scenario.Scenario {
 			}
 			return pts, nil
 		},
-		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
-			point, err := runNetPoint(s, core.Params{P: pt.Params["p"], Q: pt.Params["q"]},
+		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
+			point, err := runNetPoint(ctx, s, core.Params{P: pt.Params["p"], Q: pt.Params["q"]},
 				10, 102, netOpts{k: int(pt.Params["k"])})
 			if err != nil {
 				return scenario.Result{}, err
@@ -177,7 +178,7 @@ func extAdaptiveScenario() scenario.Scenario {
 			}
 			return pts, nil
 		},
-		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
 			opts := netOpts{lossRate: pt.Params["loss"]}
 			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
 			if pt.Params["adaptive"] == 1 {
@@ -185,7 +186,7 @@ func extAdaptiveScenario() scenario.Scenario {
 				cfg.Initial = params
 				opts.adaptive = &cfg
 			}
-			point, err := runNetPoint(s, params, 10, 103, opts)
+			point, err := runNetPoint(ctx, s, params, 10, 103, opts)
 			if err != nil {
 				return scenario.Result{}, err
 			}
@@ -223,8 +224,8 @@ func extLossScenario() scenario.Scenario {
 			}
 			return pts, nil
 		},
-		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
-			point, err := runNetPoint(s, core.Params{P: pt.Params["p"], Q: pt.Params["q"]},
+		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
+			point, err := runNetPoint(ctx, s, core.Params{P: pt.Params["p"], Q: pt.Params["q"]},
 				10, 106, netOpts{lossRate: pt.Params["loss"]})
 			if err != nil {
 				return scenario.Result{}, err

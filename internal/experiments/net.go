@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pbbf/internal/core"
@@ -60,13 +61,20 @@ type netOpts struct {
 
 // fieldBuilder draws one deployment for a run. delta is the target density
 // Δ; the builder must keep retrying until the placement is connected (or
-// fail), mirroring NewConnectedRandomDisk.
-type fieldBuilder func(s Scale, delta float64, r *rng.Source) (topo.Topology, error)
+// fail), mirroring NewConnectedRandomDisk. Builders construct through the
+// worker's topology scratch sc, so the topology is valid only until the
+// scratch's next build — runNetPoint consumes it before the next run draws.
+type fieldBuilder func(s Scale, delta float64, r *rng.Source, sc *topo.Scratch) (topo.Topology, error)
 
-func runNetPoint(s Scale, params core.Params, delta float64, tag uint64, opts netOpts) (*netPoint, error) {
+// runNetPoint aggregates NetRuns simulations for one data point on the
+// worker's pooled simulation state (ctx carries the pool cache; results are
+// identical with or without it).
+func runNetPoint(ctx context.Context, s Scale, params core.Params, delta float64, tag uint64, opts netOpts) (*netPoint, error) {
 	if opts.k == 0 {
 		opts.k = 1
 	}
+	pools, release := poolsFor(ctx)
+	defer release()
 	point := &netPoint{
 		LatencyAtHop: make(map[int]*stats.Accumulator, len(s.NetTrackHops)),
 		NodesAtHop:   make(map[int]float64, len(s.NetTrackHops)),
@@ -80,9 +88,9 @@ func runNetPoint(s Scale, params core.Params, delta float64, tag uint64, opts ne
 		var field topo.Topology
 		var err error
 		if opts.field != nil {
-			field, err = opts.field(s, delta, r)
+			field, err = opts.field(s, delta, r, pools.topo)
 		} else {
-			field, err = topo.NewConnectedRandomDisk(topo.DiskConfig{
+			field, err = pools.topo.ConnectedRandomDisk(topo.DiskConfig{
 				N:     s.NetNodes,
 				Range: 30,
 				Area:  topo.AreaForDensity(s.NetNodes, 30, delta),
@@ -95,7 +103,7 @@ func runNetPoint(s Scale, params core.Params, delta float64, tag uint64, opts ne
 		macCfg.Adaptive = opts.adaptive
 		// The paper chooses one random node as source per scenario.
 		source := topo.NodeID(r.Intn(field.N()))
-		res, err := netsim.Run(netsim.Config{
+		res, err := pools.net.Run(netsim.Config{
 			Topo:              field,
 			Source:            source,
 			MAC:               macCfg,
@@ -161,9 +169,9 @@ func netQSweep(id, artifact, title, summary, ylabel string, tag uint64,
 			}
 			return pts, nil
 		},
-		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
 			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
-			point, err := runNetPoint(s, params, pt.Params["delta"], tag, netOpts{})
+			point, err := runNetPoint(ctx, s, params, pt.Params["delta"], tag, netOpts{})
 			if err != nil {
 				return scenario.Result{}, err
 			}
@@ -203,9 +211,9 @@ func netDeltaSweep(id, artifact, title, summary, ylabel string, tag uint64,
 			}
 			return pts, nil
 		},
-		RunPoint: func(s Scale, pt scenario.Point) (scenario.Result, error) {
+		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
 			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
-			point, err := runNetPoint(s, params, pt.Params["delta"], tag, netOpts{})
+			point, err := runNetPoint(ctx, s, params, pt.Params["delta"], tag, netOpts{})
 			if err != nil {
 				return scenario.Result{}, err
 			}

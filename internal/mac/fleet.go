@@ -1,0 +1,72 @@
+package mac
+
+import (
+	"time"
+
+	"pbbf/internal/energy"
+	"pbbf/internal/phy"
+	"pbbf/internal/rng"
+	"pbbf/internal/sim"
+	"pbbf/internal/topo"
+)
+
+// Fleet is a pooled set of MAC nodes sharing one struct-of-arrays energy
+// bank. Nodes are heap-allocated once per slot and reinitialized in place
+// across runs — their addresses must stay stable because the CSMA state
+// machine's pre-bound closures and the channel's receiver table capture
+// node pointers. Per-node random sources live in one flat slice seeded by
+// SplitInto, so a reused fleet draws exactly the streams a fresh
+// construction would.
+//
+// Usage per run: Reset, then InitNode for every slot in ID order.
+type Fleet struct {
+	nodes []*Node
+	rngs  []rng.Source
+	bank  *energy.Bank
+}
+
+// NewFleet returns an empty fleet; it grows to fit on first Reset.
+func NewFleet() *Fleet { return &Fleet{bank: energy.NewBank()} }
+
+// Reset sizes the fleet for n nodes with a shared power profile, all
+// accounts opening in the idle state at time now. Existing node objects
+// (and their retained buffers) are kept; new slots are filled with fresh
+// nodes. Every slot must be reinitialized with InitNode before use.
+func (f *Fleet) Reset(n int, profile energy.Profile, now time.Duration) {
+	f.bank.Reset(n, profile, energy.Idle, now)
+	nodes := f.nodes
+	if cap(nodes) >= n {
+		nodes = nodes[:n]
+	} else {
+		nodes = append(nodes[:cap(nodes)], make([]*Node, n-cap(nodes))...)
+	}
+	for i := range nodes {
+		if nodes[i] == nil {
+			nodes[i] = &Node{}
+		}
+	}
+	f.nodes = nodes
+	if cap(f.rngs) >= n {
+		f.rngs = f.rngs[:n]
+	} else {
+		f.rngs = make([]rng.Source, n)
+	}
+}
+
+// InitNode reinitializes slot i for a new run, drawing the node's random
+// source from base exactly as NewNode(.., base.Split(), ..) would.
+func (f *Fleet) InitNode(i int, id topo.NodeID, cfg Config, kernel *sim.Kernel,
+	channel *phy.Channel, base *rng.Source, deliver DeliveryFunc) error {
+	base.SplitInto(&f.rngs[i])
+	return f.nodes[i].init(id, cfg, kernel, channel, f.bank, i, &f.rngs[i], deliver)
+}
+
+// Nodes returns the fleet's node slice, valid until the next Reset. Callers
+// must not mutate it.
+func (f *Fleet) Nodes() []*Node { return f.nodes }
+
+// Node returns the node in slot i.
+func (f *Fleet) Node(i int) *Node { return f.nodes[i] }
+
+// Bank returns the fleet's shared energy bank.
+func (f *Fleet) Bank() *energy.Bank { return f.bank }

@@ -188,9 +188,14 @@ type Node struct {
 	kernel  *sim.Kernel
 	channel *phy.Channel
 	rng     *rng.Source
-	meter   *energy.Meter
 	deliver DeliveryFunc
 	seen    *core.DuplicateFilter
+
+	// Energy accounting lives in a struct-of-arrays Bank shared by the
+	// node's Fleet; slot is this node's account. Standalone nodes own a
+	// private single-slot bank.
+	bank *energy.Bank
+	slot int
 
 	awake    bool
 	dead     bool // fail-stop: node left the network permanently (churn)
@@ -217,11 +222,14 @@ type Node struct {
 	// for announced data frames.
 	relPool []*releaseRec
 
-	// Adaptive-mode state (nil/zero when running static PBBF).
-	adaptive *core.AdaptiveController
-	frameRx  int              // frames decoded in the current beacon interval
-	lastSeq  map[int]uint64   // per-origin highest data sequence seen
-	seqSeen  map[int]struct{} // origins with at least one sequence recorded
+	// Adaptive-mode state (nil/zero when running static PBBF). The
+	// controller and maps are cached across pooled re-initializations so an
+	// adaptive fleet reruns without reallocating them.
+	adaptive      *core.AdaptiveController
+	adaptiveCache *core.AdaptiveController
+	frameRx       int              // frames decoded in the current beacon interval
+	lastSeq       map[int]uint64   // per-origin highest data sequence seen
+	seqSeen       map[int]struct{} // origins with at least one sequence recorded
 
 	stats Stats
 }
@@ -229,41 +237,79 @@ type Node struct {
 var _ phy.Receiver = (*Node)(nil)
 
 // NewNode constructs a MAC node and registers it with the channel. The
-// node starts awake (simulation begins at a beacon).
+// node starts awake (simulation begins at a beacon). Standalone nodes own a
+// private energy bank; fleets share one (see Fleet).
 func NewNode(id topo.NodeID, cfg Config, kernel *sim.Kernel, channel *phy.Channel,
 	r *rng.Source, deliver DeliveryFunc) (*Node, error) {
-	if err := cfg.Validate(); err != nil {
+	n := &Node{}
+	bank := energy.NewBank()
+	bank.Reset(1, cfg.Profile, energy.Idle, kernel.Now())
+	if err := n.init(id, cfg, kernel, channel, bank, 0, r, deliver); err != nil {
 		return nil, err
 	}
-	if deliver == nil {
-		return nil, fmt.Errorf("mac: nil delivery callback")
-	}
-	n := &Node{
-		id:      id,
-		cfg:     cfg,
-		kernel:  kernel,
-		channel: channel,
-		rng:     r,
-		meter:   energy.NewMeter(cfg.Profile, energy.Idle, kernel.Now()),
-		deliver: deliver,
-		seen:    core.NewDuplicateFilter(),
-		awake:   true,
-	}
-	n.attemptTxFn = n.attemptTx
-	n.afterBackoffFn = n.afterBackoff
-	n.txDoneFn = n.txDone
-	n.sendATIMFn = n.sendATIM
-	if cfg.Adaptive != nil {
-		ctrl, err := core.NewAdaptiveController(*cfg.Adaptive)
-		if err != nil {
-			return nil, err
-		}
-		n.adaptive = ctrl
-		n.lastSeq = make(map[int]uint64)
-		n.seqSeen = make(map[int]struct{})
-	}
-	channel.Register(id, n)
 	return n, nil
+}
+
+// init (re)initializes the node in place for a new run — NewNode's body,
+// reusing every retained allocation: the duplicate filter's bitsets, the
+// pending/announced/tx queues' capacity, the pre-bound CSMA closures, the
+// release-record pool, and the adaptive controller with its maps. The
+// caller's bank slot must already be sized and reset.
+func (n *Node) init(id topo.NodeID, cfg Config, kernel *sim.Kernel, channel *phy.Channel,
+	bank *energy.Bank, slot int, r *rng.Source, deliver DeliveryFunc) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if deliver == nil {
+		return fmt.Errorf("mac: nil delivery callback")
+	}
+	n.id = id
+	n.cfg = cfg
+	n.kernel = kernel
+	n.channel = channel
+	n.rng = r
+	n.bank = bank
+	n.slot = slot
+	n.deliver = deliver
+	if n.seen == nil {
+		n.seen = core.NewDuplicateFilter()
+	} else {
+		n.seen.Reset()
+	}
+	n.awake = true
+	n.dead = false
+	n.mustStay = false
+	n.atimOK = false
+	n.pendingNormal = n.pendingNormal[:0] // nil-safe; Kill may have dropped it
+	n.announced = n.announced[:0]
+	n.txQueue = n.txQueue[:0]
+	n.txBusy = false
+	if n.attemptTxFn == nil {
+		n.attemptTxFn = n.attemptTx
+		n.afterBackoffFn = n.afterBackoff
+		n.txDoneFn = n.txDone
+		n.sendATIMFn = n.sendATIM
+	}
+	n.onAir = wire{}
+	if cfg.Adaptive != nil {
+		if n.adaptiveCache == nil {
+			n.adaptiveCache = &core.AdaptiveController{}
+			n.lastSeq = make(map[int]uint64)
+			n.seqSeen = make(map[int]struct{})
+		}
+		if err := n.adaptiveCache.Reset(*cfg.Adaptive); err != nil {
+			return err
+		}
+		n.adaptive = n.adaptiveCache
+		clear(n.lastSeq)
+		clear(n.seqSeen)
+	} else {
+		n.adaptive = nil
+	}
+	n.frameRx = 0
+	n.stats = Stats{}
+	channel.Register(id, n)
+	return nil
 }
 
 // Params returns the node's current PBBF operating point: the static
@@ -302,7 +348,7 @@ func (n *Node) Kill() {
 	n.dead = true
 	n.setAwake(false)
 	if !n.channel.Transmitting(n.id) {
-		n.meter.SetState(energy.Sleep, n.kernel.Now())
+		n.bank.SetState(n.slot, energy.Sleep, n.kernel.Now())
 	} // else txDone drops the meter to sleep when the frame leaves the air
 	n.mustStay = false
 	n.pendingNormal = nil
@@ -312,10 +358,11 @@ func (n *Node) Kill() {
 }
 
 // EnergyAt returns the node's cumulative energy use at time now.
-func (n *Node) EnergyAt(now time.Duration) float64 { return n.meter.EnergyAt(now) }
+func (n *Node) EnergyAt(now time.Duration) float64 { return n.bank.EnergyAt(n.slot, now) }
 
-// Meter exposes the energy meter for detailed breakdowns in experiments.
-func (n *Node) Meter() *energy.Meter { return n.meter }
+// TimeIn returns the node's closed-interval time spent in radio state s;
+// call FinishMetering first for totals through the end of a run.
+func (n *Node) TimeIn(s energy.State) time.Duration { return n.bank.TimeIn(n.slot, s) }
 
 // Listening reports whether the node's radio can decode a frame right now
 // (awake and not transmitting), as registered with the channel.
@@ -358,7 +405,7 @@ func (n *Node) wakeForTraffic() {
 	n.mustStay = true
 	if !n.awake {
 		n.setAwake(true)
-		n.meter.SetState(energy.Idle, n.kernel.Now())
+		n.bank.SetState(n.slot, energy.Idle, n.kernel.Now())
 	}
 }
 
@@ -371,7 +418,7 @@ func (n *Node) StartFrame() {
 	}
 	now := n.kernel.Now()
 	n.setAwake(true)
-	n.meter.SetState(energy.Idle, now)
+	n.bank.SetState(n.slot, energy.Idle, now)
 	n.mustStay = false
 	n.atimOK = false
 	if n.adaptive != nil {
@@ -420,7 +467,7 @@ func (n *Node) EndATIMWindow() {
 	}
 	if !stay {
 		n.setAwake(false)
-		n.meter.SetState(energy.Sleep, now)
+		n.bank.SetState(n.slot, energy.Sleep, now)
 	}
 	if n.atimOK && len(n.announced) > 0 {
 		// Announced receivers stay awake for the whole beacon interval, so
@@ -629,7 +676,7 @@ func (n *Node) transmitHead() {
 		airtime = n.cfg.DataAirtime()
 		n.stats.DataSent++
 	}
-	n.meter.SetState(energy.Transmit, n.kernel.Now())
+	n.bank.SetState(n.slot, energy.Transmit, n.kernel.Now())
 	err := n.channel.Transmit(phy.Frame{Sender: n.id, Payload: &n.onAir, Airtime: airtime}, n.txDoneFn)
 	if err != nil {
 		// The MAC serializes its own transmissions, so this is a bug, not
@@ -644,14 +691,14 @@ func (n *Node) txDone() {
 	if n.dead {
 		// Died mid-airtime: the transmission was billed to completion;
 		// now the dead radio rests at sleep power.
-		n.meter.SetState(energy.Sleep, n.kernel.Now())
+		n.bank.SetState(n.slot, energy.Sleep, n.kernel.Now())
 		return
 	}
-	n.meter.SetState(energy.Idle, n.kernel.Now())
+	n.bank.SetState(n.slot, energy.Idle, n.kernel.Now())
 	n.attemptTx()
 }
 
 // FinishMetering closes the node's energy accounting at time now.
 func (n *Node) FinishMetering(now time.Duration) {
-	n.meter.Finish(now)
+	n.bank.Finish(n.slot, now)
 }

@@ -361,14 +361,13 @@ func TestMeterStatesTracked(t *testing.T) {
 	})
 	h.run(3 * cfg.Timing.Frame)
 	h.nodes[0].FinishMetering(h.kernel.Now())
-	m := h.nodes[0].Meter()
-	if m.TimeIn(energy.Transmit) == 0 {
+	if h.nodes[0].TimeIn(energy.Transmit) == 0 {
 		t.Fatal("transmitter recorded no TX time")
 	}
-	if m.TimeIn(energy.Sleep) == 0 {
+	if h.nodes[0].TimeIn(energy.Sleep) == 0 {
 		t.Fatal("PSM node recorded no sleep time")
 	}
-	if m.TimeIn(energy.Idle) == 0 {
+	if h.nodes[0].TimeIn(energy.Idle) == 0 {
 		t.Fatal("node recorded no idle time")
 	}
 }

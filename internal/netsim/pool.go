@@ -1,0 +1,261 @@
+package netsim
+
+import (
+	"time"
+
+	"pbbf/internal/codedist"
+	"pbbf/internal/mac"
+	"pbbf/internal/phy"
+	"pbbf/internal/rng"
+	"pbbf/internal/sim"
+	"pbbf/internal/stats"
+	"pbbf/internal/topo"
+)
+
+// RunPool owns every reusable piece of one simulation run: the event
+// kernel, the channel, a node fleet with its struct-of-arrays energy bank,
+// per-node trackers, the code-distribution source, the link-loss table, the
+// churn and BFS scratch buffers, and all the run-level callbacks — bound
+// once and rescheduled forever. A sweep worker that runs thousands of
+// points through one pool performs its steady-state simulation work with
+// (near) zero allocation.
+//
+// Determinism: a pooled run draws exactly the random stream Run draws for
+// the same Config, so results are byte-identical to the unpooled path. A
+// RunPool is not safe for concurrent use; give each worker its own.
+type RunPool struct {
+	kernel   *sim.Kernel
+	channel  *phy.Channel
+	fleet    *mac.Fleet
+	trackers []codedist.Tracker
+	deliver  []mac.DeliveryFunc
+	kills    []func()
+	source   codedist.Source
+	linkLoss phy.LinkLoss
+	bfs      topo.Scratch
+
+	// Random sources for the run and its conditionally-drawn features, all
+	// reseeded in place (the per-node sources live in the fleet).
+	base      rng.Source
+	lossRNG   rng.Source
+	fillRNG   rng.Source
+	linkRNG   rng.Source
+	heteroRNG rng.Source
+	churnRNG  rng.Source
+
+	permBuf []int
+	victims []topo.NodeID
+
+	// cfg is the in-flight run's configuration; the pre-bound generate and
+	// beacon callbacks read it through the pool.
+	cfg        Config
+	generateFn func()
+	endWindow  func()
+	tick       func()
+}
+
+// NewRunPool returns a pool ready for its first Run.
+func NewRunPool() *RunPool {
+	p := &RunPool{kernel: sim.NewKernel(), fleet: mac.NewFleet()}
+	p.generateFn = func() {
+		now := p.kernel.Now()
+		payload := p.source.Generate(now)
+		p.trackers[p.cfg.Source].Observe(payload, now)
+		p.fleet.Node(int(p.cfg.Source)).Broadcast(mac.Packet{
+			Key:     mac.PacketKeyFor(p.cfg.Source, uint64(p.source.Generated()-1)),
+			Payload: payload,
+		})
+	}
+	p.endWindow = func() {
+		for _, node := range p.fleet.Nodes() {
+			node.EndATIMWindow()
+		}
+	}
+	p.tick = func() {
+		for _, node := range p.fleet.Nodes() {
+			node.StartFrame()
+		}
+		p.kernel.Schedule(p.cfg.MAC.Timing.Active, p.endWindow)
+		p.kernel.Schedule(p.cfg.MAC.Timing.Frame, p.tick)
+	}
+	return p
+}
+
+// deliverFor returns slot i's delivery upcall, binding closures for new
+// slots once; they read the tracker through the pool, so they stay valid
+// as the tracker slice grows.
+func (p *RunPool) deliverFor(i int) mac.DeliveryFunc {
+	for len(p.deliver) <= i {
+		j := len(p.deliver)
+		p.deliver = append(p.deliver, func(pkt mac.Packet, _ topo.NodeID, now time.Duration) {
+			if payload, ok := pkt.Payload.(codedist.Payload); ok {
+				p.trackers[j].Observe(payload, now)
+			}
+		})
+	}
+	return p.deliver[i]
+}
+
+// killFor returns slot i's pre-bound fail-stop callback.
+func (p *RunPool) killFor(i int) func() {
+	for len(p.kills) <= i {
+		j := len(p.kills)
+		p.kills = append(p.kills, func() { p.fleet.Node(j).Kill() })
+	}
+	return p.kills[i]
+}
+
+// Run executes one scenario on the pool's reused state. The sequence of
+// operations — and in particular of random draws — mirrors the package
+// Run function step for step; see the comments there for the rationale.
+func (p *RunPool) Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p.cfg = cfg
+	kernel := p.kernel
+	kernel.Reset()
+	if p.channel == nil {
+		p.channel = phy.NewChannel(kernel, cfg.Topo)
+	} else {
+		p.channel.Reset(cfg.Topo)
+	}
+	channel := p.channel
+	p.base.Reseed(cfg.Seed)
+	base := &p.base
+	if cfg.LossRate > 0 {
+		base.SplitInto(&p.lossRNG)
+		if err := channel.SetLoss(cfg.LossRate, &p.lossRNG); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.LinkLossMean > 0 {
+		base.SplitInto(&p.fillRNG)
+		if err := p.linkLoss.FillUniform(cfg.Topo, cfg.LinkLossMean, &p.fillRNG); err != nil {
+			return nil, err
+		}
+		base.SplitInto(&p.linkRNG)
+		if err := channel.SetLinkLoss(&p.linkLoss, &p.linkRNG); err != nil {
+			return nil, err
+		}
+	}
+	var heteroRNG *rng.Source
+	if cfg.Hetero.Enabled() {
+		base.SplitInto(&p.heteroRNG)
+		heteroRNG = &p.heteroRNG
+	}
+
+	n := cfg.Topo.N()
+	p.fleet.Reset(n, cfg.MAC.Profile, kernel.Now())
+	if cap(p.trackers) < n {
+		p.trackers = make([]codedist.Tracker, n)
+	} else {
+		p.trackers = p.trackers[:n]
+	}
+	for i := 0; i < n; i++ {
+		p.trackers[i].Reset()
+		nodeCfg := cfg.MAC
+		if heteroRNG != nil {
+			nodeCfg.Params = cfg.Hetero.Sample(cfg.MAC.Params, heteroRNG)
+		}
+		if err := p.fleet.InitNode(i, topo.NodeID(i), nodeCfg, kernel, channel, base, p.deliverFor(i)); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.ChurnFailFraction > 0 {
+		base.SplitInto(&p.churnRNG)
+		churnRNG := &p.churnRNG
+		deaths := int(cfg.ChurnFailFraction*float64(n-1) + 0.5)
+		if cap(p.victims) < deaths {
+			p.victims = make([]topo.NodeID, 0, deaths)
+		}
+		p.victims = p.victims[:0]
+		p.permBuf = churnRNG.PermInto(p.permBuf, n)
+		for _, id := range p.permBuf {
+			if len(p.victims) == deaths {
+				break
+			}
+			if topo.NodeID(id) != cfg.Source {
+				p.victims = append(p.victims, topo.NodeID(id))
+			}
+		}
+		for _, id := range p.victims {
+			at := time.Duration(churnRNG.Float64() * float64(cfg.Duration))
+			kernel.ScheduleAt(at, p.killFor(int(id)))
+		}
+	}
+
+	if err := p.source.Reset(cfg.K); err != nil {
+		return nil, err
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Lambda)
+	for at := time.Duration(0); at < cfg.Duration; at += interval {
+		kernel.ScheduleAt(at, p.generateFn)
+	}
+	kernel.ScheduleAt(0, p.tick)
+
+	if err := kernel.Run(cfg.Duration); err != nil {
+		return nil, err
+	}
+	return p.harvest(), nil
+}
+
+// harvest computes the Result from final simulation state — the pooled
+// counterpart of the package harvest function, with BFS running on the
+// pool's scratch. The returned Result is freshly allocated and safe to
+// retain across later runs.
+func (p *RunPool) harvest() *Result {
+	cfg := &p.cfg
+	generated := p.source.Generated()
+	res := &Result{
+		UpdatesGenerated: generated,
+		LatencyAtHop:     make(map[int]*stats.Accumulator, len(cfg.TrackHops)),
+		NodesAtHop:       make(map[int]int, len(cfg.TrackHops)),
+	}
+	dist := p.bfs.HopDistances(cfg.Topo, cfg.Source)
+	for _, h := range cfg.TrackHops {
+		res.LatencyAtHop[h] = &stats.Accumulator{}
+		for _, d := range dist {
+			if d == h {
+				res.NodesAtHop[h]++
+			}
+		}
+	}
+
+	var energyTotal float64
+	var fraction stats.Accumulator
+	nodes := p.fleet.Nodes()
+	for i, node := range nodes {
+		node.FinishMetering(cfg.Duration)
+		energyTotal += node.EnergyAt(cfg.Duration)
+		if node.Dead() {
+			res.NodesDied++
+		}
+		if topo.NodeID(i) == cfg.Source {
+			continue
+		}
+		tr := &p.trackers[i]
+		if generated > 0 {
+			fraction.Add(float64(tr.Received()) / float64(generated))
+		}
+		// Iterate by sequence number: map order would make the floating-
+		// point accumulation (and hence the run) nondeterministic.
+		for seq := 0; seq < generated; seq++ {
+			lat, ok := tr.Latency(seq)
+			if !ok {
+				continue
+			}
+			res.Latency.Add(lat.Seconds())
+			if acc, ok := res.LatencyAtHop[dist[i]]; ok {
+				acc.Add(lat.Seconds())
+			}
+		}
+	}
+	if generated > 0 {
+		res.EnergyPerUpdateJ = energyTotal / float64(len(nodes)) / float64(generated)
+	}
+	res.UpdatesReceivedFraction = fraction.Mean()
+	res.FramesStarted, res.FramesDelivered, res.FramesCollided = p.channel.Stats()
+	return res
+}

@@ -36,15 +36,32 @@ func linkKey(a, b topo.NodeID) uint64 {
 // ascending (node, neighbor) order, making the table a pure function of
 // the topology and the random source.
 func NewUniformLinkLoss(t topo.Topology, mean float64, r *rng.Source) (*LinkLoss, error) {
+	ll := &LinkLoss{}
+	if err := ll.FillUniform(t, mean, r); err != nil {
+		return nil, err
+	}
+	return ll, nil
+}
+
+// FillUniform redraws the table in place with NewUniformLinkLoss's exact
+// construction — same edge order, same draws — reusing the rate map's
+// storage. Pools call it once per run; a filled table is then treated as
+// immutable for the run, so sharing it stays race-free and replayable.
+func (ll *LinkLoss) FillUniform(t topo.Topology, mean float64, r *rng.Source) error {
 	if mean < 0 || mean >= 0.5 {
-		return nil, fmt.Errorf("phy: mean link loss %v outside [0,0.5)", mean)
+		return fmt.Errorf("phy: mean link loss %v outside [0,0.5)", mean)
 	}
 	if mean > 0 && r == nil {
-		return nil, fmt.Errorf("phy: link loss requires a random source")
+		return fmt.Errorf("phy: link loss requires a random source")
 	}
-	ll := &LinkLoss{rates: make(map[uint64]float64), mean: mean}
+	if ll.rates == nil {
+		ll.rates = make(map[uint64]float64)
+	} else {
+		clear(ll.rates)
+	}
+	ll.mean = mean
 	if mean == 0 {
-		return ll, nil
+		return nil
 	}
 	for id := 0; id < t.N(); id++ {
 		a := topo.NodeID(id)
@@ -55,7 +72,7 @@ func NewUniformLinkLoss(t topo.Topology, mean float64, r *rng.Source) (*LinkLoss
 			ll.rates[linkKey(a, b)] = r.Float64() * 2 * mean
 		}
 	}
-	return ll, nil
+	return nil
 }
 
 // Rate returns the link's loss probability (0 for unknown pairs).

@@ -99,15 +99,41 @@ type Channel struct {
 
 // NewChannel returns a channel over the given topology.
 func NewChannel(kernel *sim.Kernel, t topo.Topology) *Channel {
-	return &Channel{
-		kernel:       kernel,
-		topo:         t,
-		receivers:    make([]Receiver, t.N()),
-		busy:         make([]int, t.N()),
-		rx:           make([]reception, t.N()),
-		transmitting: make([]bool, t.N()),
-		listening:    make([]bool, t.N()),
+	c := &Channel{kernel: kernel}
+	c.Reset(t)
+	return c
+}
+
+// Reset rebinds the channel to a (possibly different) topology and clears
+// every per-run state: receivers, carrier-sense counts, in-progress
+// decodes, radio states, loss injection, and counters. The per-node slices
+// and the txEnd record pool are kept, so a pooled channel reruns without
+// per-run allocation once its slices have grown to the largest topology
+// seen. A reset channel is indistinguishable from a fresh NewChannel.
+func (c *Channel) Reset(t topo.Topology) {
+	c.topo = t
+	n := t.N()
+	if cap(c.receivers) < n {
+		c.receivers = make([]Receiver, n)
+		c.busy = make([]int, n)
+		c.rx = make([]reception, n)
+		c.transmitting = make([]bool, n)
+		c.listening = make([]bool, n)
+	} else {
+		c.receivers = c.receivers[:n]
+		c.busy = c.busy[:n]
+		c.rx = c.rx[:n]
+		c.transmitting = c.transmitting[:n]
+		c.listening = c.listening[:n]
 	}
+	clear(c.receivers)
+	clear(c.busy)
+	clear(c.rx)
+	clear(c.transmitting)
+	clear(c.listening)
+	c.lossRate, c.lossRNG = 0, nil
+	c.linkLoss, c.linkRNG = nil, nil
+	c.started, c.delivered, c.collided, c.faded, c.linkFaded = 0, 0, 0, 0, 0
 }
 
 // Register installs the receiver upcall for a node. Registered nodes start

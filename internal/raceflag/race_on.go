@@ -1,0 +1,11 @@
+//go:build race
+
+// Package raceflag reports whether the race detector instrumented this
+// build. Allocation-count assertions consult it: race instrumentation
+// allocates shadow state on paths that are allocation-free in normal builds,
+// so zero-alloc tests skip themselves under -race rather than fail on
+// instrumentation noise.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -21,6 +21,14 @@ type Source struct {
 // integer seeds still yield well-separated states.
 func New(seed uint64) *Source {
 	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed reinitializes the source in place from seed, producing exactly the
+// state New(seed) would. It is the allocation-free path for pools that
+// re-seed a long-lived Source once per run.
+func (s *Source) Reseed(seed uint64) {
 	sm := seed
 	next := func() uint64 {
 		sm += 0x9e3779b97f4a7c15
@@ -29,13 +37,12 @@ func New(seed uint64) *Source {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		return z ^ (z >> 31)
 	}
-	src.s0, src.s1, src.s2, src.s3 = next(), next(), next(), next()
+	s.s0, s.s1, s.s2, s.s3 = next(), next(), next(), next()
 	// xoshiro requires a nonzero state; SplitMix64 never produces all-zero
 	// output for four consecutive draws, but guard anyway.
-	if src.s0|src.s1|src.s2|src.s3 == 0 {
-		src.s3 = 1
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s3 = 1
 	}
-	return &src
 }
 
 // Split derives an independent child stream. The parent advances, so
@@ -44,6 +51,14 @@ func New(seed uint64) *Source {
 // node, per experiment repetition, and so on).
 func (s *Source) Split() *Source {
 	return New(s.Uint64() ^ 0xd3c5f1b2a4e69780)
+}
+
+// SplitInto is Split writing the child stream into dst instead of
+// allocating one: the parent advances by the same single draw, and dst
+// receives exactly the state Split would have returned. Pools use it to
+// re-seed per-node sources without a per-run allocation.
+func (s *Source) SplitInto(dst *Source) {
+	dst.Reseed(s.Uint64() ^ 0xd3c5f1b2a4e69780)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -134,7 +149,18 @@ func (s *Source) NormFloat64() float64 {
 
 // Perm returns a uniformly random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
-	p := make([]int, n)
+	return s.PermInto(nil, n)
+}
+
+// PermInto fills buf with a uniformly random permutation of [0, n),
+// growing it only when its capacity is insufficient. The draws are
+// identical to Perm's, so pooled callers produce the same permutation a
+// fresh Perm call would.
+func (s *Source) PermInto(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	p := buf[:n]
 	for i := range p {
 		p[i] = i
 	}

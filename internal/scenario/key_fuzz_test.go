@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzPointKeyRoundTrip drives the point-identity machinery with arbitrary
+// scenario IDs, point coordinates, and scale mutations: a spec built from
+// any inputs must verify against its own key, survive a JSON round trip
+// (the wire format of the distributed sweep) with its identity intact, and
+// reject a tampered key. This is the property the result cache, resumable
+// checkpoints, and coordinator/worker dispatch all lean on.
+func FuzzPointKeyRoundTrip(f *testing.F) {
+	f.Add("fig13", "PBBF-0.25", "delta", 0.5, 10.0, uint64(1), 30)
+	f.Add("extchurn", "PSM", "churn", 0.25, 0.3, uint64(42), 10000)
+	f.Add("fig8", "NO PSM", "q", 1.0, 0.0, uint64(0), 1)
+	f.Add("", "series with spaces|x=9", "", math.Copysign(0, -1), math.MaxFloat64, uint64(1)<<63, 0)
+	f.Fuzz(func(t *testing.T, id, series, pname string, x, pval float64, seed uint64, nodes int) {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(pval) || math.IsInf(pval, 0) {
+			t.Skip("JSON cannot carry non-finite floats")
+		}
+		// JSON cannot carry invalid UTF-8 either: encoding/json replaces
+		// such bytes with U+FFFD on marshal, which would silently rewrite
+		// the identity. The wire contract is that scenario IDs, series, and
+		// parameter names are UTF-8 — all registry values are Go source
+		// literals, so this only excludes inputs no real spec can contain.
+		if !utf8.ValidString(id) || !utf8.ValidString(series) || !utf8.ValidString(pname) {
+			t.Skip("JSON cannot carry invalid UTF-8")
+		}
+		s := Quick()
+		s.Seed = seed
+		s.NetNodes = nodes
+		pt := Point{Series: series, X: x, Params: map[string]float64{pname: pval}}
+		spec := NewPointSpec(Scenario{ID: id}, s, pt)
+		if err := spec.Verify(); err != nil {
+			t.Fatalf("fresh spec failed verification: %v", err)
+		}
+
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back PointSpec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if back.Key != spec.Key {
+			t.Fatalf("JSON round trip changed the key:\nbefore %q\nafter  %q", spec.Key, back.Key)
+		}
+		if err := back.Verify(); err != nil {
+			t.Fatalf("round-tripped spec failed verification: %v", err)
+		}
+		if rederived := PointKey(back.ScenarioID, back.Scale, back.Point); rederived != spec.Key {
+			t.Fatalf("re-derived key diverged:\nsent      %q\nrederived %q", spec.Key, rederived)
+		}
+		// A second marshal of the reconstructed spec must be byte-identical:
+		// the wire form itself is canonical, not just the key.
+		again, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("marshal not canonical:\nfirst  %s\nsecond %s", data, again)
+		}
+
+		back.Key += "?"
+		if back.Verify() == nil {
+			t.Fatal("tampered key accepted")
+		}
+	})
+}

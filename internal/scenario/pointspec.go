@@ -1,6 +1,9 @@
 package scenario
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // PointSpec is the wire form of one point computation: everything a remote
 // worker needs to reproduce the point — the scenario ID (resolved against
@@ -61,11 +64,11 @@ func (ps PointSpec) Run(reg *Registry) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if sc.RunPoint == nil {
+	if !sc.PointBased() {
 		return Result{}, fmt.Errorf("point spec %s: scenario is not point-based", ps.ScenarioID)
 	}
 	if err := ps.Scale.Validate(); err != nil {
 		return Result{}, fmt.Errorf("point spec %s: %w", ps.ScenarioID, err)
 	}
-	return sc.RunPoint(ps.Scale, ps.Point)
+	return sc.ComputePoint(context.Background(), ps.Scale, ps.Point)
 }

@@ -118,6 +118,35 @@ func Bench() Scale {
 	}
 }
 
+// Large returns the scale-stress configuration: random fields of 10,000
+// nodes — two hundred times the paper's Table 2 and past the point where
+// per-run allocation would dominate wall time if the kernel still allocated
+// per node. One run per point and a short horizon keep a single flagship
+// scenario inside a CI smoke budget; the full registry at this scale is an
+// overnight job, not a CI job. The pooled kernel is what makes this preset
+// usable at all: steady-state points reuse the node arrays, adjacency
+// buffers, and duplicate-filter bitsets of the points before them.
+func Large() Scale {
+	return Scale{
+		GridW: 100, GridH: 100,
+		IdealUpdates: 2,
+		PercTrials:   40,
+		PercGrids:    []int{20, 40},
+		NetNodes:     10000,
+		NetRuns:      1,
+		NetDuration:  200 * time.Second,
+		QSweep:       []float64{0, 0.5, 1},
+		PSweepIdeal:  []float64{0.5},
+		PSweepNet:    []float64{0.25},
+		DeltaSweep:   []float64{10, 12},
+		HopNear:      25,
+		HopFar:       70,
+		NetTrackHops: []int{2, 5},
+		DutySweep:    []float64{0.1, 0.5, 1},
+		Seed:         1,
+	}
+}
+
 // Presets maps the scale names the CLI accepts to their constructors, in
 // the order they should be documented.
 func Presets() []struct {
@@ -131,6 +160,7 @@ func Presets() []struct {
 		{"quick", Quick()},
 		{"paper", Paper()},
 		{"bench", Bench()},
+		{"large", Large()},
 	}
 }
 
@@ -145,7 +175,7 @@ func ScaleNames() []string {
 	return names
 }
 
-// ByName returns the named scale preset ("quick", "paper", or "bench").
+// ByName returns the named scale preset ("quick", "paper", "bench", or "large").
 func ByName(name string) (Scale, error) {
 	for _, p := range Presets() {
 		if p.Name == name {

@@ -18,6 +18,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 
 	"pbbf/internal/stats"
@@ -90,6 +91,12 @@ type Scenario struct {
 	// RunPoint simulates one point. It must derive all randomness from
 	// Scale.Seed (via PointSeed) so points are order-independent.
 	RunPoint func(Scale, Point) (Result, error) `json:"-"`
+	// RunPointCtx is RunPoint for scenarios that want the worker context —
+	// in particular sweep.Locals, where the engine's workers cache
+	// simulation pools across the points they claim. Set exactly one of
+	// RunPoint and RunPointCtx; the context never changes the result, only
+	// how much the computation allocates.
+	RunPointCtx func(context.Context, Scale, Point) (Result, error) `json:"-"`
 	// TableFn produces the whole table directly (static/analytic artifacts).
 	TableFn func(Scale) (*stats.Table, error) `json:"-"`
 	// Localize, when set on a point-based scenario, rewrites the assembled
@@ -108,9 +115,12 @@ func (sc Scenario) Validate() error {
 	if sc.Title == "" || sc.Artifact == "" || sc.Summary == "" {
 		return fmt.Errorf("scenario %s: missing metadata (title/artifact/summary)", sc.ID)
 	}
-	pointBased := sc.Points != nil || sc.RunPoint != nil
-	if pointBased && (sc.Points == nil || sc.RunPoint == nil) {
-		return fmt.Errorf("scenario %s: Points and RunPoint must be set together", sc.ID)
+	pointBased := sc.Points != nil || sc.RunPoint != nil || sc.RunPointCtx != nil
+	if pointBased && (sc.Points == nil || (sc.RunPoint == nil && sc.RunPointCtx == nil)) {
+		return fmt.Errorf("scenario %s: Points and RunPoint/RunPointCtx must be set together", sc.ID)
+	}
+	if sc.RunPoint != nil && sc.RunPointCtx != nil {
+		return fmt.Errorf("scenario %s: RunPoint and RunPointCtx are mutually exclusive", sc.ID)
 	}
 	if pointBased == (sc.TableFn != nil) {
 		return fmt.Errorf("scenario %s: exactly one of Points/RunPoint or TableFn must be set", sc.ID)
@@ -129,6 +139,24 @@ func (sc Scenario) Validate() error {
 		}
 	}
 	return nil
+}
+
+// PointBased reports whether the scenario runs through the per-point path.
+func (sc Scenario) PointBased() bool {
+	return sc.RunPoint != nil || sc.RunPointCtx != nil
+}
+
+// ComputePoint simulates one parameter point through whichever entry point
+// the scenario defines. ctx only carries execution environment (the sweep
+// worker's pool cache); it cannot change the computed result.
+func (sc Scenario) ComputePoint(ctx context.Context, s Scale, pt Point) (Result, error) {
+	if sc.RunPointCtx != nil {
+		return sc.RunPointCtx(ctx, s, pt)
+	}
+	if sc.RunPoint == nil {
+		return Result{}, fmt.Errorf("scenario %s: not point-based", sc.ID)
+	}
+	return sc.RunPoint(s, pt)
 }
 
 // paramDoc returns whether the scenario documents the named parameter.

@@ -262,7 +262,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 type RunRequest struct {
 	// Experiment selects one scenario ID or "all".
 	Experiment string `json:"experiment"`
-	// Scale names the scale preset ("quick", "paper", "bench").
+	// Scale names the scale preset ("quick", "paper", "bench", "large").
 	Scale string `json:"scale"`
 	// Seed is the root random seed; 0 means the preset default.
 	Seed uint64 `json:"seed"`

@@ -49,6 +49,18 @@ func NewKernel() *Kernel {
 // Now returns the current simulation time.
 func (k *Kernel) Now() time.Duration { return k.now }
 
+// Reset returns the kernel to its initial state — clock at zero, no
+// pending events — while keeping the event queue's pooled storage. The
+// fired counter is flushed (not zeroed) first so TotalFired accounting
+// stays monotonic across pooled runs. A reset kernel behaves exactly like
+// a fresh NewKernel for scheduling and tie-break order.
+func (k *Kernel) Reset() {
+	k.flushFired()
+	k.queue.Reset()
+	k.now = 0
+	k.stopped = false
+}
+
 // Fired returns the number of events executed so far (diagnostics).
 func (k *Kernel) Fired() uint64 { return k.fired }
 

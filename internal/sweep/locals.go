@@ -1,0 +1,67 @@
+package sweep
+
+import "context"
+
+// WorkerLocals is a per-worker-goroutine cache MapCtx installs in the
+// context it hands each point function. Point functions that need expensive
+// reusable state — simulation pools, scratch arenas — stash it here once
+// and find it again on every later point the same worker claims, without
+// any cross-worker locking. Entries are keyed by comparable keys (use an
+// unexported struct type, as with context keys) and looked up by linear
+// scan: a worker holds a handful of entries at most.
+//
+// A WorkerLocals belongs to exactly one worker goroutine and must not be
+// shared; registered cleanups run when the worker exits its claim loop.
+type WorkerLocals struct {
+	keys     []any
+	vals     []any
+	cleanups []func()
+}
+
+// Get returns the value stored under key, or nil.
+func (w *WorkerLocals) Get(key any) any {
+	for i, k := range w.keys {
+		if k == key {
+			return w.vals[i]
+		}
+	}
+	return nil
+}
+
+// Put stores val under key (replacing any previous value) and registers an
+// optional cleanup to run when the worker finishes.
+func (w *WorkerLocals) Put(key, val any, cleanup func()) {
+	for i, k := range w.keys {
+		if k == key {
+			w.vals[i] = val
+			if cleanup != nil {
+				w.cleanups = append(w.cleanups, cleanup)
+			}
+			return
+		}
+	}
+	w.keys = append(w.keys, key)
+	w.vals = append(w.vals, val)
+	if cleanup != nil {
+		w.cleanups = append(w.cleanups, cleanup)
+	}
+}
+
+// finish runs the registered cleanups in reverse registration order.
+func (w *WorkerLocals) finish() {
+	for i := len(w.cleanups) - 1; i >= 0; i-- {
+		w.cleanups[i]()
+	}
+	w.cleanups = nil
+}
+
+// localsCtxKey keys the WorkerLocals in worker contexts.
+type localsCtxKey struct{}
+
+// Locals returns the per-worker cache MapCtx installed in ctx, or nil when
+// the computation is not running under a sweep worker (direct calls,
+// tests, remote point execution).
+func Locals(ctx context.Context) *WorkerLocals {
+	w, _ := ctx.Value(localsCtxKey{}).(*WorkerLocals)
+	return w
+}

@@ -75,12 +75,18 @@ func MapCtx[T any](ctx context.Context, n, workers int, fn func(ctx context.Cont
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker carries its own WorkerLocals so point functions
+			// can cache expensive reusable state (simulation pools) for the
+			// points this goroutine claims; cleanups run at worker exit.
+			locals := &WorkerLocals{}
+			defer locals.finish()
+			wctx := context.WithValue(ctx, localsCtxKey{}, locals)
 			for {
 				i, ok := claim()
 				if !ok {
 					return
 				}
-				results[i], errs[i] = fn(ctx, i)
+				results[i], errs[i] = fn(wctx, i)
 			}
 		}()
 	}

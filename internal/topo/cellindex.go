@@ -28,6 +28,16 @@ type CellIndex struct {
 // both axes. cellSize must be positive; points outside the square are
 // clamped into the border cells.
 func NewCellIndex(pts []Point, side, cellSize float64) *CellIndex {
+	ci := &CellIndex{}
+	ci.build(pts, side, cellSize, nil)
+	return ci
+}
+
+// build populates the index in place, reusing the starts/nodes arrays when
+// their capacity allows — the pooled counterpart of NewCellIndex. fillScratch,
+// when non-nil, supplies the counting-sort placement cursor's storage so a
+// rebuilt index allocates nothing at steady state.
+func (ci *CellIndex) build(pts []Point, side, cellSize float64, fillScratch *[]int32) {
 	if cellSize <= 0 {
 		panic("topo: cell size must be positive")
 	}
@@ -35,14 +45,13 @@ func NewCellIndex(pts []Point, side, cellSize float64) *CellIndex {
 	if cols < 1 {
 		cols = 1
 	}
-	ci := &CellIndex{
-		cellSize: cellSize,
-		cols:     cols,
-		rows:     cols,
-		starts:   make([]int32, cols*cols+1),
-		nodes:    make([]NodeID, len(pts)),
-		pts:      pts,
-	}
+	ncells := cols * cols
+	ci.cellSize = cellSize
+	ci.cols, ci.rows = cols, cols
+	ci.starts = grown(ci.starts, ncells+1)
+	clear(ci.starts)
+	ci.nodes = grown(ci.nodes, len(pts))
+	ci.pts = pts
 	// Counting sort: tally per cell, prefix-sum, then place.
 	counts := ci.starts[1:] // reuse the starts array as the tally
 	for _, p := range pts {
@@ -53,14 +62,19 @@ func NewCellIndex(pts []Point, side, cellSize float64) *CellIndex {
 	}
 	// starts is now the prefix sum shifted by one; fill buckets back to
 	// front so each bucket ends up in ascending node order.
-	fill := make([]int32, cols*cols)
-	copy(fill, ci.starts[:cols*cols])
+	var fill []int32
+	if fillScratch != nil {
+		*fillScratch = grown(*fillScratch, ncells)
+		fill = *fillScratch
+	} else {
+		fill = make([]int32, ncells)
+	}
+	copy(fill, ci.starts[:ncells])
 	for i, p := range pts {
 		c := ci.cellOf(p)
 		ci.nodes[fill[c]] = NodeID(i)
 		fill[c]++
 	}
-	return ci
 }
 
 // cellOf maps a point to its cell number, clamping out-of-square points.
