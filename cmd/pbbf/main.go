@@ -52,10 +52,12 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 
 	"pbbf/internal/bench"
 	"pbbf/internal/experiments"
+	"pbbf/internal/protocol"
 	"pbbf/internal/scenario"
 )
 
@@ -98,6 +100,7 @@ func runCtx(ctx context.Context, args []string, out, errOut io.Writer) error {
 		format     = fs.String("format", "table", "output format: table, csv, json, or ndjson")
 		seed       = fs.Uint64("seed", 1, "root random seed")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep")
+		protoName  = fs.String("protocol", "", "broadcast protocol for network scenarios: pbbf (default), sleepsched, or ola")
 		list       = fs.Bool("list", false, "list available scenarios with their metadata and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -116,6 +119,9 @@ func runCtx(ctx context.Context, args []string, out, errOut io.Writer) error {
 		return err
 	}
 	scale.Seed = *seed
+	if scale.Protocol, err = resolveProtocol(*protoName); err != nil {
+		return err
+	}
 
 	if err := validFormat(*format); err != nil {
 		return err
@@ -280,11 +286,30 @@ func writeHeapProfile(path string) error {
 	return f.Close()
 }
 
+// resolveProtocol validates the -protocol flag and returns the canonical
+// Scale.Protocol value: empty for the PBBF default (so every key and
+// checkpoint identity stays on the pre-protocol spelling), the canonical
+// name otherwise. Unknown names fail with the same did-you-mean style as
+// scenario IDs.
+func resolveProtocol(name string) (string, error) {
+	if name == "" {
+		return "", nil
+	}
+	sp, err := protocol.SpecFor(name)
+	if err != nil {
+		return "", err
+	}
+	return sp.Canonical(), nil
+}
+
 // printList renders the registry with its metadata: ID, paper artifact,
-// title, and the documented parameter space.
+// title, the protocols it exercises, and the documented parameter space.
 func printList(out io.Writer, reg *scenario.Registry) error {
 	for _, sc := range reg.All() {
 		if _, err := fmt.Fprintf(out, "%-12s %-10s %s\n", sc.ID, sc.Artifact, sc.Title); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(out, "%-12s   protocols: %s\n", "", strings.Join(sc.Protocols, ", ")); err != nil {
 			return err
 		}
 		for _, p := range sc.Params {

@@ -38,6 +38,7 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 		scaleName   = fs.String("scale", "quick", "scenario scale: quick, paper, bench, or large")
 		format      = fs.String("format", "table", "output format: table, csv, json, or ndjson")
 		seed        = fs.Uint64("seed", 1, "root random seed")
+		protoName   = fs.String("protocol", "", "broadcast protocol for network scenarios: pbbf (default), sleepsched, or ola")
 		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep (local mode; -distribute uses -outstanding)")
 		checkpoint  = fs.String("checkpoint", "", "checkpoint file for resumable runs (empty = no persistence)")
 		progress    = fs.Bool("progress", true, "print one line per completed point to stderr")
@@ -66,6 +67,9 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 		return err
 	}
 	scale.Seed = *seed
+	if scale.Protocol, err = resolveProtocol(*protoName); err != nil {
+		return err
+	}
 	if err := validFormat(*format); err != nil {
 		return err
 	}
@@ -142,9 +146,9 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 		return compute()
 	}
 
-	// Load or create the checkpoint. Identity (experiment, scale, seed)
-	// must match: resuming a different workload from recorded results
-	// would silently mix runs.
+	// Load or create the checkpoint. Identity (experiment, scale, seed,
+	// protocol) must match: resuming a different workload from recorded
+	// results would silently mix runs.
 	var cp *scenario.Checkpoint
 	if *checkpoint != "" {
 		cp, err = scenario.LoadCheckpoint(*checkpoint)
@@ -152,8 +156,8 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 			return err
 		}
 		if cp == nil {
-			cp = scenario.NewCheckpoint(*experiment, *scaleName, *seed)
-		} else if err := cp.Matches(*experiment, *scaleName, *seed); err != nil {
+			cp = scenario.NewCheckpoint(*experiment, *scaleName, *seed, scale.Protocol)
+		} else if err := cp.Matches(*experiment, *scaleName, *seed, scale.Protocol); err != nil {
 			return err
 		}
 		if len(cp.Results) > 0 {

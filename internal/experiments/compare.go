@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"pbbf/internal/core"
+	"pbbf/internal/protocol"
+	"pbbf/internal/scenario"
+)
+
+// extCompareScenario races the three broadcast protocols of
+// internal/protocol in one arena: identical random fields, identical
+// sources, identical update workloads — only the forwarding logic differs.
+// Each protocol traces its own energy-latency frontier by sweeping its
+// native energy dial over four operating points, from most energy-saving
+// (op 0) to most latency-saving (op 3):
+//
+//   - PBBF holds p=0.25 and sweeps the stay-awake coin q ∈ {0, 0.25, 0.5, 1}
+//     (the paper's Figure 13/14 axis);
+//   - sleepsched sweeps the wake period W ∈ {8, 4, 2, 1} — duty cycle 1/W,
+//     flood latency O(W) intervals per hop;
+//   - OLA is always-on and sweeps the relay threshold τ ∈ {1.25, 1.5, 2,
+//     10}: a higher τ means more boundary nodes relay, trading transmit
+//     energy for faster energy accumulation downstream.
+//
+// Runs are paired: point seeding ignores the protocol, so op i of every
+// series simulates the same deployments and the frontiers differ only by
+// protocol behavior. The scale-wide -protocol selection is ignored here —
+// the scenario's whole point is to run all three.
+func extCompareScenario() scenario.Scenario {
+	const (
+		protoPBBF       = 0
+		protoSleepSched = 1
+		protoOLA        = 2
+	)
+	const ops = 4
+	series := []struct {
+		name  string
+		proto float64
+		knob  string
+		vals  [ops]float64
+	}{
+		{"PBBF (p=0.25, q swept)", protoPBBF, "q", [ops]float64{0, 0.25, 0.5, 1}},
+		{"sleepsched (W swept)", protoSleepSched, "wake_period", [ops]float64{8, 4, 2, 1}},
+		{"OLA (relay threshold swept)", protoOLA, "relay_threshold", [ops]float64{1.25, 1.5, 2, 10}},
+	}
+	return scenario.Scenario{
+		ID:       "extcompare",
+		Title:    "Extension: rival broadcast protocols in one arena (energy vs operating point)",
+		Artifact: "extension",
+		Summary:  "PBBF, King-style sleep-scheduled flooding, and OLA cooperative accumulation race on identical seeded fields; each sweeps its native energy dial over four operating points, tracing comparable energy-latency frontiers.",
+		Params: []scenario.ParamDoc{
+			{Name: "proto", Desc: "protocol under test: 0 = PBBF, 1 = sleepsched, 2 = OLA"},
+			{Name: "op", Desc: "operating point index, 0 (most energy-saving) to 3 (most latency-saving)"},
+			{Name: "p", Desc: "PBBF immediate-rebroadcast probability, fixed at 0.25 (PBBF series only)"},
+			{Name: "q", Desc: "PBBF stay-awake probability, the PBBF series' energy dial"},
+			{Name: "wake_period", Desc: "sleepsched wake period W (duty cycle 1/W), the sleepsched series' energy dial"},
+			{Name: "relay_threshold", Desc: "OLA relay threshold τ (relay while accumulated gain < τ), the OLA series' energy dial"},
+		},
+		Protocols: protocol.Names(),
+		XLabel:    "operating point (0 = most energy-saving)",
+		YLabel:    "joules consumed per update sent at source",
+		Points: func(s Scale) ([]scenario.Point, error) {
+			pts := make([]scenario.Point, 0, len(series)*ops)
+			for _, ser := range series {
+				for op := 0; op < ops; op++ {
+					params := map[string]float64{
+						"proto":  ser.proto,
+						"op":     float64(op),
+						ser.knob: ser.vals[op],
+					}
+					if ser.proto == protoPBBF {
+						params["p"] = 0.25
+					}
+					pts = append(pts, scenario.Point{Series: ser.name, X: float64(op), Params: params})
+				}
+			}
+			return pts, nil
+		},
+		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
+			var params core.Params
+			var opts netOpts
+			switch pt.Params["proto"] {
+			case protoPBBF:
+				params = core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
+				opts.protocol = protocol.Spec{Name: protocol.NamePBBF}
+			case protoSleepSched:
+				opts.protocol = protocol.Spec{
+					Name:       protocol.NameSleepSched,
+					WakePeriod: int(pt.Params["wake_period"]),
+				}
+			case protoOLA:
+				opts.protocol = protocol.Spec{
+					Name:           protocol.NameOLA,
+					RelayThreshold: pt.Params["relay_threshold"],
+				}
+			default:
+				return scenario.Result{}, fmt.Errorf("extcompare: unknown proto code %v", pt.Params["proto"])
+			}
+			point, err := runNetPoint(ctx, s, params, 10, 114, opts)
+			if err != nil {
+				return scenario.Result{}, err
+			}
+			return netResult(point, point.Energy.Mean(), point.Energy.N() > 0), nil
+		},
+	}
+}
+
+// compareScenarios returns the cross-protocol comparison family in
+// presentation order.
+func compareScenarios() []scenario.Scenario {
+	return []scenario.Scenario{extCompareScenario()}
+}

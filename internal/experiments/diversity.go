@@ -5,6 +5,7 @@ import (
 
 	"pbbf/internal/core"
 	"pbbf/internal/mac"
+	"pbbf/internal/netsim"
 	"pbbf/internal/rng"
 	"pbbf/internal/scenario"
 	"pbbf/internal/topo"
@@ -170,7 +171,7 @@ func extLinkLossScenario() scenario.Scenario {
 		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
 			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
 			point, err := runNetPoint(ctx, s, params, 10, 111,
-				netOpts{linkLossMean: pt.Params["linkloss"]})
+				netOpts{loss: netsim.LossOptions{LinkMean: pt.Params["linkloss"]}})
 			if err != nil {
 				return scenario.Result{}, err
 			}
@@ -202,7 +203,7 @@ func extChurnScenario() scenario.Scenario {
 		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
 			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
 			point, err := runNetPoint(ctx, s, params, 10, 112,
-				netOpts{churnFraction: pt.Params["churn"]})
+				netOpts{churn: netsim.ChurnOptions{FailFraction: pt.Params["churn"]}})
 			if err != nil {
 				return scenario.Result{}, err
 			}

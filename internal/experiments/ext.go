@@ -8,6 +8,7 @@ import (
 	"pbbf/internal/core"
 	"pbbf/internal/gossip"
 	"pbbf/internal/idealsim"
+	"pbbf/internal/netsim"
 	"pbbf/internal/percolation"
 	"pbbf/internal/rng"
 	"pbbf/internal/scenario"
@@ -179,7 +180,7 @@ func extAdaptiveScenario() scenario.Scenario {
 			return pts, nil
 		},
 		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
-			opts := netOpts{lossRate: pt.Params["loss"]}
+			opts := netOpts{loss: netsim.LossOptions{Rate: pt.Params["loss"]}}
 			params := core.Params{P: pt.Params["p"], Q: pt.Params["q"]}
 			if pt.Params["adaptive"] == 1 {
 				cfg := core.DefaultAdaptiveConfig()
@@ -226,7 +227,7 @@ func extLossScenario() scenario.Scenario {
 		},
 		RunPointCtx: func(ctx context.Context, s Scale, pt scenario.Point) (scenario.Result, error) {
 			point, err := runNetPoint(ctx, s, core.Params{P: pt.Params["p"], Q: pt.Params["q"]},
-				10, 106, netOpts{lossRate: pt.Params["loss"]})
+				10, 106, netOpts{loss: netsim.LossOptions{Rate: pt.Params["loss"]}})
 			if err != nil {
 				return scenario.Result{}, err
 			}

@@ -7,6 +7,7 @@ import (
 	"pbbf/internal/core"
 	"pbbf/internal/mac"
 	"pbbf/internal/netsim"
+	"pbbf/internal/protocol"
 	"pbbf/internal/rng"
 	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
@@ -47,16 +48,21 @@ type netPoint struct {
 // the paper's Table 2 settings.
 type netOpts struct {
 	k        int // updates per packet; 0 means 1
-	lossRate float64
 	adaptive *core.AdaptiveConfig
 
+	// protocol pins the broadcast protocol for this scenario regardless of
+	// the scale-wide selection (the extcompare family sweeps it per
+	// series). Zero means: honor Scale.Protocol, except for adaptive runs,
+	// which tune the PBBF coins and therefore always run PBBF.
+	protocol protocol.Spec
+
 	// Scenario-diversity knobs (see diversity.go). field replaces the
-	// default connected uniform random disk; the rest thread straight
-	// into netsim.Config.
-	field         fieldBuilder
-	linkLossMean  float64
-	churnFraction float64
-	hetero        mac.HeteroConfig
+	// default connected uniform random disk; the option structs thread
+	// straight into netsim.Config.
+	field  fieldBuilder
+	loss   netsim.LossOptions
+	churn  netsim.ChurnOptions
+	hetero mac.HeteroConfig
 }
 
 // fieldBuilder draws one deployment for a run. delta is the target density
@@ -72,6 +78,17 @@ type fieldBuilder func(s Scale, delta float64, r *rng.Source, sc *topo.Scratch) 
 func runNetPoint(ctx context.Context, s Scale, params core.Params, delta float64, tag uint64, opts netOpts) (*netPoint, error) {
 	if opts.k == 0 {
 		opts.k = 1
+	}
+	// Resolve the protocol: a scenario pin wins, then the scale-wide
+	// selection — except under adaptive control, which exists to tune the
+	// PBBF coins and would reject any rival, so `-protocol X -experiment
+	// all` still runs the adaptive family (as PBBF) instead of failing.
+	proto := opts.protocol
+	if proto.Name == "" && opts.adaptive == nil && s.Protocol != "" {
+		var err error
+		if proto, err = protocol.SpecFor(s.Protocol); err != nil {
+			return nil, err
+		}
 	}
 	pools, release := poolsFor(ctx)
 	defer release()
@@ -104,18 +121,18 @@ func runNetPoint(ctx context.Context, s Scale, params core.Params, delta float64
 		// The paper chooses one random node as source per scenario.
 		source := topo.NodeID(r.Intn(field.N()))
 		res, err := pools.net.Run(netsim.Config{
-			Topo:              field,
-			Source:            source,
-			MAC:               macCfg,
-			Lambda:            0.01,
-			Duration:          s.NetDuration,
-			K:                 opts.k,
-			TrackHops:         s.NetTrackHops,
-			LossRate:          opts.lossRate,
-			LinkLossMean:      opts.linkLossMean,
-			ChurnFailFraction: opts.churnFraction,
-			Hetero:            opts.hetero,
-			Seed:              seed,
+			Topo:      field,
+			Source:    source,
+			MAC:       macCfg,
+			Protocol:  proto,
+			Lambda:    0.01,
+			Duration:  s.NetDuration,
+			K:         opts.k,
+			TrackHops: s.NetTrackHops,
+			Loss:      opts.loss,
+			Churn:     opts.churn,
+			Hetero:    opts.hetero,
+			Seed:      seed,
 		})
 		if err != nil {
 			return nil, err

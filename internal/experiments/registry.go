@@ -104,6 +104,12 @@ func Registry() *scenario.Registry {
 		for _, sc := range diversityScenarios() {
 			registry.MustRegister(sc)
 		}
+		// extcompare registers last: registration order is NDJSON output
+		// order, so appending keeps every earlier golden line a stable
+		// prefix.
+		for _, sc := range compareScenarios() {
+			registry.MustRegister(sc)
+		}
 	})
 	return registry
 }
@@ -180,3 +186,5 @@ func ExtCorridor(s Scale) (*stats.Table, error) { return runByID("extcorridor", 
 func ExtLinkLoss(s Scale) (*stats.Table, error) { return runByID("extlinkloss", s) }
 func ExtChurn(s Scale) (*stats.Table, error)    { return runByID("extchurn", s) }
 func ExtHetero(s Scale) (*stats.Table, error)   { return runByID("exthetero", s) }
+
+func ExtCompare(s Scale) (*stats.Table, error) { return runByID("extcompare", s) }

@@ -39,6 +39,7 @@ import (
 	"pbbf/internal/core"
 	"pbbf/internal/energy"
 	"pbbf/internal/phy"
+	"pbbf/internal/protocol"
 	"pbbf/internal/rng"
 	"pbbf/internal/sim"
 	"pbbf/internal/topo"
@@ -68,8 +69,13 @@ type Config struct {
 	// Adaptive, when non-nil, replaces the static Params with a per-node
 	// controller that adjusts p from overheard activity and q from
 	// detected broadcast losses — the paper's future-work extension
-	// (Section 6). Params still seeds validation and labels.
+	// (Section 6). Params still seeds validation and labels. Requires the
+	// default PBBF protocol.
 	Adaptive *core.AdaptiveConfig
+	// Protocol selects the broadcast protocol the node's decisions
+	// dispatch through (internal/protocol). The zero value is PBBF — the
+	// paper's protocol, byte-identical to the pre-interface MAC.
+	Protocol protocol.Spec
 }
 
 // DefaultConfig returns the Section 5 parameters (Tables 1 and 2) with the
@@ -111,7 +117,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mac: ATIM airtime %v does not fit the ATIM window %v",
 			c.ATIMAirtime(), c.Timing.Active)
 	}
+	if err := c.Protocol.Validate(); err != nil {
+		return err
+	}
 	if c.Adaptive != nil {
+		if !c.Protocol.IsPBBF() {
+			return fmt.Errorf("mac: adaptive control tunes the PBBF coins and requires the pbbf protocol, got %q",
+				c.Protocol.Name)
+		}
 		if err := c.Adaptive.Validate(); err != nil {
 			return err
 		}
@@ -137,15 +150,9 @@ func PacketKeyFor(origin topo.NodeID, seq uint64) core.PacketKey {
 	return core.PacketKey{Origin: int(origin), Seq: seq}
 }
 
-// Packet is a broadcast MAC SDU.
-type Packet struct {
-	// Key identifies the broadcast for duplicate suppression.
-	Key core.PacketKey
-	// Hops counts MAC hops from the originator (0 at the source).
-	Hops int
-	// Payload is the application content (opaque to the MAC).
-	Payload any
-}
+// Packet is a broadcast MAC SDU — an alias of protocol.Packet, so packets
+// cross the MAC/protocol boundary without conversion.
+type Packet = protocol.Packet
 
 // frameKind discriminates the two on-air frame types.
 type frameKind int
@@ -173,10 +180,10 @@ type Stats struct {
 	ATIMReceived  int
 	ATIMAborted   int // ATIM could not fit in the window and was deferred
 	DataSent      int
-	ImmediateSent int // subset of DataSent triggered by the p coin
+	ImmediateSent int // subset of DataSent the protocol marked immediate (PBBF: the p coin)
 	DataReceived  int
 	Duplicates    int
-	StayAwakeWins int // q-coin kept the node awake
+	StayAwakeWins int // the protocol's window-end decision kept the node awake (PBBF: the q coin)
 }
 
 // Node is one PSM+PBBF MAC instance. Create with NewNode; the simulation
@@ -221,6 +228,17 @@ type Node struct {
 	// relPool recycles the deferred-release records EndATIMWindow schedules
 	// for announced data frames.
 	relPool []*releaseRec
+	// timerPool recycles protocol timer records (ScheduleTimer).
+	timerPool []*timerRec
+
+	// proto makes the node's broadcast decisions; usesATIM caches whether
+	// it runs the PSM/ATIM substrate. Non-default protocol instances carry
+	// per-node state, so they are cached per node (protoCache) and
+	// reconfigured in place across pooled runs; PBBF is a shared stateless
+	// singleton and never touches the cache.
+	proto      protocol.Protocol
+	usesATIM   bool
+	protoCache map[string]protocol.Protocol
 
 	// Adaptive-mode state (nil/zero when running static PBBF). The
 	// controller and maps are cached across pooled re-initializations so an
@@ -234,7 +252,10 @@ type Node struct {
 	stats Stats
 }
 
-var _ phy.Receiver = (*Node)(nil)
+var (
+	_ phy.Receiver     = (*Node)(nil)
+	_ protocol.NodeAPI = (*Node)(nil)
+)
 
 // NewNode constructs a MAC node and registers it with the channel. The
 // node starts awake (simulation begins at a beacon). Standalone nodes own a
@@ -308,6 +329,27 @@ func (n *Node) init(id topo.NodeID, cfg Config, kernel *sim.Kernel, channel *phy
 	}
 	n.frameRx = 0
 	n.stats = Stats{}
+	if cfg.Protocol.IsPBBF() {
+		n.proto = protocol.PBBF
+	} else {
+		name := cfg.Protocol.Canonical()
+		if n.protoCache == nil {
+			n.protoCache = make(map[string]protocol.Protocol, 1)
+		}
+		p := n.protoCache[name]
+		if p == nil {
+			var err error
+			if p, err = protocol.New(cfg.Protocol); err != nil {
+				return err
+			}
+			n.protoCache[name] = p
+		}
+		n.proto = p
+	}
+	n.usesATIM = n.proto.UsesATIM()
+	if err := n.proto.Reset(n, cfg.Protocol); err != nil {
+		return err
+	}
 	channel.Register(id, n)
 	return nil
 }
@@ -377,25 +419,15 @@ func (n *Node) setAwake(awake bool) {
 	n.channel.SetListening(n.id, awake)
 }
 
-// Broadcast originates a new broadcast from this node (application call).
-// The PBBF p coin applies at origination as well (Figure 2: the source may
-// send immediately instead of waiting for the next ATIM window).
+// Broadcast originates a new broadcast from this node (application call);
+// the protocol decides how it leaves (PBBF: the p coin applies at
+// origination too — Figure 2).
 func (n *Node) Broadcast(pkt Packet) {
 	if n.dead {
 		return
 	}
 	n.seen.MarkSeen(pkt.Key) // never re-forward our own packet
-	n.routePacket(pkt)
-}
-
-// routePacket applies the Receive-Broadcast decision of Figure 3.
-func (n *Node) routePacket(pkt Packet) {
-	if n.Params().ForwardImmediately(n.rng) {
-		n.wakeForTraffic()
-		n.enqueueTx(wire{kind: frameData, pkt: pkt}, true)
-		return
-	}
-	n.pendingNormal = append(n.pendingNormal, pkt)
+	n.proto.OnOriginate(n, pkt)
 }
 
 // wakeForTraffic turns the radio on mid-interval (Figure 3: DataToSend
@@ -409,42 +441,150 @@ func (n *Node) wakeForTraffic() {
 	}
 }
 
-// StartFrame begins a new beacon interval: every node wakes for the ATIM
-// window, pending normal traffic is promoted for announcement, and the
-// ATIM (if any) contends for the channel.
+// The methods below complete the protocol.NodeAPI surface (ID and Params
+// are defined above): the primitives protocols decide over. They are the
+// only way protocol code touches the node.
+
+// Now returns the current simulation time.
+func (n *Node) Now() time.Duration { return n.kernel.Now() }
+
+// Rand returns the node's random source.
+func (n *Node) Rand() *rng.Source { return n.rng }
+
+// Timing returns the PSM schedule.
+func (n *Node) Timing() core.Timing { return n.cfg.Timing }
+
+// SendNow queues a protocol-immediate data frame, waking the radio if
+// needed (PBBF's p-coin path).
+func (n *Node) SendNow(pkt Packet) {
+	if n.dead {
+		return
+	}
+	n.wakeForTraffic()
+	n.enqueueTx(wire{kind: frameData, pkt: pkt}, true)
+}
+
+// Send queues a data frame without waking the radio or marking it
+// immediate (scheduled protocol retransmissions).
+func (n *Node) Send(pkt Packet) {
+	n.enqueueTx(wire{kind: frameData, pkt: pkt}, false)
+}
+
+// Announce defers a packet to the next ATIM window.
+func (n *Node) Announce(pkt Packet) {
+	n.pendingNormal = append(n.pendingNormal, pkt)
+}
+
+// DeliverToApp hands a decoded packet to the application (and the
+// adaptive loss observer, when enabled).
+func (n *Node) DeliverToApp(pkt Packet, from topo.NodeID) {
+	n.observeSequence(pkt.Key)
+	n.deliver(pkt, from, n.kernel.Now())
+}
+
+// SetAwake flips the radio under protocol control, metering the
+// transition; a no-op when the state already matches or the node is dead.
+func (n *Node) SetAwake(awake bool) {
+	if n.dead || awake == n.awake {
+		return
+	}
+	n.setAwake(awake)
+	state := energy.Idle
+	if !awake {
+		state = energy.Sleep
+	}
+	n.bank.SetState(n.slot, state, n.kernel.Now())
+}
+
+// StayThisFrame pins the node awake for the rest of the beacon interval.
+func (n *Node) StayThisFrame() { n.mustStay = true }
+
+// TxSlack returns the worst-case release-to-airtime-end span of one data
+// transmission: the margin protocols leave when drawing send offsets.
+func (n *Node) TxSlack() time.Duration {
+	return n.cfg.DataAirtime() + n.cfg.DIFS + time.Duration(n.cfg.CWSlots)*n.cfg.Slot
+}
+
+// ScheduleTimer arranges a protocol OnTimer(tag) callback after delay,
+// through a pooled record so steady-state timer traffic allocates nothing.
+func (n *Node) ScheduleTimer(delay time.Duration, tag int) {
+	rec := n.acquireTimer()
+	rec.tag = tag
+	n.kernel.Schedule(delay, rec.fire)
+}
+
+// timerRec is a pooled protocol timer: one pending OnTimer callback with
+// its fire closure bound once.
+type timerRec struct {
+	n    *Node
+	tag  int
+	fire func()
+}
+
+// acquireTimer takes a timer record from the node's pool.
+func (n *Node) acquireTimer() *timerRec {
+	if k := len(n.timerPool); k > 0 {
+		rec := n.timerPool[k-1]
+		n.timerPool = n.timerPool[:k-1]
+		return rec
+	}
+	rec := &timerRec{n: n}
+	rec.fire = rec.run
+	return rec
+}
+
+// run recycles the record and forwards to the protocol; timers on dead
+// nodes are dropped.
+func (rec *timerRec) run() {
+	n, tag := rec.n, rec.tag
+	n.timerPool = append(n.timerPool, rec)
+	if n.dead {
+		return
+	}
+	n.proto.OnTimer(n, tag)
+}
+
+// StartFrame begins a new beacon interval. Under a PSM protocol
+// (UsesATIM) every node wakes for the ATIM window, pending normal traffic
+// is promoted for announcement, and the ATIM (if any) contends for the
+// channel; protocols without the PSM substrate own the radio schedule and
+// only get their OnFrameStart hook.
 func (n *Node) StartFrame() {
 	if n.dead {
 		return
 	}
-	now := n.kernel.Now()
-	n.setAwake(true)
-	n.bank.SetState(n.slot, energy.Idle, now)
-	n.mustStay = false
-	n.atimOK = false
-	if n.adaptive != nil {
-		// Feed last interval's overheard traffic into the p controller.
-		n.adaptive.ObserveActivity(n.frameRx)
-		n.frameRx = 0
-	}
-	if len(n.pendingNormal) > 0 {
-		n.announced = append(n.announced, n.pendingNormal...)
-		n.pendingNormal = n.pendingNormal[:0]
-	}
-	if len(n.announced) > 0 {
-		n.mustStay = true
-		// Draw the ATIM transmission time uniformly within the window.
-		// Announcers are beacon-synchronized, so contending at the window
-		// start would make hidden-terminal ATIM collisions near-certain;
-		// spreading keeps the collision rate at the level the paper's
-		// ns-2 PSM exhibits (PSM reliability ≈ 1).
-		slack := n.cfg.ATIMAirtime() + n.cfg.DIFS + time.Duration(n.cfg.CWSlots)*n.cfg.Slot
-		span := n.cfg.Timing.Active - slack
-		if span < 0 {
-			span = 0
+	if n.usesATIM {
+		now := n.kernel.Now()
+		n.setAwake(true)
+		n.bank.SetState(n.slot, energy.Idle, now)
+		n.mustStay = false
+		n.atimOK = false
+		if n.adaptive != nil {
+			// Feed last interval's overheard traffic into the p controller.
+			n.adaptive.ObserveActivity(n.frameRx)
+			n.frameRx = 0
 		}
-		offset := time.Duration(n.rng.Float64() * float64(span))
-		n.kernel.Schedule(offset, n.sendATIMFn)
+		if len(n.pendingNormal) > 0 {
+			n.announced = append(n.announced, n.pendingNormal...)
+			n.pendingNormal = n.pendingNormal[:0]
+		}
+		if len(n.announced) > 0 {
+			n.mustStay = true
+			// Draw the ATIM transmission time uniformly within the window.
+			// Announcers are beacon-synchronized, so contending at the window
+			// start would make hidden-terminal ATIM collisions near-certain;
+			// spreading keeps the collision rate at the level the paper's
+			// ns-2 PSM exhibits (PSM reliability ≈ 1).
+			slack := n.cfg.ATIMAirtime() + n.cfg.DIFS + time.Duration(n.cfg.CWSlots)*n.cfg.Slot
+			span := n.cfg.Timing.Active - slack
+			if span < 0 {
+				span = 0
+			}
+			offset := time.Duration(n.rng.Float64() * float64(span))
+			n.kernel.Schedule(offset, n.sendATIMFn)
+		}
 	}
+	n.proto.OnFrameStart(n)
 }
 
 // sendATIM queues this frame's ATIM announcement (scheduled by StartFrame).
@@ -452,16 +592,17 @@ func (n *Node) sendATIM() {
 	n.enqueueTx(wire{kind: frameATIM}, false)
 }
 
-// EndATIMWindow applies the Sleep-Decision-Handler of Figure 3 and, if the
-// node announced traffic, releases the data frames to contend for the
-// channel.
+// EndATIMWindow closes the ATIM window: the protocol's sleep decision
+// (PBBF: the Sleep-Decision-Handler of Figure 3) and, if the node
+// announced traffic, the release of data frames to contend for the
+// channel. A no-op for protocols without the PSM substrate.
 func (n *Node) EndATIMWindow() {
-	if n.dead {
+	if n.dead || !n.usesATIM {
 		return
 	}
 	now := n.kernel.Now()
 	stay := n.mustStay || n.txBusy || len(n.txQueue) > 0
-	if !stay && n.Params().StayAwake(n.rng) {
+	if !stay && n.proto.OnWindowEnd(n) {
 		stay = true
 		n.stats.StayAwakeWins++
 	}
@@ -545,15 +686,16 @@ func (n *Node) Deliver(f phy.Frame) {
 	case frameData:
 		n.stats.DataReceived++
 		n.frameRx++
-		if !n.seen.MarkSeen(w.pkt.Key) {
+		first := n.seen.MarkSeen(w.pkt.Key)
+		if !first {
 			n.stats.Duplicates++
-			return
 		}
-		n.observeSequence(w.pkt.Key)
 		pkt := w.pkt
 		pkt.Hops++
-		n.deliver(pkt, f.Sender, n.kernel.Now())
-		n.routePacket(pkt)
+		// Duplicates reach the protocol too (firstCopy=false): OLA-style
+		// schemes accumulate energy across every copy. PBBF returns
+		// immediately on a duplicate, exactly as the pre-interface MAC did.
+		n.proto.OnReceive(n, pkt, f.Sender, first)
 	}
 }
 
@@ -618,7 +760,7 @@ func (n *Node) attemptTx() {
 	now := n.kernel.Now()
 	head := n.txQueue[0]
 
-	if head.kind == frameData && n.inATIMWindow(now) {
+	if n.usesATIM && head.kind == frameData && n.inATIMWindow(now) {
 		// Data may not be sent during the ATIM window; wait it out.
 		windowEnd := n.frameStart(now) + n.cfg.Timing.Active
 		n.kernel.ScheduleAt(windowEnd, n.attemptTxFn)

@@ -7,6 +7,7 @@ import (
 	"pbbf/internal/core"
 	"pbbf/internal/energy"
 	"pbbf/internal/phy"
+	"pbbf/internal/protocol"
 	"pbbf/internal/rng"
 	"pbbf/internal/sim"
 	"pbbf/internal/topo"
@@ -104,6 +105,14 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.DIFS = -time.Second },
 		// ATIM frame longer than the window.
 		func(c *Config) { c.ATIMFrameBytes = 1 << 20 },
+		// Unknown protocol and bad protocol knobs.
+		func(c *Config) { c.Protocol.Name = "flooding" },
+		func(c *Config) { c.Protocol = protocol.Spec{Name: protocol.NameSleepSched, WakePeriod: -1} },
+		// Adaptive control tunes the PBBF coins; rival protocols have none.
+		func(c *Config) {
+			c.Adaptive = &core.AdaptiveConfig{}
+			c.Protocol = protocol.Spec{Name: protocol.NameOLA}
+		},
 	}
 	for i, mutate := range mutations {
 		cfg := DefaultConfig(core.PSM())

@@ -1,0 +1,73 @@
+// Package match provides the did-you-mean suggestion logic shared by every
+// name registry in this repository: scenario IDs, protocol names, and any
+// future keyed namespace. One implementation keeps the CLI's error style
+// uniform — a typo'd -experiment and a typo'd -protocol produce the same
+// kind of actionable message.
+package match
+
+import (
+	"sort"
+	"strings"
+)
+
+// Closest returns up to max known names close to the given (unknown) name,
+// nearest first: small edit distances, plus prefix matches of at least
+// three characters ("extclu" suggests the extcluster family). An empty
+// slice means nothing plausible is known. Matching is case- and
+// surrounding-space-insensitive; results keep the known names' spelling.
+func Closest(name string, known []string, max int) []string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" || max <= 0 {
+		return nil
+	}
+	type candidate struct {
+		name string
+		dist int
+	}
+	var cands []candidate
+	for _, k := range known {
+		d := Distance(name, strings.ToLower(k))
+		// Accept near misses (≤2 edits), or ≤3 for longer names, or a
+		// shared prefix of at least three characters.
+		limit := 2
+		if len(k) >= 8 {
+			limit = 3
+		}
+		if d <= limit || (len(name) >= 3 && strings.HasPrefix(strings.ToLower(k), name)) {
+			cands = append(cands, candidate{k, d})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Distance is the Levenshtein edit distance between two short names.
+func Distance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

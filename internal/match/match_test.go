@@ -1,0 +1,60 @@
+package match
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"fig8", "figg8", 1},
+		{"pbbf", "obbf", 1},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClosest(t *testing.T) {
+	known := []string{"pbbf", "sleepsched", "ola"}
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"pbfb", []string{"pbbf"}},
+		{"sleepshed", []string{"sleepsched"}},
+		{"sleep", []string{"sleepsched"}}, // prefix match
+		{"OLA ", []string{"ola"}},         // case/space insensitive
+		{"zzzzzzzz", nil},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := Closest(c.in, known, 3); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Closest(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClosestOrdersByDistance(t *testing.T) {
+	known := []string{"extcluster", "extcorridor", "extchurn"}
+	got := Closest("extchurm", known, 3)
+	if len(got) == 0 || got[0] != "extchurn" {
+		t.Fatalf("Closest(extchurm) = %v, want extchurn first", got)
+	}
+}
+
+func TestClosestRespectsMax(t *testing.T) {
+	known := []string{"fig13", "fig14", "fig15", "fig16"}
+	if got := Closest("fig1", known, 2); len(got) != 2 {
+		t.Fatalf("Closest with max=2 returned %v", got)
+	}
+}

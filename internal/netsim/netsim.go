@@ -17,11 +17,31 @@ import (
 	"pbbf/internal/codedist"
 	"pbbf/internal/mac"
 	"pbbf/internal/phy"
+	"pbbf/internal/protocol"
 	"pbbf/internal/rng"
 	"pbbf/internal/sim"
 	"pbbf/internal/stats"
 	"pbbf/internal/topo"
 )
+
+// LossOptions groups the channel-loss knobs — one option struct per fault/
+// diversity family is the Config idiom.
+type LossOptions struct {
+	// Rate injects independent per-reception frame loss at the PHY
+	// (0 = the paper's collision-only channel).
+	Rate float64
+	// LinkMean, when positive, draws a persistent loss rate for every
+	// link uniformly in [0, 2·LinkMean) — link quality diversity on
+	// top of (or instead of) the iid Rate. Must stay below 0.5.
+	LinkMean float64
+}
+
+// ChurnOptions groups the fail-stop churn knobs.
+type ChurnOptions struct {
+	// FailFraction, when positive, kills this fraction of non-source
+	// nodes (fail-stop, permanent) at seeded uniform times during the run.
+	FailFraction float64
+}
 
 // Config parameterizes one scenario run (one topology, one seed).
 type Config struct {
@@ -32,6 +52,10 @@ type Config struct {
 	Source topo.NodeID
 	// MAC holds the PSM timing, PBBF knobs, bit rate, and frame sizes.
 	MAC mac.Config
+	// Protocol selects the broadcast protocol every node runs
+	// (internal/protocol); the zero value is PBBF. It is threaded into
+	// MAC.Protocol, and setting both to different protocols is an error.
+	Protocol protocol.Spec
 	// Lambda is the update generation rate (Table 1: 0.01 updates/s).
 	Lambda float64
 	// Duration is the simulated time (Section 5: 500 s).
@@ -41,26 +65,77 @@ type Config struct {
 	// TrackHops lists BFS distances from the source at which latency is
 	// reported separately (Figures 14/15 use 2 and 5).
 	TrackHops []int
-	// LossRate injects independent per-reception frame loss at the PHY
-	// (0 = the paper's collision-only channel).
-	LossRate float64
-	// LinkLossMean, when positive, draws a persistent loss rate for every
-	// link uniformly in [0, 2·LinkLossMean) — link quality diversity on
-	// top of (or instead of) the iid LossRate. Must stay below 0.5.
-	LinkLossMean float64
-	// ChurnFailFraction, when positive, kills this fraction of non-source
-	// nodes (fail-stop, permanent) at seeded uniform times during the run.
-	ChurnFailFraction float64
+	// Loss groups the channel-loss knobs.
+	Loss LossOptions
+	// Churn groups the fail-stop churn knobs.
+	Churn ChurnOptions
 	// Hetero, when enabled, jitters each node's PBBF operating point
 	// around MAC.Params from a seeded per-node distribution —
 	// heterogeneous duty cycles instead of one global wake probability.
 	Hetero mac.HeteroConfig
 	// Seed drives every coin in the run.
 	Seed uint64
+
+	// Deprecated: LossRate is Loss.Rate under the pre-option-struct API.
+	// The aliases below are folded into their option structs by every
+	// entry point (conflicting non-zero assignments are an error) and are
+	// kept so existing callers — and the seeded point identities derived
+	// from them — stay valid.
+	LossRate float64
+	// Deprecated: LinkLossMean is Loss.LinkMean.
+	LinkLossMean float64
+	// Deprecated: ChurnFailFraction is Churn.FailFraction.
+	ChurnFailFraction float64
 }
 
-// Validate checks the configuration.
+// normalized folds the deprecated alias fields into their option structs
+// and threads Protocol into the MAC config, rejecting conflicting
+// assignments. Every entry point (Run, RunPool.Run, Validate) operates on
+// the normalized form, so both spellings behave identically.
+func (c Config) normalized() (Config, error) {
+	if c.LossRate != 0 {
+		if c.Loss.Rate != 0 && c.Loss.Rate != c.LossRate {
+			return c, fmt.Errorf("netsim: deprecated LossRate %v conflicts with Loss.Rate %v", c.LossRate, c.Loss.Rate)
+		}
+		c.Loss.Rate = c.LossRate
+		c.LossRate = 0
+	}
+	if c.LinkLossMean != 0 {
+		if c.Loss.LinkMean != 0 && c.Loss.LinkMean != c.LinkLossMean {
+			return c, fmt.Errorf("netsim: deprecated LinkLossMean %v conflicts with Loss.LinkMean %v", c.LinkLossMean, c.Loss.LinkMean)
+		}
+		c.Loss.LinkMean = c.LinkLossMean
+		c.LinkLossMean = 0
+	}
+	if c.ChurnFailFraction != 0 {
+		if c.Churn.FailFraction != 0 && c.Churn.FailFraction != c.ChurnFailFraction {
+			return c, fmt.Errorf("netsim: deprecated ChurnFailFraction %v conflicts with Churn.FailFraction %v",
+				c.ChurnFailFraction, c.Churn.FailFraction)
+		}
+		c.Churn.FailFraction = c.ChurnFailFraction
+		c.ChurnFailFraction = 0
+	}
+	if c.Protocol != (protocol.Spec{}) {
+		if c.MAC.Protocol != (protocol.Spec{}) && c.MAC.Protocol != c.Protocol {
+			return c, fmt.Errorf("netsim: Protocol %q conflicts with MAC.Protocol %q",
+				c.Protocol.Name, c.MAC.Protocol.Name)
+		}
+		c.MAC.Protocol = c.Protocol
+	}
+	return c, nil
+}
+
+// Validate checks the configuration (after alias normalization).
 func (c Config) Validate() error {
+	c, err := c.normalized()
+	if err != nil {
+		return err
+	}
+	return c.validateNormalized()
+}
+
+// validateNormalized checks a configuration normalized has already folded.
+func (c Config) validateNormalized() error {
 	if c.Topo == nil || c.Topo.N() == 0 {
 		return fmt.Errorf("netsim: empty topology")
 	}
@@ -79,14 +154,14 @@ func (c Config) Validate() error {
 	if c.K <= 0 {
 		return fmt.Errorf("netsim: k %d must be positive", c.K)
 	}
-	if c.LossRate < 0 || c.LossRate >= 1 {
-		return fmt.Errorf("netsim: loss rate %v outside [0,1)", c.LossRate)
+	if c.Loss.Rate < 0 || c.Loss.Rate >= 1 {
+		return fmt.Errorf("netsim: loss rate %v outside [0,1)", c.Loss.Rate)
 	}
-	if c.LinkLossMean < 0 || c.LinkLossMean >= 0.5 {
-		return fmt.Errorf("netsim: mean link loss %v outside [0,0.5)", c.LinkLossMean)
+	if c.Loss.LinkMean < 0 || c.Loss.LinkMean >= 0.5 {
+		return fmt.Errorf("netsim: mean link loss %v outside [0,0.5)", c.Loss.LinkMean)
 	}
-	if c.ChurnFailFraction < 0 || c.ChurnFailFraction >= 1 {
-		return fmt.Errorf("netsim: churn fraction %v outside [0,1)", c.ChurnFailFraction)
+	if c.Churn.FailFraction < 0 || c.Churn.FailFraction >= 1 {
+		return fmt.Errorf("netsim: churn fraction %v outside [0,1)", c.Churn.FailFraction)
 	}
 	if err := c.Hetero.Validate(); err != nil {
 		return err
@@ -119,22 +194,26 @@ type Result struct {
 
 // Run executes one scenario.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.validateNormalized(); err != nil {
 		return nil, err
 	}
 	kernel := sim.NewKernel()
 	channel := phy.NewChannel(kernel, cfg.Topo)
 	base := rng.New(cfg.Seed)
-	if cfg.LossRate > 0 {
-		if err := channel.SetLoss(cfg.LossRate, base.Split()); err != nil {
+	if cfg.Loss.Rate > 0 {
+		if err := channel.SetLoss(cfg.Loss.Rate, base.Split()); err != nil {
 			return nil, err
 		}
 	}
 	// Every diversity feature draws its splits conditionally, so runs with
 	// the feature off consume the exact random stream they always did —
 	// existing scenarios stay byte-identical.
-	if cfg.LinkLossMean > 0 {
-		table, err := phy.NewUniformLinkLoss(cfg.Topo, cfg.LinkLossMean, base.Split())
+	if cfg.Loss.LinkMean > 0 {
+		table, err := phy.NewUniformLinkLoss(cfg.Topo, cfg.Loss.LinkMean, base.Split())
 		if err != nil {
 			return nil, err
 		}
@@ -172,9 +251,9 @@ func Run(cfg Config) (*Result, error) {
 	// Churn: pick the victims and their death times from one dedicated
 	// split, then schedule the fail-stop kills. The source is never killed
 	// (a dead source makes the delivery metric meaningless).
-	if cfg.ChurnFailFraction > 0 {
+	if cfg.Churn.FailFraction > 0 {
 		churnRNG := base.Split()
-		deaths := int(cfg.ChurnFailFraction*float64(n-1) + 0.5)
+		deaths := int(cfg.Churn.FailFraction*float64(n-1) + 0.5)
 		victims := make([]topo.NodeID, 0, deaths)
 		for _, id := range churnRNG.Perm(n) {
 			if len(victims) == deaths {

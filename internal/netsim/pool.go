@@ -109,7 +109,11 @@ func (p *RunPool) killFor(i int) func() {
 // operations — and in particular of random draws — mirrors the package
 // Run function step for step; see the comments there for the rationale.
 func (p *RunPool) Run(cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.validateNormalized(); err != nil {
 		return nil, err
 	}
 	p.cfg = cfg
@@ -123,15 +127,15 @@ func (p *RunPool) Run(cfg Config) (*Result, error) {
 	channel := p.channel
 	p.base.Reseed(cfg.Seed)
 	base := &p.base
-	if cfg.LossRate > 0 {
+	if cfg.Loss.Rate > 0 {
 		base.SplitInto(&p.lossRNG)
-		if err := channel.SetLoss(cfg.LossRate, &p.lossRNG); err != nil {
+		if err := channel.SetLoss(cfg.Loss.Rate, &p.lossRNG); err != nil {
 			return nil, err
 		}
 	}
-	if cfg.LinkLossMean > 0 {
+	if cfg.Loss.LinkMean > 0 {
 		base.SplitInto(&p.fillRNG)
-		if err := p.linkLoss.FillUniform(cfg.Topo, cfg.LinkLossMean, &p.fillRNG); err != nil {
+		if err := p.linkLoss.FillUniform(cfg.Topo, cfg.Loss.LinkMean, &p.fillRNG); err != nil {
 			return nil, err
 		}
 		base.SplitInto(&p.linkRNG)
@@ -163,10 +167,10 @@ func (p *RunPool) Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	if cfg.ChurnFailFraction > 0 {
+	if cfg.Churn.FailFraction > 0 {
 		base.SplitInto(&p.churnRNG)
 		churnRNG := &p.churnRNG
-		deaths := int(cfg.ChurnFailFraction*float64(n-1) + 0.5)
+		deaths := int(cfg.Churn.FailFraction*float64(n-1) + 0.5)
 		if cap(p.victims) < deaths {
 			p.victims = make([]topo.NodeID, 0, deaths)
 		}

@@ -1,0 +1,116 @@
+package protocol
+
+import (
+	"time"
+
+	"pbbf/internal/topo"
+)
+
+// defaultWakePeriod is the sleepsched round-robin period when the spec
+// leaves it zero: awake one beacon interval in four.
+const defaultWakePeriod = 4
+
+// sleepSched is a King-style sleep-scheduled broadcast ("Sleeping on the
+// Job", King/Phillips/Saia/Young): node i is scheduled awake only in
+// beacon intervals F with (F+i) mod W == 0, and a node holding a packet to
+// forward retransmits it once per interval for R consecutive intervals
+// (staying awake while it does). With R = W every neighbor's scheduled
+// wakeup overlaps at least one retransmission, so the broadcast floods the
+// connected field deterministically — at a latency of O(W) beacon
+// intervals per hop and an idle-energy duty cycle of 1/W.
+//
+// The port keeps the MAC substrate's CSMA contention and collision model;
+// what it does not use is the PSM/ATIM machinery (UsesATIM is false): no
+// announcements, no window embargo, no end-of-window coin. The radio
+// schedule is entirely this state machine's.
+type sleepSched struct {
+	period  int // W
+	repeats int // R
+	frame   int // beacon intervals seen; -1 before the first
+
+	queue  []ssEntry // packets owing retransmissions in coming intervals
+	txList []Packet  // this interval's sends, indexed by timer tag
+}
+
+// ssEntry is one packet with its remaining retransmission budget.
+type ssEntry struct {
+	pkt  Packet
+	left int
+}
+
+func (s *sleepSched) Name() string             { return NameSleepSched }
+func (s *sleepSched) UsesATIM() bool           { return false }
+func (s *sleepSched) OnWindowEnd(NodeAPI) bool { return true } // never consulted: no ATIM substrate
+
+func (s *sleepSched) Reset(_ NodeAPI, spec Spec) error {
+	s.period = spec.WakePeriod
+	if s.period == 0 {
+		s.period = defaultWakePeriod
+	}
+	s.repeats = spec.Repeats
+	if s.repeats == 0 {
+		s.repeats = s.period
+	}
+	s.frame = -1
+	s.queue = s.queue[:0]
+	s.txList = s.txList[:0]
+	return nil
+}
+
+// OnOriginate transmits the new packet immediately (the source is awake —
+// it has traffic) and books the remaining repeats so neighbors asleep now
+// still see a copy during their scheduled wakeup.
+func (s *sleepSched) OnOriginate(api NodeAPI, pkt Packet) {
+	api.SendNow(pkt)
+	if s.repeats > 1 {
+		s.queue = append(s.queue, ssEntry{pkt: pkt, left: s.repeats - 1})
+	}
+}
+
+// OnReceive books a first copy for forwarding starting next interval;
+// duplicate copies are ignored (the repeat schedule already covers every
+// neighbor).
+func (s *sleepSched) OnReceive(api NodeAPI, pkt Packet, from topo.NodeID, firstCopy bool) {
+	if !firstCopy {
+		return
+	}
+	api.DeliverToApp(pkt, from)
+	s.queue = append(s.queue, ssEntry{pkt: pkt, left: s.repeats})
+}
+
+// OnFrameStart runs the schedule: wake if this is the node's round-robin
+// interval or it has packets to forward; when forwarding, draw one random
+// send offset per owed packet (de-synchronizing the per-hop storm exactly
+// as PBBF's post-window release does) and decrement the repeat budgets.
+func (s *sleepSched) OnFrameStart(api NodeAPI) {
+	s.frame++
+	forwarding := len(s.queue) > 0
+	scheduled := (s.frame+int(api.ID()))%s.period == 0
+	api.SetAwake(forwarding || scheduled)
+	if !forwarding {
+		return
+	}
+	s.txList = s.txList[:0]
+	keep := s.queue[:0]
+	for _, e := range s.queue {
+		s.txList = append(s.txList, e.pkt)
+		e.left--
+		if e.left > 0 {
+			keep = append(keep, e)
+		}
+	}
+	s.queue = keep
+	span := api.Timing().Frame - api.TxSlack()
+	if span < 0 {
+		span = 0
+	}
+	for i := range s.txList {
+		offset := time.Duration(api.Rand().Float64() * float64(span))
+		api.ScheduleTimer(offset, i)
+	}
+}
+
+// OnTimer releases one of this interval's booked transmissions.
+func (s *sleepSched) OnTimer(api NodeAPI, tag int) {
+	api.Send(s.txList[tag])
+}

@@ -30,16 +30,24 @@ type Checkpoint struct {
 	Experiment string
 	Scale      string
 	Seed       uint64
+	// Protocol is the canonical protocol selection the sweep ran under
+	// (empty = PBBF). Part of the identity: a PBBF checkpoint must not
+	// resume a sleepsched sweep even when every flag matches.
+	Protocol string
 	// Results maps PointKey to the completed result.
 	Results map[string]Result
 }
 
-// checkpointHeader is the journal's first line.
+// checkpointHeader is the journal's first line. Protocol is omitempty so
+// journals written for the default protocol keep the exact header bytes of
+// the pre-protocol format — old files load, and default-protocol files
+// written today load in old builds.
 type checkpointHeader struct {
 	Version    int    `json:"version"`
 	Experiment string `json:"experiment"`
 	Scale      string `json:"scale"`
 	Seed       uint64 `json:"seed"`
+	Protocol   string `json:"protocol,omitempty"`
 }
 
 // checkpointEntry is one completed point, one journal line.
@@ -49,24 +57,35 @@ type checkpointEntry struct {
 }
 
 // NewCheckpoint returns an empty checkpoint for the given run identity.
-func NewCheckpoint(experiment, scale string, seed uint64) *Checkpoint {
+// protocol is the canonical protocol name; pass "" for the PBBF default.
+func NewCheckpoint(experiment, scale string, seed uint64, protocol string) *Checkpoint {
 	return &Checkpoint{
 		Version:    CheckpointVersion,
 		Experiment: experiment,
 		Scale:      scale,
 		Seed:       seed,
+		Protocol:   protocol,
 		Results:    make(map[string]Result),
 	}
 }
 
 // Matches reports whether the checkpoint was recorded for the same run
 // identity, with a descriptive error when it was not.
-func (c *Checkpoint) Matches(experiment, scale string, seed uint64) error {
-	if c.Experiment != experiment || c.Scale != scale || c.Seed != seed {
-		return fmt.Errorf("checkpoint records run (experiment=%s scale=%s seed=%d), requested (experiment=%s scale=%s seed=%d): delete the file or match its flags",
-			c.Experiment, c.Scale, c.Seed, experiment, scale, seed)
+func (c *Checkpoint) Matches(experiment, scale string, seed uint64, protocol string) error {
+	if c.Experiment != experiment || c.Scale != scale || c.Seed != seed || c.Protocol != protocol {
+		return fmt.Errorf("checkpoint records run (experiment=%s scale=%s seed=%d protocol=%s), requested (experiment=%s scale=%s seed=%d protocol=%s): delete the file or match its flags",
+			c.Experiment, c.Scale, c.Seed, protoLabel(c.Protocol), experiment, scale, seed, protoLabel(protocol))
 	}
 	return nil
+}
+
+// protoLabel names the default protocol in error messages; an empty string
+// would read like a missing value.
+func protoLabel(p string) string {
+	if p == "" {
+		return "pbbf"
+	}
+	return p
 }
 
 // LoadCheckpoint reads a checkpoint journal. A missing file is not an
@@ -96,7 +115,7 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if hdr.Version != CheckpointVersion {
 		return nil, fmt.Errorf("checkpoint %s: version %d, want %d", path, hdr.Version, CheckpointVersion)
 	}
-	c := NewCheckpoint(hdr.Experiment, hdr.Scale, hdr.Seed)
+	c := NewCheckpoint(hdr.Experiment, hdr.Scale, hdr.Seed, hdr.Protocol)
 	for i, line := range lines[1:] {
 		var e checkpointEntry
 		if err := json.Unmarshal(line, &e); err != nil {
@@ -123,6 +142,7 @@ func (c *Checkpoint) WriteFile(path string) error {
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(checkpointHeader{
 		Version: c.Version, Experiment: c.Experiment, Scale: c.Scale, Seed: c.Seed,
+		Protocol: c.Protocol,
 	}); err != nil {
 		return err
 	}
@@ -190,6 +210,7 @@ func (c *Checkpoint) OpenWriter(path string) (*CheckpointWriter, error) {
 	if size == 0 {
 		hdr, err := json.Marshal(checkpointHeader{
 			Version: c.Version, Experiment: c.Experiment, Scale: c.Scale, Seed: c.Seed,
+			Protocol: c.Protocol,
 		})
 		if err != nil {
 			f.Close()

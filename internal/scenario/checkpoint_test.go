@@ -10,7 +10,7 @@ import (
 
 func TestCheckpointRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sweep.ckpt.json")
-	cp := NewCheckpoint("all", "quick", 7)
+	cp := NewCheckpoint("all", "quick", 7, "")
 	cp.Results["k1"] = Result{Y: 1.5, EnergyJ: 2, Delivery: 1}
 	cp.Results["k2"] = Result{Skip: true}
 	if err := cp.WriteFile(path); err != nil {
@@ -51,7 +51,7 @@ func TestCheckpointRejectsCorruptAndWrongVersion(t *testing.T) {
 	}
 
 	old := filepath.Join(dir, "old.json")
-	cp := NewCheckpoint("all", "quick", 1)
+	cp := NewCheckpoint("all", "quick", 1, "")
 	cp.Version = CheckpointVersion + 1
 	if err := cp.WriteFile(old); err != nil {
 		t.Fatal(err)
@@ -63,7 +63,7 @@ func TestCheckpointRejectsCorruptAndWrongVersion(t *testing.T) {
 
 func TestCheckpointWriterAppends(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.ckpt")
-	cp := NewCheckpoint("all", "quick", 1)
+	cp := NewCheckpoint("all", "quick", 1, "")
 	w, err := cp.OpenWriter(path)
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +104,7 @@ func TestCheckpointWriterAppends(t *testing.T) {
 // truncated trailing entry is skipped, everything before it survives.
 func TestCheckpointToleratesTornFinalLine(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "torn.ckpt")
-	cp := NewCheckpoint("all", "quick", 1)
+	cp := NewCheckpoint("all", "quick", 1, "")
 	w, err := cp.OpenWriter(path)
 	if err != nil {
 		t.Fatal(err)
@@ -154,7 +154,7 @@ func TestCheckpointToleratesTornFinalLine(t *testing.T) {
 
 	// Corruption before the end is real corruption, not a torn write.
 	mid := filepath.Join(t.TempDir(), "mid.ckpt")
-	cp2 := NewCheckpoint("all", "quick", 1)
+	cp2 := NewCheckpoint("all", "quick", 1, "")
 	if err := cp2.WriteFile(mid); err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestCheckpointToleratesTornFinalLine(t *testing.T) {
 func TestCheckpointCompaction(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "sweep.ckpt")
-	cp := NewCheckpoint("all", "quick", 1)
+	cp := NewCheckpoint("all", "quick", 1, "")
 	w, err := cp.OpenWriter(path)
 	if err != nil {
 		t.Fatal(err)
@@ -242,19 +242,21 @@ func TestCheckpointCompaction(t *testing.T) {
 }
 
 func TestCheckpointMatches(t *testing.T) {
-	cp := NewCheckpoint("all", "quick", 1)
-	if err := cp.Matches("all", "quick", 1); err != nil {
+	cp := NewCheckpoint("all", "quick", 1, "")
+	if err := cp.Matches("all", "quick", 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, c := range []struct {
 		exp, scale string
 		seed       uint64
+		proto      string
 	}{
-		{"fig8", "quick", 1},
-		{"all", "paper", 1},
-		{"all", "quick", 2},
+		{"fig8", "quick", 1, ""},
+		{"all", "paper", 1, ""},
+		{"all", "quick", 2, ""},
+		{"all", "quick", 1, "ola"},
 	} {
-		if err := cp.Matches(c.exp, c.scale, c.seed); err == nil {
+		if err := cp.Matches(c.exp, c.scale, c.seed, c.proto); err == nil {
 			t.Fatalf("mismatched identity %+v accepted", c)
 		}
 	}

@@ -66,10 +66,18 @@ func writeScaleKey(sb *strings.Builder, s Scale) {
 	sb.WriteString("|duty=")
 	writeFloats(sb, s.DutySweep)
 	fmt.Fprintf(sb, "|seed=%d", s.Seed)
+	// The protocol field is omitted when empty (= PBBF, the default) so
+	// every key minted before protocols existed stays byte-identical to the
+	// key the same workload derives today. Callers canonicalize "pbbf" to
+	// empty before keying (protocol.Spec.Canonical); a literal "pbbf" here
+	// would mint a second identity for the same computation.
+	if s.Protocol != "" {
+		fmt.Fprintf(sb, "|proto=%s", s.Protocol)
+	}
 }
 
 // scaleKeyFields is the number of Scale fields writeScaleKey serializes.
-const scaleKeyFields = 17
+const scaleKeyFields = 18
 
 func writeInts(sb *strings.Builder, vs []int) {
 	for i, v := range vs {

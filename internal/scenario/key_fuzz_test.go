@@ -15,11 +15,11 @@ import (
 // reject a tampered key. This is the property the result cache, resumable
 // checkpoints, and coordinator/worker dispatch all lean on.
 func FuzzPointKeyRoundTrip(f *testing.F) {
-	f.Add("fig13", "PBBF-0.25", "delta", 0.5, 10.0, uint64(1), 30)
-	f.Add("extchurn", "PSM", "churn", 0.25, 0.3, uint64(42), 10000)
-	f.Add("fig8", "NO PSM", "q", 1.0, 0.0, uint64(0), 1)
-	f.Add("", "series with spaces|x=9", "", math.Copysign(0, -1), math.MaxFloat64, uint64(1)<<63, 0)
-	f.Fuzz(func(t *testing.T, id, series, pname string, x, pval float64, seed uint64, nodes int) {
+	f.Add("fig13", "PBBF-0.25", "delta", 0.5, 10.0, uint64(1), 30, "")
+	f.Add("extchurn", "PSM", "churn", 0.25, 0.3, uint64(42), 10000, "sleepsched")
+	f.Add("fig8", "NO PSM", "q", 1.0, 0.0, uint64(0), 1, "ola")
+	f.Add("", "series with spaces|x=9", "", math.Copysign(0, -1), math.MaxFloat64, uint64(1)<<63, 0, "proto=|x")
+	f.Fuzz(func(t *testing.T, id, series, pname string, x, pval float64, seed uint64, nodes int, proto string) {
 		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(pval) || math.IsInf(pval, 0) {
 			t.Skip("JSON cannot carry non-finite floats")
 		}
@@ -28,12 +28,13 @@ func FuzzPointKeyRoundTrip(f *testing.F) {
 		// the identity. The wire contract is that scenario IDs, series, and
 		// parameter names are UTF-8 — all registry values are Go source
 		// literals, so this only excludes inputs no real spec can contain.
-		if !utf8.ValidString(id) || !utf8.ValidString(series) || !utf8.ValidString(pname) {
+		if !utf8.ValidString(id) || !utf8.ValidString(series) || !utf8.ValidString(pname) || !utf8.ValidString(proto) {
 			t.Skip("JSON cannot carry invalid UTF-8")
 		}
 		s := Quick()
 		s.Seed = seed
 		s.NetNodes = nodes
+		s.Protocol = proto
 		pt := Point{Series: series, X: x, Params: map[string]float64{pname: pval}}
 		spec := NewPointSpec(Scenario{ID: id}, s, pt)
 		if err := spec.Verify(); err != nil {

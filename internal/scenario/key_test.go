@@ -30,11 +30,14 @@ func TestPointKeyDiscriminates(t *testing.T) {
 	seeded.Seed = 2
 	scaled := s
 	scaled.NetNodes++
+	protocoled := s
+	protocoled.Protocol = "ola"
 	variants := map[string]string{
 		"scenario ID": PointKey("fig9", s, samplePoint()),
 		"param value": PointKey("fig8", s, other),
 		"seed":        PointKey("fig8", seeded, samplePoint()),
 		"scale field": PointKey("fig8", scaled, samplePoint()),
+		"protocol":    PointKey("fig8", protocoled, samplePoint()),
 		"series": PointKey("fig8", s, Point{
 			Series: "p=0.75", X: 0.3, Params: samplePoint().Params,
 		}),
@@ -51,6 +54,32 @@ func TestPointKeySortsParams(t *testing.T) {
 	key := PointKey("fig8", s, samplePoint())
 	if !strings.Contains(key, "|p=0.5|q=0.3") {
 		t.Fatalf("params not in sorted order: %q", key)
+	}
+}
+
+// TestPointKeyProtocolBackCompat pins the backward-compatibility contract
+// of the protocol dimension: a Scale with an empty Protocol (the PBBF
+// default) must derive the exact key string it derived before the field
+// existed, so every pre-protocol checkpoint, cache entry, and golden file
+// still addresses the same computations. The full expected key is spelled
+// out byte for byte — if this test fails, old checkpoints are orphaned.
+func TestPointKeyProtocolBackCompat(t *testing.T) {
+	s := Quick()
+	got := PointKey("fig8", s, samplePoint())
+	want := "fig8|grid=30x30|iu=4|pt=40|pg=10,20,30|nn=30|nr=3|nd=300000000000" +
+		"|q=0,0.25,0.5,0.75,1|pi=0.05,0.25,0.5,0.75|pn=0.1,0.5|ds=8,12,16" +
+		"|hop=10,20|nth=2,5|duty=0.1,0.2,0.5,1|seed=1" +
+		"|series=p=0.5|x=0.3|p=0.5|q=0.3"
+	if got != want {
+		t.Fatalf("default-protocol key changed — old checkpoints orphaned:\ngot  %q\nwant %q", got, want)
+	}
+	if strings.Contains(got, "proto=") {
+		t.Fatalf("empty protocol leaked into the key: %q", got)
+	}
+	s.Protocol = "sleepsched"
+	keyed := PointKey("fig8", s, samplePoint())
+	if !strings.Contains(keyed, "|seed=1|proto=sleepsched|series=") {
+		t.Fatalf("non-default protocol missing from the key: %q", keyed)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"pbbf/internal/match"
 )
 
 // Registry holds the scenarios a binary can run, in registration
@@ -31,6 +33,10 @@ func (r *Registry) Register(sc Scenario) error {
 	}
 	if _, dup := r.byID[id]; dup {
 		return fmt.Errorf("scenario: duplicate ID %q", id)
+	}
+	if len(sc.Protocols) == 0 {
+		// Every scenario predating the protocol interface simulates PBBF.
+		sc.Protocols = []string{"pbbf"}
 	}
 	r.byID[id] = sc
 	r.order = append(r.order, id)
@@ -77,60 +83,11 @@ func (r *Registry) ByID(id string) (Scenario, error) {
 
 // Suggest returns up to three registered IDs close to the given (unknown)
 // ID, nearest first: prefix matches, then small edit distances. An empty
-// slice means nothing plausible is registered.
+// slice means nothing plausible is registered. The ranking lives in
+// internal/match, shared with the protocol-name lookup so every registry
+// in the binary speaks the same did-you-mean dialect.
 func (r *Registry) Suggest(id string) []string {
-	id = normalizeID(id)
-	if id == "" {
-		return nil
-	}
-	type candidate struct {
-		id   string
-		dist int
-	}
-	var cands []candidate
-	for _, known := range r.order {
-		d := editDistance(id, known)
-		// Accept near misses (≤2 edits), or ≤3 for longer IDs, or a
-		// shared prefix of at least three characters ("extclu" → the
-		// extcluster family).
-		limit := 2
-		if len(known) >= 8 {
-			limit = 3
-		}
-		if d <= limit || (len(id) >= 3 && strings.HasPrefix(known, id)) {
-			cands = append(cands, candidate{known, d})
-		}
-	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
-	if len(cands) > 3 {
-		cands = cands[:3]
-	}
-	out := make([]string, len(cands))
-	for i, c := range cands {
-		out[i] = c.id
-	}
-	return out
-}
-
-// editDistance is the Levenshtein distance between two short IDs.
-func editDistance(a, b string) int {
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(a); i++ {
-		cur[0] = i
-		for j := 1; j <= len(b); j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(b)]
+	return match.Closest(normalizeID(id), r.order, 3)
 }
 
 func normalizeID(id string) string {

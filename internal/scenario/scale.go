@@ -44,6 +44,13 @@ type Scale struct {
 	DutySweep []float64
 	// Seed is the root of every run's randomness.
 	Seed uint64
+	// Protocol selects the broadcast protocol network scenarios simulate
+	// (see internal/protocol). Empty means PBBF, the paper's protocol; the
+	// canonical spelling "pbbf" is folded to empty before a Scale is keyed,
+	// so every pre-protocol cache key, checkpoint, and golden file remains
+	// valid. Scenarios that pin their own protocol (the adaptive-control
+	// family, the cross-protocol comparison) ignore it.
+	Protocol string `json:",omitempty"`
 }
 
 // Paper returns the paper's dimensions. A full run of every scenario at

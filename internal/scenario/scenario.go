@@ -85,6 +85,11 @@ type Scenario struct {
 	// XLabel and YLabel name the output table's columns.
 	XLabel string `json:"x_label"`
 	YLabel string `json:"y_label"`
+	// Protocols lists the broadcast protocols the scenario exercises, for
+	// -list and the HTTP scenario metadata. The registry fills the default
+	// (PBBF only) at registration; scenarios that sweep or pin something
+	// else declare it themselves.
+	Protocols []string `json:"protocols,omitempty"`
 
 	// Points enumerates the parameter space at the given scale.
 	Points func(Scale) ([]Point, error) `json:"-"`

@@ -59,22 +59,3 @@ func TestByIDErrorCarriesSuggestions(t *testing.T) {
 		t.Fatalf("ByID(qqqqqq) error lacks the known list: %v", err)
 	}
 }
-
-func TestEditDistance(t *testing.T) {
-	cases := []struct {
-		a, b string
-		want int
-	}{
-		{"", "", 0},
-		{"fig8", "fig8", 0},
-		{"figg8", "fig8", 1},
-		{"fig8", "fig9", 1},
-		{"abc", "", 3},
-		{"kitten", "sitting", 3},
-	}
-	for _, c := range cases {
-		if got := editDistance(c.a, c.b); got != c.want {
-			t.Fatalf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
-		}
-	}
-}

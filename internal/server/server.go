@@ -24,6 +24,7 @@ import (
 
 	"pbbf/internal/cache"
 	"pbbf/internal/dist"
+	"pbbf/internal/protocol"
 	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
 )
@@ -97,6 +98,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	s.mux.HandleFunc("GET /v1/scenarios/{id}", s.handleScenario)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -219,17 +221,31 @@ func (s *Server) serve(ctx context.Context, l net.Listener, logw io.Writer) erro
 	return nil
 }
 
-// scenariosResponse is the GET /v1/scenarios payload.
+// scenariosResponse is the GET /v1/scenarios payload. Each scenario entry
+// carries the protocols it exercises; Protocols lists every name the run
+// endpoint accepts.
 type scenariosResponse struct {
 	Scenarios []scenario.Scenario `json:"scenarios"`
 	Scales    []string            `json:"scales"`
+	Protocols []string            `json:"protocols"`
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, scenariosResponse{
 		Scenarios: s.reg.All(),
 		Scales:    scenario.ScaleNames(),
+		Protocols: protocol.Names(),
 	})
+}
+
+// protocolsResponse is the GET /v1/protocols payload: every registered
+// broadcast protocol with its knob documentation.
+type protocolsResponse struct {
+	Protocols []protocol.Info `json:"protocols"`
+}
+
+func (s *Server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, protocolsResponse{Protocols: protocol.Infos()})
 }
 
 func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
@@ -269,6 +285,9 @@ type RunRequest struct {
 	// Workers sizes the sweep pool, clamped to the server's maximum;
 	// <= 0 selects the maximum.
 	Workers int `json:"workers"`
+	// Protocol selects the broadcast protocol for network scenarios;
+	// empty means PBBF. See GET /v1/protocols.
+	Protocol string `json:"protocol,omitempty"`
 }
 
 // Stream line types. Every NDJSON line carries "type" so clients can
@@ -278,6 +297,7 @@ type runHeader struct {
 	Experiment string `json:"experiment"`
 	Scale      string `json:"scale"`
 	Seed       uint64 `json:"seed"`
+	Protocol   string `json:"protocol,omitempty"`
 	Workers    int    `json:"workers"`
 	Scenarios  int    `json:"scenarios"`
 	Jobs       int    `json:"jobs"`
@@ -329,6 +349,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != 0 {
 		scale.Seed = req.Seed
 	}
+	if req.Protocol != "" {
+		sp, err := protocol.SpecFor(req.Protocol)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		scale.Protocol = sp.Canonical()
+	}
 	workers := req.Workers
 	if workers <= 0 || workers > s.maxWorkers {
 		workers = s.maxWorkers
@@ -374,7 +402,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	writeLine(runHeader{
 		Type: "run", Experiment: req.Experiment, Scale: req.Scale,
-		Seed: scale.Seed, Workers: workers, Scenarios: len(selected), Jobs: jobs,
+		Seed: scale.Seed, Protocol: scale.Protocol,
+		Workers: workers, Scenarios: len(selected), Jobs: jobs,
 	})
 
 	// Stream results in deterministic enumeration order: OnPoint delivers
