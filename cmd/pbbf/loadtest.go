@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"pbbf/internal/loadtest"
+)
+
+// runLoadtest implements the loadtest subcommand: drive a running pbbf
+// server with a mixed hit/miss /v1/run workload, write the latency report
+// (LOADTEST.json), and — when -baseline is given — gate the tail
+// percentiles against it the way `pbbf bench` gates ns/point. The
+// error-rate ceiling needs no baseline and always applies.
+func runLoadtest(ctx context.Context, args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("pbbf loadtest", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		target      = fs.String("target", "http://127.0.0.1:8080", "base URL of the running pbbf serve instance")
+		experiment  = fs.String("experiment", "fig6", "scenario id to request")
+		scaleName   = fs.String("scale", "quick", "scenario scale to request")
+		requests    = fs.Int("requests", 2000, "measured request count")
+		concurrency = fs.Int("concurrency", 64, "concurrent client workers")
+		hitFraction = fs.Float64("hit-fraction", 0.8, "fraction of requests reusing warm seeds (store hits)")
+		warmSeeds   = fs.Int("warm-seeds", 8, "distinct seeds warmed before measuring")
+		timeout     = fs.Duration("timeout", 120*time.Second, "per-request timeout")
+		wait        = fs.Duration("wait", 30*time.Second, "how long to wait for the target's /healthz before starting")
+		outPath     = fs.String("out", "LOADTEST.json", "path to write the load-test report")
+		baseline    = fs.String("baseline", "", "baseline report to compare against (empty = no latency gate)")
+		threshold   = fs.Float64("threshold", 0.30, "p50/p99 latency regression tolerance vs the baseline")
+		maxErrRate  = fs.Float64("max-error-rate", 0, "error-rate ceiling over measured requests (0 = none allowed)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("loadtest: unexpected arguments %v", fs.Args())
+	}
+	if *outPath == "" {
+		return fmt.Errorf("missing -out path")
+	}
+	// Validate the workload flags before waiting on the target, so a bad
+	// value fails immediately instead of after the readiness timeout.
+	if *requests <= 0 {
+		return fmt.Errorf("requests must be positive, got %d", *requests)
+	}
+	if *concurrency <= 0 {
+		return fmt.Errorf("concurrency must be positive, got %d", *concurrency)
+	}
+	if *hitFraction < 0 || *hitFraction > 1 {
+		return fmt.Errorf("hit-fraction must be in [0,1], got %v", *hitFraction)
+	}
+	// Load the baseline before spending load-test time, so a bad path
+	// fails fast and never leaves a half-recorded report behind.
+	var base *loadtest.Report
+	if *baseline != "" {
+		var err error
+		if base, err = loadtest.ReadFile(*baseline); err != nil {
+			return err
+		}
+	}
+
+	waitCtx, cancel := context.WithTimeout(ctx, *wait)
+	defer cancel()
+	if err := loadtest.WaitReady(waitCtx, *target); err != nil {
+		return err
+	}
+	rep, err := loadtest.Run(loadtest.Config{
+		Target:      *target,
+		Experiment:  *experiment,
+		Scale:       *scaleName,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		HitFraction: *hitFraction,
+		WarmSeeds:   *warmSeeds,
+		Timeout:     *timeout,
+		Progress:    errOut,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteFile(*outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: %d requests (%d completed, %d throttled, %d errors) in %.2fs\n",
+		*outPath, rep.Requests, rep.Completed, rep.Throttled, rep.Errors, float64(rep.WallNS)/1e9)
+	fmt.Fprintf(out, "latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms  (%.0f req/s)\n",
+		float64(rep.P50NS)/1e6, float64(rep.P95NS)/1e6, float64(rep.P99NS)/1e6,
+		float64(rep.MaxNS)/1e6, rep.RPS)
+
+	if err := loadtest.CheckErrorRate(rep, *maxErrRate); err != nil {
+		return err
+	}
+	if base == nil {
+		return nil
+	}
+	if base.CPU != rep.CPU || base.NumCPU != rep.NumCPU {
+		fmt.Fprintf(out, "WARNING: hardware mismatch vs baseline (%q/%d cores vs %q/%d cores): "+
+			"absolute latencies are not comparable; see docs/SERVING.md for the refresh procedure\n",
+			base.CPU, base.NumCPU, rep.CPU, rep.NumCPU)
+	}
+	regs, err := loadtest.Compare(base, rep, *threshold)
+	if err != nil {
+		return err
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(out, "no latency regressions beyond %.0f%% vs %s\n", *threshold*100, *baseline)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(out, "REGRESSION %-4s %.2fms -> %.2fms (%.2fx)\n",
+			r.Metric, float64(r.BaseNS)/1e6, float64(r.CurNS)/1e6, r.Ratio)
+	}
+	return fmt.Errorf("%d latency percentile(s) regressed more than %.0f%% vs %s",
+		len(regs), *threshold*100, *baseline)
+}

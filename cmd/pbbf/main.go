@@ -14,7 +14,8 @@
 //	pbbf sweep -experiment all -scale paper -checkpoint paper.ckpt.json
 //	pbbf sweep -experiment all -scale paper -distribute :8099 -format json
 //	pbbf worker -coordinator http://coordinator-host:8099
-//	pbbf serve -addr :8080
+//	pbbf serve -addr :8080 -store results.store -rate-limit 50
+//	pbbf loadtest -target http://127.0.0.1:8080 -out LOADTEST.json
 //
 // Scales: "quick" (CI-sized, seconds), "paper" (the paper's dimensions,
 // minutes), and "bench" (the frozen benchmark dimensions behind
@@ -38,8 +39,15 @@
 // the coordinator of a multi-process sweep: `pbbf worker` processes lease
 // point batches over HTTP, killed workers' leases are requeued, and the
 // merged output is byte-identical to a local run (docs/DISTRIBUTED.md).
-// The serve subcommand exposes the registry over HTTP with a sharded
-// result cache. See docs/SERVING.md.
+// The serve subcommand exposes the registry over HTTP: a sharded result
+// cache, optionally tiered over a persistent on-disk result store
+// (-store) so a restarted server serves warmed results without
+// recomputing, Prometheus metrics on /metrics, and per-client rate
+// limiting plus bounded-queue backpressure (429 + Retry-After). The
+// loadtest subcommand drives a running server with a mixed hit/miss
+// workload and gates its latency percentiles against a committed
+// baseline (LOADTEST.json), mirroring the bench gate. See
+// docs/SERVING.md.
 package main
 
 import (
@@ -90,6 +98,8 @@ func runCtx(ctx context.Context, args []string, out, errOut io.Writer) error {
 			return runSweep(ctx, args[1:], out, errOut)
 		case "worker":
 			return runWorker(ctx, args[1:], out, errOut)
+		case "loadtest":
+			return runLoadtest(ctx, args[1:], out, errOut)
 		}
 	}
 	fs := flag.NewFlagSet("pbbf", flag.ContinueOnError)

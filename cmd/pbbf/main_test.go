@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -441,6 +442,13 @@ func TestSubcommandErrors(t *testing.T) {
 		{"worker"},                                              // missing coordinator URL
 		{"worker", "-coordinator", "http://x", "-workers", "0"}, // zero workers
 		{"worker", "-coordinator", "http://x", "-batch", "-1"},  // negative batch
+		{"serve", "-rate-limit", "-1"},                          // negative rate limit
+		{"serve", "-run-queue", "-1"},                           // negative queue depth
+		{"loadtest", "stray"},                                   // positional junk
+		{"loadtest", "-requests", "0"},                          // zero requests
+		{"loadtest", "-hit-fraction", "2"},                      // fraction out of range
+		{"loadtest", "-out", ""},                                // missing report path
+		{"loadtest", "-baseline", "no-such-file.json"},          // unreadable baseline
 	}
 	for _, args := range cases {
 		var sb strings.Builder
@@ -541,5 +549,91 @@ func TestSeedFlagChangesOutput(t *testing.T) {
 	}
 	if outFor("1") != outFor("1") {
 		t.Fatal("same seed produced different output")
+	}
+}
+
+// TestServeAndLoadtest drives the full production-serving loop through the
+// CLI: serve with a persistent store, load-test it, gate a second run
+// against the first run's report, then restart the server on the same
+// store directory and prove the warmed workload needs no recomputation.
+func TestServeAndLoadtest(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "results.store")
+
+	startServe := func() (cancel context.CancelFunc, url string, served chan error) {
+		ctx, stop := context.WithCancel(context.Background())
+		var mu sync.Mutex
+		var logs strings.Builder
+		served = make(chan error, 1)
+		go func() {
+			served <- runServe(ctx, []string{"-addr", "127.0.0.1:0", "-store", storeDir}, io.Discard, lockedWriter{mu: &mu, w: &logs})
+		}()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			mu.Lock()
+			s := logs.String()
+			mu.Unlock()
+			if i := strings.Index(s, "http://"); i >= 0 {
+				url = strings.TrimSpace(strings.SplitN(s[i:], "\n", 2)[0])
+				return stop, url, served
+			}
+			if time.Now().After(deadline) {
+				stop()
+				t.Fatalf("serve never reported listening: %q", s)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	stop1, url, served1 := startServe()
+	reportPath := filepath.Join(dir, "LOADTEST.json")
+	args := []string{
+		"loadtest", "-target", url, "-experiment", "fig6", "-scale", "quick",
+		"-requests", "30", "-concurrency", "4", "-warm-seeds", "2", "-out", reportPath,
+	}
+	var out strings.Builder
+	if err := runCtx(context.Background(), args, &out, io.Discard); err != nil {
+		t.Fatalf("loadtest: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "latency p50") {
+		t.Fatalf("no latency summary:\n%s", out.String())
+	}
+
+	// A second run against its own report must pass the gate.
+	out.Reset()
+	gated := append(args, "-baseline", reportPath, "-threshold", "10", "-out", filepath.Join(dir, "LOADTEST2.json"))
+	if err := runCtx(context.Background(), gated, &out, io.Discard); err != nil {
+		t.Fatalf("gated loadtest: %v\n%s", err, out.String())
+	}
+
+	stop1()
+	if err := <-served1; err != nil {
+		t.Fatalf("serve shutdown: %v", err)
+	}
+
+	// Restart on the same store: the whole warmed workload is served from
+	// disk — the done lines must report every point cached.
+	stop2, url2, served2 := startServe()
+	defer func() {
+		stop2()
+		if err := <-served2; err != nil {
+			t.Fatalf("restarted serve shutdown: %v", err)
+		}
+	}()
+	resp, err := http.Post(url2+"/v1/run", "application/json",
+		strings.NewReader(`{"experiment":"fig6","scale":"quick","seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"cached":false`) {
+		t.Fatalf("restarted server recomputed points:\n%s", raw)
+	}
+	if !strings.Contains(string(raw), `"type":"done"`) {
+		t.Fatalf("restarted run did not complete:\n%s", raw)
 	}
 }

@@ -7,16 +7,16 @@ import (
 	"io"
 	"runtime"
 
-	"pbbf/internal/cache"
 	"pbbf/internal/experiments"
-	"pbbf/internal/scenario"
 	"pbbf/internal/server"
 )
 
 // runServe implements the serve subcommand: the scenario registry behind
-// the HTTP API of internal/server, with a sharded result cache sized by
-// flags. It blocks until ctx is cancelled (SIGINT/SIGTERM in main) and
-// then shuts down gracefully. Operational logs — the bound address, the
+// the HTTP API of internal/server — a sharded in-memory result cache,
+// optionally tiered over a persistent on-disk result store (-store), with
+// per-client rate limiting and bounded-queue backpressure sized by flags.
+// It blocks until ctx is cancelled (SIGINT/SIGTERM in main) and then
+// shuts down gracefully. Operational logs — the bound address, the
 // shutdown notice — go to errOut, keeping stdout clean for redirection.
 func runServe(ctx context.Context, args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("pbbf serve", flag.ContinueOnError)
@@ -25,6 +25,12 @@ func runServe(ctx context.Context, args []string, out, errOut io.Writer) error {
 		addr       = fs.String("addr", ":8080", "listen address (host:port)")
 		shards     = fs.Int("cache-shards", server.DefaultCacheShards, "result-cache shard count")
 		capacity   = fs.Int("cache-entries", server.DefaultCacheCapacity, "result-cache total entry bound (LRU per shard)")
+		storeDir   = fs.String("store", "", "persistent result-store directory (empty = memory only)")
+		rateLimit  = fs.Float64("rate-limit", 0, "per-client sustained /v1/run requests per second (0 = unlimited)")
+		rateBurst  = fs.Int("rate-burst", 0, "per-client burst size (0 = max(1, rate-limit))")
+		maxRuns    = fs.Int("max-runs", 0, "concurrent /v1/run bound (0 = 4x GOMAXPROCS, negative = unbounded)")
+		runQueue   = fs.Int("run-queue", server.DefaultRunQueueDepth, "runs that may wait for a slot before arrivals are shed with 429")
+		retryAfter = fs.Duration("retry-after", server.DefaultRetryAfter, "advisory Retry-After on backpressure 429s")
 		maxWorkers = fs.Int("max-workers", runtime.GOMAXPROCS(0), "per-request sweep worker cap")
 		verbose    = fs.Bool("verbose", false, "structured JSON access log on stderr, one line per request")
 	)
@@ -37,22 +43,38 @@ func runServe(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if *maxWorkers <= 0 {
 		return fmt.Errorf("max-workers must be positive, got %d", *maxWorkers)
 	}
-	c, err := cache.New[scenario.Result](*shards, *capacity)
-	if err != nil {
-		return err
+	// The Options structs treat zero as "use the default"; the flags are
+	// explicit, so zero or negative sizing is a user error here.
+	if *shards <= 0 {
+		return fmt.Errorf("cache-shards must be positive, got %d", *shards)
+	}
+	if *capacity <= 0 {
+		return fmt.Errorf("cache-entries must be positive, got %d", *capacity)
 	}
 	var accessLog io.Writer
 	if *verbose {
 		accessLog = errOut
 	}
-	srv, err := server.New(server.Config{
-		Registry:   experiments.Registry(),
-		Cache:      c,
+	srv, err := server.New(server.Options{
+		Registry: experiments.Registry(),
+		Mem:      server.CacheOptions{Shards: *shards, Entries: *capacity},
+		Disk:     server.StoreOptions{Dir: *storeDir},
+		Limits: server.LimitOptions{
+			RatePerSec:        *rateLimit,
+			Burst:             *rateBurst,
+			MaxConcurrentRuns: *maxRuns,
+			RunQueueDepth:     *runQueue,
+			RetryAfter:        *retryAfter,
+		},
 		MaxWorkers: *maxWorkers,
 		AccessLog:  accessLog,
 	})
 	if err != nil {
 		return err
+	}
+	defer srv.Close()
+	if *storeDir != "" {
+		fmt.Fprintf(errOut, "pbbf serve: persistent result store at %s\n", *storeDir)
 	}
 	return srv.ListenAndServe(ctx, *addr, errOut)
 }

@@ -128,6 +128,47 @@ func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (val V, c
 	return e.val, false, e.err
 }
 
+// Get returns the completed value cached under key. It never blocks: an
+// entry still being computed by a GetOrCompute leader counts as a miss.
+// Hits and misses feed the same counters as GetOrCompute, so a cache used
+// through Get/Put (the store.Store tier API) stays observable.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	sh := &c.shards[fnv1a(key)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[key]; ok && e.computed {
+		sh.hits++
+		sh.moveToFront(e)
+		return e.val, true
+	}
+	sh.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores a completed value under key, evicting LRU entries as needed.
+// An existing completed entry is overwritten in place; an in-flight entry
+// (a GetOrCompute leader mid-computation) is left alone — the leader owns
+// it and will publish the identical value, since keys address pure
+// computations.
+func (c *Cache[V]) Put(key string, val V) {
+	sh := &c.shards[fnv1a(key)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[key]; ok {
+		if e.computed {
+			e.val = val
+			sh.moveToFront(e)
+		}
+		return
+	}
+	e := &entry[V]{key: key, val: val, computed: true, done: make(chan struct{})}
+	close(e.done)
+	sh.entries[key] = e
+	sh.pushFront(e)
+	sh.evict()
+}
+
 // Stats aggregates the counters across shards.
 func (c *Cache[V]) Stats() Stats {
 	var s Stats

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func mustNew(t *testing.T, shards, capacity int) *Cache[int] {
@@ -202,5 +203,85 @@ func TestConcurrentMixedKeys(t *testing.T) {
 	wg.Wait()
 	if n := c.Len(); n > 32 {
 		t.Fatalf("cache exceeded capacity: %d entries", n)
+	}
+}
+
+// TestGetPut covers the non-computing tier API (store.Store's memory
+// backend): Put publishes immediately, Get never blocks, both feed the
+// hit/miss counters, and Put respects the LRU bound.
+func TestGetPut(t *testing.T) {
+	c := mustNew(t, 2, 4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("get a: %d ok=%v", v, ok)
+	}
+	// Overwrite keeps one entry.
+	c.Put("a", 2)
+	if v, ok := c.Get("a"); !ok || v != 2 || c.Len() != 1 {
+		t.Fatalf("after overwrite: %d ok=%v len=%d", v, ok, c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Put evicts beyond capacity.
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() > 4 {
+		t.Fatalf("put overflowed the LRU bound: %d entries", c.Len())
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+// TestGetDoesNotBlockOnInflight: a Get racing a GetOrCompute leader must
+// see a miss, not wait for the computation.
+func TestGetDoesNotBlockOnInflight(t *testing.T) {
+	c := mustNew(t, 1, 4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.GetOrCompute("slow", func() (int, error) {
+		close(started)
+		<-release
+		return 9, nil
+	})
+	<-started
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := c.Get("slow"); ok {
+			t.Error("in-flight entry served as a hit")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Get blocked on an in-flight computation")
+	}
+	close(release)
+}
+
+// TestPutThenGetOrCompute: a value Put through the tier API is a hit for
+// the computing API, and vice versa — one cache, two entry points.
+func TestPutThenGetOrCompute(t *testing.T) {
+	c := mustNew(t, 2, 8)
+	c.Put("x", 7)
+	v, cached, err := c.GetOrCompute("x", func() (int, error) {
+		t.Error("computed despite Put")
+		return 0, nil
+	})
+	if err != nil || !cached || v != 7 {
+		t.Fatalf("GetOrCompute after Put: %d cached=%v err=%v", v, cached, err)
+	}
+	if _, _, err := c.GetOrCompute("y", func() (int, error) { return 3, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get("y"); !ok || v != 3 {
+		t.Fatalf("Get after GetOrCompute: %d ok=%v", v, ok)
 	}
 }

@@ -1,0 +1,248 @@
+package loadtest
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pbbf/internal/scenario"
+	"pbbf/internal/server"
+)
+
+// testServer spins an in-process serving stack with one fast scenario, so
+// load tests exercise the real HTTP path without simulation cost.
+func testServer(t *testing.T, limits server.LimitOptions) *httptest.Server {
+	t.Helper()
+	reg := scenario.NewRegistry()
+	reg.MustRegister(scenario.Scenario{
+		ID: "fast", Title: "fast scenario", Artifact: "extension",
+		Summary: "loadtest scenario",
+		Params:  []scenario.ParamDoc{{Name: "x", Desc: "x coordinate"}},
+		XLabel:  "x", YLabel: "y",
+		Points: func(scenario.Scale) ([]scenario.Point, error) {
+			return []scenario.Point{
+				{Series: "a", X: 0, Params: map[string]float64{"x": 0}},
+				{Series: "a", X: 1, Params: map[string]float64{"x": 1}},
+			}, nil
+		},
+		RunPoint: func(s scenario.Scale, pt scenario.Point) (scenario.Result, error) {
+			return scenario.Result{Y: pt.X, Delivery: 1}, nil
+		},
+	})
+	srv, err := server.New(server.Options{Registry: reg, Limits: limits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunAndReport(t *testing.T) {
+	ts := testServer(t, server.LimitOptions{})
+	rep, err := Run(Config{
+		Target:      ts.URL,
+		Experiment:  "fast",
+		Scale:       "quick",
+		Requests:    40,
+		Concurrency: 4,
+		HitFraction: 0.5,
+		WarmSeeds:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion || rep.Completed != 40 || rep.Errors != 0 || rep.Throttled != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.HitRequests != 20 || rep.MissRequests != 20 {
+		t.Fatalf("mix: %d hits / %d misses", rep.HitRequests, rep.MissRequests)
+	}
+	if rep.P50NS <= 0 || rep.P99NS < rep.P50NS || rep.MaxNS < rep.P99NS {
+		t.Fatalf("percentiles out of order: %+v", rep)
+	}
+	if rep.RPS <= 0 || rep.MeanNS <= 0 {
+		t.Fatalf("throughput: %+v", rep)
+	}
+
+	// Round trip through the file format.
+	path := filepath.Join(t.TempDir(), "LOADTEST.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *rep {
+		t.Fatalf("round trip changed the report:\n%+v\n%+v", got, rep)
+	}
+}
+
+func TestRunCountsThrottled(t *testing.T) {
+	// One warm token plus a burst of two: the warm phase succeeds, then
+	// the measured phase drains the bucket and the rest are throttled.
+	ts := testServer(t, server.LimitOptions{RatePerSec: 0.001, Burst: 3})
+	rep, err := Run(Config{
+		Target:      ts.URL,
+		Experiment:  "fast",
+		Scale:       "quick",
+		Requests:    5,
+		Concurrency: 1,
+		HitFraction: 1,
+		WarmSeeds:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throttled < 1 {
+		t.Fatalf("no request throttled: %+v", rep)
+	}
+	if rep.Completed+rep.Errors+rep.Throttled != 5 {
+		t.Fatalf("outcome counts do not add up: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("throttles miscounted as errors: %+v", rep)
+	}
+}
+
+func TestRunRejectsBrokenWorkload(t *testing.T) {
+	ts := testServer(t, server.LimitOptions{})
+	if _, err := Run(Config{
+		Target: ts.URL, Experiment: "nope", Scale: "quick",
+		Requests: 2, Concurrency: 1,
+	}); err == nil || !strings.Contains(err.Error(), "warm request") {
+		t.Fatalf("unknown experiment accepted: %v", err)
+	}
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Run(Config{Target: "x", Experiment: "e", Scale: "s", Requests: 1, Concurrency: 1, HitFraction: 2}); err == nil {
+		t.Fatal("hit fraction 2 accepted")
+	}
+}
+
+func baseReport() *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Experiment:    "fast", Scale: "quick",
+		Requests: 100, Concurrency: 8, HitFraction: 0.8,
+		Completed: 100,
+		P50NS:     20_000_000, P95NS: 60_000_000, P99NS: 80_000_000,
+	}
+}
+
+func TestCompareGatesTail(t *testing.T) {
+	base := baseReport()
+
+	same := *base
+	if regs, err := Compare(base, &same, 0.30); err != nil || len(regs) != 0 {
+		t.Fatalf("identical reports gated: %v %v", regs, err)
+	}
+
+	slower := *base
+	slower.P99NS = base.P99NS * 2
+	regs, err := Compare(base, &slower, 0.30)
+	if err != nil || len(regs) != 1 || regs[0].Metric != "p99" || regs[0].Ratio != 2 {
+		t.Fatalf("p99 doubling not gated: %v %v", regs, err)
+	}
+
+	// Inside the threshold: no gate.
+	slight := *base
+	slight.P99NS = base.P99NS * 5 / 4
+	if regs, _ := Compare(base, &slight, 0.30); len(regs) != 0 {
+		t.Fatalf("+25%% gated at 30%% threshold: %v", regs)
+	}
+
+	// Below the noise floor the percentile is recorded but never gated.
+	noisy := *base
+	noisy.P50NS = LatencyNoiseFloorNS - 1
+	cur := noisy
+	cur.P50NS = noisy.P50NS * 100
+	cur.P99NS = noisy.P99NS
+	if regs, _ := Compare(&noisy, &cur, 0.30); len(regs) != 0 {
+		t.Fatalf("sub-floor percentile gated: %v", regs)
+	}
+}
+
+func TestCompareRejectsMismatchedWorkloads(t *testing.T) {
+	base := baseReport()
+	cases := []func(*Report){
+		func(r *Report) { r.SchemaVersion = 99 },
+		func(r *Report) { r.Experiment = "other" },
+		func(r *Report) { r.Scale = "paper" },
+		func(r *Report) { r.Requests = 1 },
+		func(r *Report) { r.Concurrency = 1 },
+		func(r *Report) { r.HitFraction = 0.1 },
+	}
+	for i, mutate := range cases {
+		cur := *base
+		mutate(&cur)
+		if _, err := Compare(base, &cur, 0.30); err == nil {
+			t.Errorf("case %d: mismatched workload compared", i)
+		}
+	}
+	if _, err := Compare(base, base, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestCheckErrorRate(t *testing.T) {
+	rep := baseReport()
+	rep.Errors = 2 // 2%
+	if err := CheckErrorRate(rep, 0.05); err != nil {
+		t.Fatalf("2%% errors failed a 5%% ceiling: %v", err)
+	}
+	if err := CheckErrorRate(rep, 0.01); err == nil {
+		t.Fatal("2% errors passed a 1% ceiling")
+	}
+	if err := CheckErrorRate(rep, 1.5); err == nil {
+		t.Fatal("nonsense ceiling accepted")
+	}
+}
+
+func TestReadFileRejectsJunk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.json")
+	if err := (&Report{}).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("empty report accepted")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWaitReady(t *testing.T) {
+	ts := testServer(t, server.LimitOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := WaitReady(ctx, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	dead, deadCancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer deadCancel()
+	if err := WaitReady(dead, "http://127.0.0.1:1"); err == nil {
+		t.Fatal("dead target reported ready")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.95, 100}, {0.99, 100}, {0.10, 10}}
+	for _, c := range cases {
+		if got := percentile(sorted, c.q); got != c.want {
+			t.Errorf("p%g = %d, want %d", c.q*100, got, c.want)
+		}
+	}
+	if percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile not 0")
+	}
+}

@@ -79,6 +79,33 @@ func writeScaleKey(sb *strings.Builder, s Scale) {
 // scaleKeyFields is the number of Scale fields writeScaleKey serializes.
 const scaleKeyFields = 18
 
+// SplitKey decomposes a canonical PointKey into its three segments: the
+// scenario ID, the scale serialization (everything from the grid field up
+// to the seed/protocol), and the point coordinates (series, x, parameters).
+// It is the inverse boundary walk of PointKey's construction and exists so
+// stored records can carry the scenario ID and scale redundantly and
+// self-verify them against the key they claim to belong to (internal/store
+// quarantines records where the segments disagree).
+func SplitKey(key string) (scenarioID, scaleKey, pointKey string, err error) {
+	bar := strings.IndexByte(key, '|')
+	if bar <= 0 {
+		return "", "", "", fmt.Errorf("scenario: key %q has no scale segment", key)
+	}
+	scenarioID, rest := key[:bar], key[bar+1:]
+	// The scale segment always starts at "grid=" and the point segment at
+	// "|series=": writeScaleKey emits grid first, PointKey emits series
+	// first, and neither marker can occur earlier (scale field names are
+	// fixed, and the scenario ID cannot contain '|').
+	if !strings.HasPrefix(rest, "grid=") {
+		return "", "", "", fmt.Errorf("scenario: key %q: scale segment does not start at grid=", key)
+	}
+	sep := strings.Index(rest, "|series=")
+	if sep < 0 {
+		return "", "", "", fmt.Errorf("scenario: key %q has no point segment", key)
+	}
+	return scenarioID, rest[:sep], rest[sep+1:], nil
+}
+
 func writeInts(sb *strings.Builder, vs []int) {
 	for i, v := range vs {
 		if i > 0 {

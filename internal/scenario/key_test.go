@@ -93,3 +93,35 @@ func TestScaleKeyCoversEveryField(t *testing.T) {
 			n, scaleKeyFields)
 	}
 }
+
+// TestSplitKey: SplitKey must invert PointKey's segment layout for default
+// and non-default protocols, and reject strings that are not keys.
+func TestSplitKey(t *testing.T) {
+	s := Quick()
+	pt := Point{Series: "p=0.05", X: 0.5, Params: map[string]float64{"p": 0.05, "q": 0.5}}
+	for _, proto := range []string{"", "sleepsched"} {
+		s.Protocol = proto
+		key := PointKey("fig8", s, pt)
+		id, scaleKey, pointKey, err := SplitKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != "fig8" {
+			t.Fatalf("scenario %q", id)
+		}
+		if id+"|"+scaleKey+"|"+pointKey != key {
+			t.Fatalf("segments do not reassemble the key:\n%s\n%s|%s|%s", key, id, scaleKey, pointKey)
+		}
+		if !strings.HasPrefix(pointKey, "series=p=0.05") {
+			t.Fatalf("point segment %q", pointKey)
+		}
+		if proto != "" && !strings.Contains(scaleKey, "proto="+proto) {
+			t.Fatalf("scale segment %q lost the protocol", scaleKey)
+		}
+	}
+	for _, bad := range []string{"", "noscale", "fig8|", "fig8|series=a", "fig8|grid=1x1"} {
+		if _, _, _, err := SplitKey(bad); err == nil {
+			t.Fatalf("SplitKey(%q) accepted", bad)
+		}
+	}
+}

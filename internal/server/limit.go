@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxTrackedClients bounds the rate limiter's bucket map. When a sweep
+// cannot shrink it below the bound (that many clients genuinely active in
+// one refill window), new clients still get fresh buckets — the map grows
+// past the bound rather than throttling innocents — and the next sweep
+// retries.
+const maxTrackedClients = 16384
+
+// rateLimiter is a per-client token bucket: each client IP accrues
+// RatePerSec tokens up to Burst, and one POST /v1/run spends one token. A
+// denied request learns how long until the bucket refills, which becomes
+// the 429's Retry-After.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket depth
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	limited atomic.Uint64
+}
+
+// bucket is one client's token balance at its last touch.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(ratePerSec float64, burst int) *rateLimiter {
+	return &rateLimiter{
+		rate:    ratePerSec,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token from client's bucket. When the bucket is empty it
+// reports the wait until one token exists — the client's Retry-After.
+func (l *rateLimiter) allow(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= maxTrackedClients {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	l.limited.Add(1)
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// sweepLocked drops buckets idle long enough to have refilled completely —
+// indistinguishable from a fresh bucket, so nothing is lost by forgetting
+// them.
+func (l *rateLimiter) sweepLocked(now time.Time) {
+	full := time.Duration(l.burst / l.rate * float64(time.Second))
+	for client, b := range l.buckets {
+		if now.Sub(b.last) >= full {
+			delete(l.buckets, client)
+		}
+	}
+}
+
+func (l *rateLimiter) clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// runGate is the bounded admission queue of the run path: at most `cap`
+// runs execute at once, at most `depth` wait for a slot, and arrivals
+// beyond that are shed immediately — overload turns into fast 429s, not an
+// unbounded goroutine pile-up.
+type runGate struct {
+	slots chan struct{}
+	depth int64
+
+	waiting atomic.Int64
+	running atomic.Int64
+	shed    atomic.Uint64
+}
+
+func newRunGate(maxConcurrent, queueDepth int) *runGate {
+	return &runGate{
+		slots: make(chan struct{}, maxConcurrent),
+		depth: int64(queueDepth),
+	}
+}
+
+// acquire claims a run slot, waiting in the bounded queue if none is free.
+// It returns the slot's release func, or ok=false when the queue is full
+// (the request is shed) or ctx ends first (the client gave up).
+func (g *runGate) acquire(ctx context.Context) (release func(), ok bool) {
+	select {
+	case g.slots <- struct{}{}: // fast path: free slot, no queueing
+	default:
+		if g.waiting.Add(1) > g.depth {
+			g.waiting.Add(-1)
+			g.shed.Add(1)
+			return nil, false
+		}
+		select {
+		case g.slots <- struct{}{}:
+			g.waiting.Add(-1)
+		case <-ctx.Done():
+			g.waiting.Add(-1)
+			return nil, false
+		}
+	}
+	g.running.Add(1)
+	return func() {
+		g.running.Add(-1)
+		<-g.slots
+	}, true
+}
+
+// clientKey identifies the requesting client for rate limiting: the host
+// part of the remote address, so one client's ports share one bucket.
+func clientKey(remoteAddr string) string {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		return remoteAddr
+	}
+	return host
+}
+
+// admitRun runs the request through the limit chain — per-client token
+// bucket, then the bounded admission queue — answering 429 + Retry-After
+// itself on rejection. On admission the caller must invoke release when
+// the run ends.
+func (s *Server) admitRun(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.limiter != nil {
+		allowed, retry := s.limiter.allow(clientKey(r.RemoteAddr), time.Now())
+		if !allowed {
+			s.writeThrottled(w, retry, fmt.Errorf("client %s exceeded the run rate limit", clientKey(r.RemoteAddr)))
+			return nil, false
+		}
+	}
+	if s.gate == nil {
+		return func() {}, true
+	}
+	release, ok = s.gate.acquire(r.Context())
+	if !ok {
+		s.writeThrottled(w, s.retryAfter, fmt.Errorf("server run queue is full"))
+		return nil, false
+	}
+	return release, true
+}
+
+// writeThrottled answers 429 Too Many Requests. Every 429 carries a
+// Retry-After in whole seconds (rounded up, at least 1) so well-behaved
+// clients can pace themselves instead of hammering.
+func (s *Server) writeThrottled(w http.ResponseWriter, retryAfter time.Duration, err error) {
+	if retryAfter <= 0 {
+		retryAfter = s.retryAfter
+	}
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeError(w, http.StatusTooManyRequests, err)
+}
+
+// limitStats snapshots the limit chain for /v1/stats.
+type limitStats struct {
+	// RateLimitEnabled reports whether per-client buckets are configured.
+	RateLimitEnabled bool `json:"rate_limit_enabled"`
+	// RateLimited counts requests denied by a client's token bucket.
+	RateLimited uint64 `json:"rate_limited"`
+	// Clients is the number of client buckets currently tracked.
+	Clients int `json:"clients"`
+	// Shed counts requests dropped because the admission queue was full.
+	Shed uint64 `json:"shed"`
+	// Running and Waiting are the admission gate's current occupancy.
+	Running int64 `json:"running"`
+	Waiting int64 `json:"waiting"`
+	// MaxConcurrentRuns and QueueDepth echo the configured bounds
+	// (0 when the gate is disabled).
+	MaxConcurrentRuns int `json:"max_concurrent_runs"`
+	QueueDepth        int `json:"queue_depth"`
+	// RetryAfterS is the advisory backpressure delay in seconds.
+	RetryAfterS float64 `json:"retry_after_s"`
+}
+
+func (s *Server) limitStats() limitStats {
+	ls := limitStats{RetryAfterS: s.retryAfter.Seconds()}
+	if s.limiter != nil {
+		ls.RateLimitEnabled = true
+		ls.RateLimited = s.limiter.limited.Load()
+		ls.Clients = s.limiter.clients()
+	}
+	if s.gate != nil {
+		ls.Shed = s.gate.shed.Load()
+		ls.Running = s.gate.running.Load()
+		ls.Waiting = s.gate.waiting.Load()
+		ls.MaxConcurrentRuns = cap(s.gate.slots)
+		ls.QueueDepth = int(s.gate.depth)
+	}
+	return ls
+}

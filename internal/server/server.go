@@ -1,12 +1,16 @@
 // Package server exposes the scenario engine over HTTP: scenario metadata
-// discovery, streamed scenario runs, and cache/operational statistics.
-// Every point computed through POST /v1/run flows through the sharded
-// result cache (internal/cache) keyed by canonical scenario.PointKey, so
-// identical (scenario, scale, point) requests are computed once and served
-// from memory afterwards; concurrent identical requests singleflight onto
-// one computation. Run results stream back as NDJSON in deterministic
-// point-enumeration order, each line flushed as the point completes, so a
-// paper-scale sweep is observable while it runs. See docs/SERVING.md.
+// discovery, streamed scenario runs, Prometheus-text metrics, and
+// operational statistics. Every point computed through POST /v1/run flows
+// through a store.Store keyed by canonical scenario.PointKey — by default
+// a sharded in-memory LRU, optionally tiered over a durable on-disk record
+// store so a restarted server serves byte-identical results with zero
+// simulation work — with singleflight de-duplication of concurrent
+// identical requests. Overload is shed, not queued without bound: each
+// client has a token bucket and the run path has a bounded admission
+// queue; both answer 429 with Retry-After. Run results stream back as
+// NDJSON in deterministic point-enumeration order, each line flushed as
+// the point completes, so a paper-scale sweep is observable while it runs.
+// See docs/SERVING.md.
 package server
 
 import (
@@ -27,23 +31,91 @@ import (
 	"pbbf/internal/protocol"
 	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
+	"pbbf/internal/store"
 )
 
-// DefaultCacheShards and DefaultCacheCapacity size the result cache when
-// Config leaves it nil: enough shards that the per-shard locks stay
-// uncontended at typical core counts, enough entries for several full
+// DefaultCacheShards and DefaultCacheCapacity size the memory tier when
+// CacheOptions leaves them zero: enough shards that the per-shard locks
+// stay uncontended at typical core counts, enough entries for several full
 // quick-scale registry runs.
 const (
 	DefaultCacheShards   = 16
 	DefaultCacheCapacity = 4096
 )
 
-// Config assembles a Server.
-type Config struct {
+// CacheOptions sizes the in-memory result tier.
+type CacheOptions struct {
+	// Shards is the independently locked shard count; 0 means
+	// DefaultCacheShards.
+	Shards int
+	// Entries is the total LRU entry bound; 0 means DefaultCacheCapacity.
+	Entries int
+}
+
+// StoreOptions configures the durable result tier.
+type StoreOptions struct {
+	// Dir is the on-disk result store directory (see internal/store).
+	// Empty disables the disk tier: results live in memory only and die
+	// with the process.
+	Dir string
+}
+
+// DefaultMaxConcurrentRuns returns the default admission bound of the run
+// path: enough concurrent runs to saturate the cores several times over
+// (runs spend time streaming, not only computing), few enough that an
+// overload burst degrades into fast 429s instead of a goroutine pile-up.
+func DefaultMaxConcurrentRuns() int { return 4 * runtime.GOMAXPROCS(0) }
+
+// DefaultRunQueueDepth is how many runs may wait for an admission slot
+// before further arrivals are shed with 429.
+const DefaultRunQueueDepth = 64
+
+// DefaultRetryAfter is the advisory Retry-After carried by backpressure
+// 429s (rate-limit 429s compute their own from the bucket's refill time).
+const DefaultRetryAfter = 1 * time.Second
+
+// LimitOptions bounds what one client — and the server as a whole — may
+// ask of the run path. The zero value enables backpressure at the
+// defaults and leaves per-client rate limiting off.
+type LimitOptions struct {
+	// RatePerSec is each client's sustained POST /v1/run budget (token
+	// bucket refill rate, keyed by client IP). 0 disables rate limiting;
+	// negative is an error.
+	RatePerSec float64
+	// Burst is the bucket depth — how many requests a client may issue
+	// back-to-back before the rate applies. 0 means max(1, RatePerSec).
+	Burst int
+	// MaxConcurrentRuns bounds runs executing at once. 0 means
+	// DefaultMaxConcurrentRuns; negative disables the admission gate.
+	MaxConcurrentRuns int
+	// RunQueueDepth bounds runs waiting for an admission slot; arrivals
+	// beyond it are shed immediately with 429. 0 means
+	// DefaultRunQueueDepth.
+	RunQueueDepth int
+	// RetryAfter is the advisory delay on backpressure 429s. 0 means
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+// Options is the validated server configuration: the registry plus one
+// option struct per concern, following the conflict-rejecting normalized()
+// idiom of netsim.Config. Deprecated flat aliases from the pre-store API
+// are folded in by normalized(); setting both spellings to conflicting
+// values is an error, never a silent preference.
+type Options struct {
 	// Registry holds the scenarios the server can run. Required.
 	Registry *scenario.Registry
-	// Cache is the point-result cache; nil constructs a default-sized one.
-	Cache *cache.Cache[scenario.Result]
+	// Results overrides the assembled result store entirely (tests,
+	// future shared/replicated backends). When set, Mem and Disk must be
+	// zero. When nil, the store is built from Mem and Disk: a sharded LRU,
+	// tiered over a disk store when Disk.Dir is set.
+	Results store.Store
+	// Mem sizes the in-memory result tier.
+	Mem CacheOptions
+	// Disk configures the durable result tier.
+	Disk StoreOptions
+	// Limits bounds the run path (per-client rate, admission queue).
+	Limits LimitOptions
 	// MaxWorkers caps the per-request sweep pool; <= 0 means GOMAXPROCS.
 	MaxWorkers int
 	// Coordinator, when non-nil, backs the distributed-sweep work
@@ -54,17 +126,119 @@ type Config struct {
 	// request (method, path, status, bytes, duration, remote address) —
 	// the `-verbose` flag.
 	AccessLog io.Writer
+
+	// Deprecated: Cache injects a prebuilt memory cache — the pre-store
+	// API. It conflicts with Results and with non-zero Mem sizing; use
+	// Mem (sizing) or Results (injection) instead.
+	Cache *cache.Cache[scenario.Result]
+}
+
+// Config is the pre-options name of Options.
+//
+// Deprecated: construct Options directly; Config remains so existing
+// callers keep compiling.
+type Config = Options
+
+// normalized folds the deprecated aliases into their option structs,
+// rejects conflicting assignments, and fills defaults — the same pass
+// netsim.Config runs before use, so both spellings behave identically.
+func (o Options) normalized() (Options, error) {
+	if o.Registry == nil {
+		return o, fmt.Errorf("server: nil registry")
+	}
+	if o.Cache != nil {
+		if o.Results != nil {
+			return o, fmt.Errorf("server: deprecated Cache conflicts with Results")
+		}
+		if o.Mem != (CacheOptions{}) {
+			return o, fmt.Errorf("server: deprecated Cache conflicts with Mem sizing %+v", o.Mem)
+		}
+	}
+	if o.Results != nil && (o.Mem != (CacheOptions{}) || o.Disk != (StoreOptions{})) {
+		return o, fmt.Errorf("server: Results store conflicts with Mem/Disk options")
+	}
+	if o.Mem.Shards == 0 {
+		o.Mem.Shards = DefaultCacheShards
+	}
+	if o.Mem.Entries == 0 {
+		o.Mem.Entries = DefaultCacheCapacity
+	}
+	if o.Mem.Shards < 0 || o.Mem.Entries < 0 {
+		return o, fmt.Errorf("server: cache sizing %d shards / %d entries must be positive", o.Mem.Shards, o.Mem.Entries)
+	}
+	if o.Limits.RatePerSec < 0 {
+		return o, fmt.Errorf("server: rate limit %v must be >= 0", o.Limits.RatePerSec)
+	}
+	if o.Limits.Burst < 0 {
+		return o, fmt.Errorf("server: rate burst %d must be >= 0", o.Limits.Burst)
+	}
+	if o.Limits.Burst == 0 {
+		o.Limits.Burst = int(o.Limits.RatePerSec)
+		if o.Limits.Burst < 1 {
+			o.Limits.Burst = 1
+		}
+	}
+	if o.Limits.MaxConcurrentRuns == 0 {
+		o.Limits.MaxConcurrentRuns = DefaultMaxConcurrentRuns()
+	}
+	if o.Limits.RunQueueDepth == 0 {
+		o.Limits.RunQueueDepth = DefaultRunQueueDepth
+	}
+	if o.Limits.RunQueueDepth < 0 {
+		return o, fmt.Errorf("server: run queue depth %d must be >= 0", o.Limits.RunQueueDepth)
+	}
+	if o.Limits.RetryAfter == 0 {
+		o.Limits.RetryAfter = DefaultRetryAfter
+	}
+	if o.Limits.RetryAfter < 0 {
+		return o, fmt.Errorf("server: retry-after %v must be positive", o.Limits.RetryAfter)
+	}
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	return o, nil
+}
+
+// buildStore assembles the result store a normalized Options describes.
+// memStats additionally reports the memory tier's cache counters when the
+// composition has one (the legacy "cache" key of /v1/stats).
+func (o Options) buildStore() (results store.Store, memStats func() cache.Stats, err error) {
+	if o.Results != nil {
+		return o.Results, nil, nil
+	}
+	var mem *store.Memory
+	if o.Cache != nil {
+		mem = store.WrapCache(o.Cache)
+	} else if mem, err = store.NewMemory(o.Mem.Shards, o.Mem.Entries); err != nil {
+		return nil, nil, err
+	}
+	if o.Disk.Dir == "" {
+		return mem, mem.CacheStats, nil
+	}
+	disk, err := store.Open(o.Disk.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return store.Tiered(mem, disk), mem.CacheStats, nil
 }
 
 // Server is the HTTP front end. It implements http.Handler; use
 // ListenAndServe for a managed listener with graceful shutdown.
 type Server struct {
 	reg        *scenario.Registry
-	cache      *cache.Cache[scenario.Result]
+	results    store.Store
+	flight     *store.Flight
+	memStats   func() cache.Stats // nil when no memory tier is visible
 	maxWorkers int
 	coord      *dist.Coordinator
 	mux        *http.ServeMux
 	start      time.Time
+
+	limiter    *rateLimiter // nil when rate limiting is off
+	gate       *runGate     // nil when the admission gate is off
+	retryAfter time.Duration
+
+	metrics *metricSet
 
 	accessMu  sync.Mutex
 	accessLog io.Writer
@@ -74,29 +248,35 @@ type Server struct {
 }
 
 // New validates the configuration and assembles the server and its routes.
-func New(cfg Config) (*Server, error) {
-	if cfg.Registry == nil {
-		return nil, fmt.Errorf("server: nil registry")
+func New(o Options) (*Server, error) {
+	o, err := o.normalized()
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Cache == nil {
-		var err error
-		if cfg.Cache, err = cache.New[scenario.Result](DefaultCacheShards, DefaultCacheCapacity); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.MaxWorkers <= 0 {
-		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
+	results, memStats, err := o.buildStore()
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{
-		reg:        cfg.Registry,
-		cache:      cfg.Cache,
-		maxWorkers: cfg.MaxWorkers,
-		coord:      cfg.Coordinator,
-		accessLog:  cfg.AccessLog,
+		reg:        o.Registry,
+		results:    results,
+		flight:     store.NewFlight(results),
+		memStats:   memStats,
+		maxWorkers: o.MaxWorkers,
+		coord:      o.Coordinator,
+		retryAfter: o.Limits.RetryAfter,
+		accessLog:  o.AccessLog,
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 	}
+	if o.Limits.RatePerSec > 0 {
+		s.limiter = newRateLimiter(o.Limits.RatePerSec, o.Limits.Burst)
+	}
+	if o.Limits.MaxConcurrentRuns > 0 {
+		s.gate = newRunGate(o.Limits.MaxConcurrentRuns, o.Limits.RunQueueDepth)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	s.mux.HandleFunc("GET /v1/scenarios/{id}", s.handleScenario)
@@ -107,27 +287,38 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
 	s.mux.HandleFunc("POST /v1/work/lease", s.handleWorkLease)
 	s.mux.HandleFunc("POST /v1/work/result", s.handleWorkResult)
+	s.metrics = newMetricSet()
 	// Unregistered routes fall through to the mux's own handling, which
 	// also answers wrong-method requests with 405 + Allow.
 	return s, nil
 }
 
-// ServeHTTP dispatches to the API routes, logging each request when an
-// access log is configured.
+// Close releases the result store (the disk tier's contract).
+func (s *Server) Close() error { return s.results.Close() }
+
+// ServeHTTP dispatches to the API routes, recording per-route metrics for
+// every request and logging each one when an access log is configured.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.accessLog == nil {
-		s.mux.ServeHTTP(w, r)
-		return
-	}
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
 	s.mux.ServeHTTP(rec, r)
+	elapsed := time.Since(start)
+	// r.Pattern is the mux pattern that matched, set by ServeHTTP —
+	// "POST /v1/run", not the raw path — so metric labels stay bounded.
+	route := r.Pattern
+	if route == "" {
+		route = "unmatched"
+	}
+	s.metrics.observe(route, r.Method, rec.status, elapsed)
+	if s.accessLog == nil {
+		return
+	}
 	line, err := json.Marshal(accessLine{
 		Method:     r.Method,
 		Path:       r.URL.Path,
 		Status:     rec.status,
 		Bytes:      rec.bytes,
-		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		DurationMS: float64(elapsed.Microseconds()) / 1000,
 		Remote:     r.RemoteAddr,
 	})
 	if err != nil {
@@ -257,20 +448,64 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sc)
 }
 
-// statsResponse is the GET /v1/stats payload.
+// StatsSchemaVersion is the statsResponse schema generation; it bumps
+// when a versioned key changes shape, never when one is added.
+const StatsSchemaVersion = 2
+
+// statsResponse is the GET /v1/stats payload. New stat families land
+// under versioned keys (store_v1, flight_v1, limits_v1) so their shapes
+// can evolve by adding a _v2 sibling instead of mutating in place; the
+// unversioned cache key is the pre-store memory-tier snapshot, kept for
+// existing consumers.
 type statsResponse struct {
-	UptimeS      float64     `json:"uptime_s"`
-	Runs         uint64      `json:"runs"`
-	PointsServed uint64      `json:"points_served"`
-	Cache        cache.Stats `json:"cache"`
+	SchemaVersion int     `json:"schema_version"`
+	UptimeS       float64 `json:"uptime_s"`
+	Runs          uint64  `json:"runs"`
+	PointsServed  uint64  `json:"points_served"`
+	// Cache is the memory tier's counters — the original stats shape.
+	// Zero when the server runs on an injected Results store with no
+	// visible memory tier.
+	Cache    cache.Stats `json:"cache"`
+	StoreV1  store.Stats `json:"store_v1"`
+	FlightV1 flightStats `json:"flight_v1"`
+	LimitsV1 limitStats  `json:"limits_v1"`
+}
+
+// flightStats snapshots the singleflight layer.
+type flightStats struct {
+	// Computes counts simulations actually run (store misses that led).
+	Computes uint64 `json:"computes"`
+	// Joins counts requests that shared another caller's computation.
+	Joins uint64 `json:"joins"`
+	// Active is the number of point computations running right now.
+	Active int64 `json:"active"`
+}
+
+func (s *Server) flightStats() flightStats {
+	return flightStats{
+		Computes: s.flight.Computes(),
+		Joins:    s.flight.Joins(),
+		Active:   s.flight.Active(),
+	}
+}
+
+func (s *Server) cacheStats() cache.Stats {
+	if s.memStats == nil {
+		return cache.Stats{}
+	}
+	return s.memStats()
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeS:      time.Since(s.start).Seconds(),
-		Runs:         s.runs.Load(),
-		PointsServed: s.pointsServed.Load(),
-		Cache:        s.cache.Stats(),
+		SchemaVersion: StatsSchemaVersion,
+		UptimeS:       time.Since(s.start).Seconds(),
+		Runs:          s.runs.Load(),
+		PointsServed:  s.pointsServed.Load(),
+		Cache:         s.cacheStats(),
+		StoreV1:       s.results.Stats(),
+		FlightV1:      s.flightStats(),
+		LimitsV1:      s.limitStats(),
 	})
 }
 
@@ -322,6 +557,7 @@ type doneLine struct {
 	CachedPoints int         `json:"cached_points"`
 	WallMS       float64     `json:"wall_ms"`
 	Cache        cache.Stats `json:"cache"`
+	Store        store.Stats `json:"store_v1"`
 }
 
 type errorLine struct {
@@ -330,6 +566,11 @@ type errorLine struct {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitRun(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	var req RunRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -440,7 +681,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	_, err = scenario.RunAllCtx(r.Context(), selected, scale, scenario.RunOptions{
 		Workers: workers,
 		Intercept: func(sc scenario.Scenario, pt scenario.Point, compute func() (scenario.Result, error)) (scenario.Result, bool, error) {
-			return s.cache.GetOrCompute(scenario.PointKey(sc.ID, scale, pt), compute)
+			return s.flight.Do(scenario.PointKey(sc.ID, scale, pt), compute)
 		},
 		OnPoint: emit,
 	})
@@ -453,7 +694,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeLine(doneLine{
 		Type: "done", Jobs: jobs, CachedPoints: cachedPoints,
 		WallMS: float64(time.Since(start).Microseconds()) / 1000,
-		Cache:  s.cache.Stats(),
+		Cache:  s.cacheStats(),
+		Store:  s.results.Stats(),
 	})
 }
 

@@ -1,0 +1,369 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pbbf/internal/scenario"
+)
+
+// DiskVersion identifies the on-disk layout (manifest and record shape).
+// Open refuses a directory written by an incompatible version instead of
+// misreading it.
+const DiskVersion = 1
+
+// Disk is the durable Store backend: one content-addressed record file per
+// canonical PointKey under a store directory. Layout:
+//
+//	dir/
+//	  STORE.json            manifest: layout version (written at creation)
+//	  objects/<hh>/<hash>   one JSON record per key, fanned out by the
+//	                        first two hex digits of the key's FNV-128 hash
+//	  quarantine/           corrupt records moved aside by Get
+//
+// Every record is written to a temp file in its final directory and
+// renamed into place, so a record either exists completely or not at all —
+// a crash mid-Put leaves at most a temp file, which Open sweeps away. Each
+// record redundantly carries its key, the scenario ID and scale segments
+// split out of that key, and a checksum of the result payload; Get
+// verifies all of them and quarantines any record that disagrees with
+// itself, so a corrupt or mis-filed record becomes a recomputable miss
+// instead of a silently wrong result.
+type Disk struct {
+	dir string
+
+	// renameMu serializes the exists-check + rename step of Put so the
+	// entry counter stays exact under concurrent writers; record
+	// marshalling and temp-file I/O happen outside it.
+	renameMu sync.Mutex
+
+	entries      atomic.Int64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	puts         atomic.Uint64
+	bytesWritten atomic.Uint64
+	quarantined  atomic.Uint64
+	errors       atomic.Uint64
+}
+
+// manifest is the store directory's identity file.
+type manifest struct {
+	Version int `json:"version"`
+}
+
+// record is one stored result. Version, Key, Scenario, and Scale form the
+// self-verifying header: Scenario and Scale must equal the segments
+// SplitKey derives from Key, and Sum must match the result payload, or the
+// record is quarantined on read.
+type record struct {
+	Version  int             `json:"version"`
+	Key      string          `json:"key"`
+	Scenario string          `json:"scenario"`
+	Scale    string          `json:"scale"`
+	Result   scenario.Result `json:"result"`
+	// Sum is the FNV-1a 64-bit hash (hex) of the marshalled Result,
+	// detecting torn or bit-rotted payloads that still parse as JSON.
+	Sum string `json:"sum"`
+}
+
+const (
+	manifestName  = "STORE.json"
+	objectsDir    = "objects"
+	quarantineDir = "quarantine"
+	tmpPrefix     = ".tmp-"
+)
+
+// Open opens (creating if needed) a disk store rooted at dir. Reopening
+// after a crash is safe: leftover temp files from interrupted Puts are
+// removed, complete records are counted, and corrupt records are left in
+// place to be quarantined lazily by the Get that touches them.
+func Open(dir string) (*Disk, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	for _, sub := range []string{objectsDir, quarantineDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	d := &Disk{dir: dir}
+	if err := d.checkManifest(); err != nil {
+		return nil, err
+	}
+	n, err := d.sweep()
+	if err != nil {
+		return nil, err
+	}
+	d.entries.Store(int64(n))
+	return d, nil
+}
+
+// checkManifest verifies an existing manifest's version or writes a fresh
+// one (atomically, like every other file in the store).
+func (d *Disk) checkManifest() error {
+	path := filepath.Join(d.dir, manifestName)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return fmt.Errorf("store: %s: unreadable manifest: %w", path, err)
+		}
+		if m.Version != DiskVersion {
+			return fmt.Errorf("store: %s: layout version %d, this binary speaks %d", path, m.Version, DiskVersion)
+		}
+		return nil
+	case os.IsNotExist(err):
+		data, err := json.Marshal(manifest{Version: DiskVersion})
+		if err != nil {
+			return err
+		}
+		return writeFileAtomic(path, data)
+	default:
+		return fmt.Errorf("store: %w", err)
+	}
+}
+
+// sweep counts complete records and removes temp files left by a crash
+// mid-Put (they were never renamed into place, so they are garbage by
+// construction).
+func (d *Disk) sweep() (int, error) {
+	n := 0
+	root := filepath.Join(d.dir, objectsDir)
+	err := filepath.WalkDir(root, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return err
+		}
+		if strings.HasPrefix(de.Name(), tmpPrefix) {
+			return os.Remove(path)
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("store: sweep: %w", err)
+	}
+	return n, nil
+}
+
+// recordPath maps a key to its record file: objects/<hh>/<hash>, with the
+// 128-bit FNV-1a hash of the key as the name. The key itself is not
+// filesystem-safe (it contains '|' and '='), and the record carries it in
+// full, so a name collision — astronomically unlikely at 128 bits —
+// degrades to a miss, never to a wrong result.
+func (d *Disk) recordPath(key string) string {
+	h := fnv.New128a()
+	h.Write([]byte(key))
+	name := fmt.Sprintf("%x", h.Sum(nil))
+	return filepath.Join(d.dir, objectsDir, name[:2], name)
+}
+
+// resultSum is the checksum of a record's payload.
+func resultSum(res scenario.Result) (string, error) {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// Get reads and verifies the record stored under key. A missing record is
+// a plain miss; a record that fails any self-check (unparsable JSON, wrong
+// record version, checksum mismatch, or a header disagreeing with its own
+// key) is moved to the quarantine directory and reported as a miss, so one
+// corrupt file costs one recomputation instead of poisoning the store. A
+// record whose key differs from the requested one (a hash collision) is
+// left in place and reported as a miss.
+func (d *Disk) Get(key string) (scenario.Result, bool, error) {
+	path := d.recordPath(key)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		d.misses.Add(1)
+		return scenario.Result{}, false, nil
+	}
+	if err != nil {
+		d.errors.Add(1)
+		return scenario.Result{}, false, fmt.Errorf("store: %w", err)
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		d.quarantine(path, fmt.Sprintf("unparsable record: %v", err))
+		return scenario.Result{}, false, nil
+	}
+	if rec.Key != key {
+		// A different key hashed to the same name: that record is valid
+		// for its own key, so it stays; this key is simply absent.
+		d.misses.Add(1)
+		return scenario.Result{}, false, nil
+	}
+	if reason := rec.verify(); reason != "" {
+		d.quarantine(path, reason)
+		return scenario.Result{}, false, nil
+	}
+	d.hits.Add(1)
+	return rec.Result, true, nil
+}
+
+// verify runs the record's self-checks, returning a human-readable reason
+// on the first failure and "" when the record is internally consistent.
+func (rec record) verify() string {
+	if rec.Version != DiskVersion {
+		return fmt.Sprintf("record version %d, want %d", rec.Version, DiskVersion)
+	}
+	sum, err := resultSum(rec.Result)
+	if err != nil || sum != rec.Sum {
+		return fmt.Sprintf("checksum mismatch: recorded %s, derived %s", rec.Sum, sum)
+	}
+	id, scaleKey, _, err := scenario.SplitKey(rec.Key)
+	if err != nil {
+		return fmt.Sprintf("malformed key: %v", err)
+	}
+	if id != rec.Scenario || scaleKey != rec.Scale {
+		return fmt.Sprintf("header (scenario=%s scale=%s) disagrees with key (scenario=%s scale=%s)",
+			rec.Scenario, rec.Scale, id, scaleKey)
+	}
+	return ""
+}
+
+// quarantine moves a failed record out of the object tree (keeping its
+// hashed name) so the next Get recomputes, and the operator can inspect
+// what went wrong. Removal failures fall back to deletion; the one thing
+// that must not happen is serving the record again.
+func (d *Disk) quarantine(path, reason string) {
+	d.quarantined.Add(1)
+	d.misses.Add(1)
+	d.entries.Add(-1)
+	dst := filepath.Join(d.dir, quarantineDir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+		return
+	}
+	// Best-effort sidecar naming the failure, for post-mortems.
+	os.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644)
+}
+
+// Put persists the result under key: marshal the self-verifying record,
+// write it to a temp file in the final fan-out directory, then rename into
+// place. The rename is atomic on POSIX filesystems, so concurrent readers
+// see either no record or a complete one, and a crash at any instant
+// leaves the store consistent.
+func (d *Disk) Put(key string, res scenario.Result) error {
+	id, scaleKey, _, err := scenario.SplitKey(key)
+	if err != nil {
+		d.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	sum, err := resultSum(res)
+	if err != nil {
+		d.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	data, err := json.Marshal(record{
+		Version:  DiskVersion,
+		Key:      key,
+		Scenario: id,
+		Scale:    scaleKey,
+		Result:   res,
+		Sum:      sum,
+	})
+	if err != nil {
+		d.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	data = append(data, '\n')
+	path := d.recordPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		d.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), tmpPrefix+filepath.Base(path)+"-*")
+	if err != nil {
+		d.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	d.renameMu.Lock()
+	_, statErr := os.Stat(path)
+	fresh := os.IsNotExist(statErr)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		d.renameMu.Unlock()
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if fresh {
+		d.entries.Add(1)
+	}
+	d.renameMu.Unlock()
+	d.puts.Add(1)
+	d.bytesWritten.Add(uint64(len(data)))
+	return nil
+}
+
+// Len returns the stored record count (maintained incrementally; exact
+// as of the last Open plus this process's Puts and quarantines).
+func (d *Disk) Len() int { return int(d.entries.Load()) }
+
+// Stats snapshots the disk counters.
+func (d *Disk) Stats() Stats {
+	return Stats{
+		Kind:         "disk",
+		Hits:         d.hits.Load(),
+		Misses:       d.misses.Load(),
+		Puts:         d.puts.Load(),
+		Entries:      d.Len(),
+		BytesWritten: d.bytesWritten.Load(),
+		Quarantined:  d.quarantined.Load(),
+		Errors:       d.errors.Load(),
+	}
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Close releases nothing — every Put is durable when it returns — but is
+// part of the contract so future backends holding descriptors or
+// connections can hook it.
+func (d *Disk) Close() error { return nil }
+
+// writeFileAtomic writes data to path via temp-file-then-rename, the same
+// crash-safety discipline Put uses.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), tmpPrefix+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

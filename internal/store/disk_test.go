@@ -1,0 +1,299 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"pbbf/internal/scenario"
+)
+
+// testKey mints a real canonical PointKey: the disk store's self-checks
+// split keys with scenario.SplitKey, so synthetic strings would not pass.
+func testKey(t *testing.T, id string, seed uint64, x float64) string {
+	t.Helper()
+	s := scenario.Quick()
+	s.Seed = seed
+	return scenario.PointKey(id, s, scenario.Point{
+		Series: "a", X: x, Params: map[string]float64{"q": x},
+	})
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "fig8", 1, 0.5)
+	if _, ok, err := d.Get(key); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	want := scenario.Result{Y: 42, EnergyJ: 1.5, LatencyS: 0.25, Delivery: 1}
+	if err := d.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d.Get(key)
+	if !ok || err != nil || got != want {
+		t.Fatalf("get: %+v ok=%v err=%v", got, ok, err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len %d", d.Len())
+	}
+	st := d.Stats()
+	if st.Kind != "disk" || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.BytesWritten == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Overwriting the same key is idempotent and does not grow the store.
+	if err := d.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len after re-put %d", d.Len())
+	}
+}
+
+// TestDiskReopen is the durability core: a fresh process (a new Disk on
+// the same directory) serves every record byte-for-byte, and leftover temp
+// files from a Put interrupted by a crash are swept away.
+func TestDiskReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = testKey(t, "fig8", uint64(i+1), 0.5)
+		if err := d.Put(keys[i], scenario.Result{Y: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash mid-Put: a temp file that never got renamed.
+	torn := filepath.Join(dir, objectsDir, "ab")
+	if err := os.MkdirAll(torn, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tornFile := filepath.Join(torn, tmpPrefix+"crashed")
+	if err := os.WriteFile(tornFile, []byte(`{"version":1,"key":"half`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != len(keys) {
+		t.Fatalf("reopened len %d, want %d", d2.Len(), len(keys))
+	}
+	if _, err := os.Stat(tornFile); !os.IsNotExist(err) {
+		t.Fatalf("crash temp file survived reopen: %v", err)
+	}
+	for i, key := range keys {
+		got, ok, err := d2.Get(key)
+		if !ok || err != nil || got.Y != float64(i) {
+			t.Fatalf("key %d after reopen: %+v ok=%v err=%v", i, got, ok, err)
+		}
+	}
+}
+
+func TestDiskManifestVersionGate(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("future-version store accepted: %v", err)
+	}
+}
+
+// corruptCases mutates a valid record in every way the self-checks must
+// catch; each one must quarantine the file and turn the Get into a miss.
+func TestDiskQuarantine(t *testing.T) {
+	key := testKey(t, "fig8", 1, 0.5)
+	cases := []struct {
+		name    string
+		corrupt func(data []byte) []byte
+	}{
+		{"truncated", func(data []byte) []byte { return data[:len(data)/2] }},
+		{"not json", func(data []byte) []byte { return []byte("!!definitely not json!!") }},
+		{"payload flipped", func(data []byte) []byte {
+			return []byte(strings.Replace(string(data), `"y":42`, `"y":43`, 1))
+		}},
+		{"wrong record version", func(data []byte) []byte {
+			return []byte(strings.Replace(string(data), `"version":1`, `"version":7`, 1))
+		}},
+		{"header disagrees with key", func(data []byte) []byte {
+			return []byte(strings.Replace(string(data), `"scenario":"fig8"`, `"scenario":"fig9"`, 1))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Put(key, scenario.Result{Y: 42}); err != nil {
+				t.Fatal(err)
+			}
+			path := d.recordPath(key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, err := d.Get(key); ok || err != nil {
+				t.Fatalf("corrupt record served: ok=%v err=%v", ok, err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt record still in object tree: %v", err)
+			}
+			moved, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+			if err != nil || len(moved) == 0 {
+				t.Fatalf("quarantine empty: %v", err)
+			}
+			st := d.Stats()
+			if st.Quarantined != 1 || st.Entries != 0 {
+				t.Fatalf("stats after quarantine: %+v", st)
+			}
+			// The slot is recomputable: a fresh Put must serve again.
+			if err := d.Put(key, scenario.Result{Y: 42}); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok, _ := d.Get(key); !ok || got.Y != 42 {
+				t.Fatalf("slot not recomputable after quarantine: %+v ok=%v", got, ok)
+			}
+		})
+	}
+}
+
+// TestDiskConcurrent hammers one store with mixed Get/Put across keys,
+// including colliding writers on the same key — run under -race this is
+// the concurrency proof for the serving path's shared store.
+func TestDiskConcurrent(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const keyCount = 16
+	keys := make([]string, keyCount)
+	for i := range keys {
+		keys[i] = testKey(t, "fig8", uint64(i+1), 0.5)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := keys[(w+i)%keyCount]
+				want := float64((w + i) % keyCount)
+				if i%3 == 0 {
+					if err := d.Put(key, scenario.Result{Y: want}); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				got, ok, err := d.Get(key)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok && got.Y != want {
+					t.Errorf("key %s: got %v want %v", key, got.Y, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != keyCount {
+		t.Fatalf("len %d, want %d", d.Len(), keyCount)
+	}
+	if st := d.Stats(); st.Errors != 0 || st.Quarantined != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDiskRejectsMalformedKey(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("not a canonical key", scenario.Result{Y: 1}); err == nil {
+		t.Fatal("malformed key accepted")
+	}
+	if st := d.Stats(); st.Errors != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+// TestDiskLayoutFanOut pins the record fan-out: records land under
+// objects/<hh>/ where <hh> is the first two hex digits of the key hash, so
+// a million-point store never piles every file into one directory.
+func TestDiskLayoutFanOut(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "fig8", 1, 0.5)
+	path := d.recordPath(key)
+	rel, err := filepath.Rel(d.Dir(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.Split(rel, string(filepath.Separator))
+	if len(parts) != 3 || parts[0] != objectsDir || len(parts[1]) != 2 || !strings.HasPrefix(parts[2], parts[1]) {
+		t.Fatalf("unexpected layout %q", rel)
+	}
+	if len(parts[2]) != 32 { // 128-bit hash in hex
+		t.Fatalf("record name %q not a 128-bit hash", parts[2])
+	}
+}
+
+func BenchmarkDiskGet(b *testing.B) {
+	d, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := scenario.Quick()
+	key := scenario.PointKey("fig8", s, scenario.Point{Series: "a", X: 0.5, Params: map[string]float64{"q": 0.5}})
+	if err := d.Put(key, scenario.Result{Y: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _ := d.Get(key); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func ExampleOpen() {
+	dir, _ := os.MkdirTemp("", "store")
+	defer os.RemoveAll(dir)
+	d, _ := Open(dir)
+	s := scenario.Quick()
+	key := scenario.PointKey("fig8", s, scenario.Point{Series: "a", X: 0, Params: map[string]float64{"q": 0}})
+	d.Put(key, scenario.Result{Y: 3.5})
+	res, ok, _ := d.Get(key)
+	fmt.Println(ok, res.Y)
+	// Output: true 3.5
+}

@@ -1,0 +1,99 @@
+package store
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"pbbf/internal/scenario"
+)
+
+// tiered chains stores front to back: Get walks the tiers in order and
+// promotes a deep hit into every tier in front of it, Put writes through
+// to all tiers. The canonical composition is Tiered(mem, disk) — an LRU
+// working set in front of the durable record tree — but any depth works.
+type tiered struct {
+	tiers []Store
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	puts   atomic.Uint64
+}
+
+// Tiered composes stores front (fastest, checked first) to back (most
+// durable, written through). Passing a single store returns it unchanged.
+func Tiered(tiers ...Store) Store {
+	if len(tiers) == 1 {
+		return tiers[0]
+	}
+	return &tiered{tiers: tiers}
+}
+
+// Get returns the first tier's hit, falling through to deeper tiers on
+// misses. A deep hit is promoted into the tiers in front of it, so a
+// restarted server's first touch of a key pays one disk read and every
+// later touch is a memory hit. Backend errors on a tier are returned only
+// if no deeper tier can answer.
+func (t *tiered) Get(key string) (res scenario.Result, ok bool, err error) {
+	var firstErr error
+	for i, tier := range t.tiers {
+		res, ok, err := tier.Get(key)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if !ok {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if perr := t.tiers[j].Put(key, res); perr != nil && firstErr == nil {
+				firstErr = perr // promotion failure is non-fatal: the hit stands
+			}
+		}
+		t.hits.Add(1)
+		return res, true, nil
+	}
+	t.misses.Add(1)
+	return res, false, firstErr
+}
+
+// Put writes through to every tier. The first error is returned, but all
+// tiers are attempted: a full disk must not stop the memory tier from
+// serving, and vice versa.
+func (t *tiered) Put(key string, res scenario.Result) error {
+	var firstErr error
+	for _, tier := range t.tiers {
+		if err := tier.Put(key, res); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	t.puts.Add(1)
+	return firstErr
+}
+
+// Len reports the deepest tier's count — the full result set; tiers in
+// front hold working-set subsets of it.
+func (t *tiered) Len() int { return t.tiers[len(t.tiers)-1].Len() }
+
+// Stats reports the composite counters with each tier's snapshot attached.
+func (t *tiered) Stats() Stats {
+	s := Stats{
+		Kind:    "tiered",
+		Hits:    t.hits.Load(),
+		Misses:  t.misses.Load(),
+		Puts:    t.puts.Load(),
+		Entries: t.Len(),
+		Tiers:   make([]Stats, 0, len(t.tiers)),
+	}
+	for _, tier := range t.tiers {
+		s.Tiers = append(s.Tiers, tier.Stats())
+	}
+	return s
+}
+
+// Close closes every tier, joining their errors.
+func (t *tiered) Close() error {
+	var errs []error
+	for _, tier := range t.tiers {
+		errs = append(errs, tier.Close())
+	}
+	return errors.Join(errs...)
+}
