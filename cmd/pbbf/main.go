@@ -11,6 +11,7 @@
 //	pbbf -experiment all -scale quick -format json
 //	pbbf bench -out BENCH.json
 //	pbbf bench -out BENCH_new.json -baseline BENCH.json -threshold 0.30
+//	pbbf trace -scenario extcompare -point 1 -runs 1 -events packet,radio
 //	pbbf sweep -experiment all -scale paper -checkpoint paper.ckpt.json
 //	pbbf sweep -experiment all -scale paper -distribute :8099 -format json
 //	pbbf worker -coordinator http://coordinator-host:8099
@@ -32,6 +33,13 @@
 // allocations, events fired per scenario), and — when -baseline is given —
 // exits non-zero if any scenario regressed more than -threshold against
 // it. See docs/BENCHMARKS.md.
+//
+// The trace subcommand runs one parameter point with the event-level
+// recorder attached and streams the result as deterministic NDJSON: a
+// header line, every simulation event (frame tx/rx, collision and fade
+// drops, duplicate suppression, wake/sleep, energy meter transitions,
+// node deaths), a per-node summary per run, and the aggregate result.
+// See docs/OBSERVABILITY.md for the schema.
 //
 // The sweep subcommand is the long-run workhorse: per-point progress on
 // stderr and, with -checkpoint, crash-safe resumability — every completed
@@ -67,6 +75,7 @@ import (
 	"pbbf/internal/experiments"
 	"pbbf/internal/protocol"
 	"pbbf/internal/scenario"
+	"pbbf/internal/trace"
 )
 
 func main() {
@@ -92,6 +101,8 @@ func runCtx(ctx context.Context, args []string, out, errOut io.Writer) error {
 		switch args[0] {
 		case "bench":
 			return runBench(args[1:], out)
+		case "trace":
+			return runTrace(args[1:], out)
 		case "serve":
 			return runServe(ctx, args[1:], out, errOut)
 		case "sweep":
@@ -176,6 +187,8 @@ func runBench(args []string, out io.Writer) error {
 		baseline  = fs.String("baseline", "", "baseline report to compare against (empty = no gate)")
 		threshold = fs.Float64("threshold", 0.30, "per-scenario ns/point and allocs/point regression tolerance vs the baseline")
 		heapOut   = fs.String("heap-profile", "", "write a pprof heap profile here after the run (empty = none)")
+		traceSink = fs.String("trace", "", "attach the event recorder to every run: \"discard\" records a fully-instrumented report for manual comparison (-overhead-gate is the CI gate); empty = untraced")
+		overhead  = fs.Float64("overhead-gate", 0, "measure tracing overhead with interleaved untraced/traced pairs and fail any scenario whose traced arm is more than this fraction slower (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -197,6 +210,9 @@ func runBench(args []string, out io.Writer) error {
 	if *threshold <= 0 {
 		return fmt.Errorf("threshold must be positive, got %v", *threshold)
 	}
+	if *overhead < 0 {
+		return fmt.Errorf("overhead-gate must be non-negative, got %v", *overhead)
+	}
 	if *outPath == "" {
 		return fmt.Errorf("missing -out path")
 	}
@@ -210,12 +226,67 @@ func runBench(args []string, out io.Writer) error {
 		}
 	}
 
+	var provider trace.Provider
+	switch *traceSink {
+	case "":
+	case "discard":
+		provider = trace.DiscardProvider
+	default:
+		return fmt.Errorf("bench: unknown -trace sink %q (want \"discard\" or empty)", *traceSink)
+	}
+
+	// Overhead-gate mode replaces the normal report: interleaved
+	// untraced/traced pairs in this one process, gated on the ratio. Two
+	// separate invocations can't gate tracing cost tightly — machine drift
+	// between them exceeds any honest bound on the instrumentation itself.
+	if *overhead > 0 {
+		if *baseline != "" || *traceSink != "" {
+			return fmt.Errorf("bench: -overhead-gate measures both arms itself; drop -baseline/-trace")
+		}
+		orep, err := bench.RunOverhead(experiments.Registry().All(), bench.Config{
+			Scale:     scale,
+			ScaleName: *scaleName,
+			Workers:   *workers,
+			Repeats:   *repeats,
+			Progress:  out,
+		})
+		if err != nil {
+			return err
+		}
+		// Only write a report where one was asked for: the default -out
+		// names the BENCH.json schema, which this mode does not produce.
+		explicitOut := false
+		fs.Visit(func(f *flag.Flag) { explicitOut = explicitOut || f.Name == "out" })
+		if explicitOut {
+			if err := orep.WriteFile(*outPath); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s: %d scenarios\n", *outPath, len(orep.Results))
+		}
+		var over []bench.OverheadResult
+		for _, r := range orep.Results {
+			if r.Gated && r.Ratio > 1+*overhead {
+				over = append(over, r)
+			}
+		}
+		if len(over) == 0 {
+			fmt.Fprintf(out, "tracing overhead within %.0f%% on every gated scenario\n", *overhead*100)
+			return nil
+		}
+		for _, r := range over {
+			fmt.Fprintf(out, "TRACE OVERHEAD %-12s %d -> %d ns/pt (%.2fx)\n",
+				r.ID, r.UntracedNSPerPoint, r.TracedNSPerPoint, r.Ratio)
+		}
+		return fmt.Errorf("%d scenario(s) exceed the %.0f%% tracing-overhead gate", len(over), *overhead*100)
+	}
+
 	rep, err := bench.Run(experiments.Registry().All(), bench.Config{
-		Scale:     scale,
-		ScaleName: *scaleName,
-		Workers:   *workers,
-		Repeats:   *repeats,
-		Progress:  out,
+		Scale:         scale,
+		ScaleName:     *scaleName,
+		Workers:       *workers,
+		Repeats:       *repeats,
+		Progress:      out,
+		TraceProvider: provider,
 	})
 	if err != nil {
 		return err

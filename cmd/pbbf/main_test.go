@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -265,6 +266,46 @@ func TestBenchGatesOnBaseline(t *testing.T) {
 	}
 }
 
+func TestBenchOverheadGate(t *testing.T) {
+	dir := t.TempDir()
+	// A gate of 100 (10000%) cannot trip: this exercises the interleaved
+	// measurement and the report write, not the bound.
+	path, err := benchArgs(t, dir, "-overhead-gate", "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.OverheadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scale != "quick" || rep.Workers != 1 || len(rep.Results) == 0 {
+		t.Fatalf("overhead report header: %+v", rep)
+	}
+	for _, r := range rep.Results {
+		if r.UntracedNSPerPoint <= 0 || r.TracedNSPerPoint <= 0 || r.Points <= 0 {
+			t.Fatalf("unmeasured scenario: %+v", r)
+		}
+	}
+
+	// The gate measures both arms itself; combining it with the
+	// cross-invocation comparison flags is a contradiction, not a noop.
+	if _, err := benchArgs(t, dir, "-overhead-gate", "0.15", "-baseline", path); err == nil {
+		t.Fatal("-overhead-gate with -baseline accepted")
+	}
+	if _, err := benchArgs(t, dir, "-overhead-gate", "0.15", "-trace", "discard"); err == nil {
+		t.Fatal("-overhead-gate with -trace accepted")
+	}
+	// A negative gate must be rejected, not silently fall through to a
+	// normal (ungated) bench run.
+	if _, err := benchArgs(t, dir, "-overhead-gate", "-1"); err == nil {
+		t.Fatal("negative -overhead-gate accepted")
+	}
+}
+
 func TestSweepMatchesRunOutput(t *testing.T) {
 	var direct, swept strings.Builder
 	if err := run([]string{"-experiment", "fig6", "-format", "json"}, &direct); err != nil {
@@ -354,18 +395,66 @@ func TestSweepCheckpointRejectsMismatchedRun(t *testing.T) {
 	}
 }
 
-func TestSweepProgressLines(t *testing.T) {
+func TestSweepProgressSummary(t *testing.T) {
+	// The default progress mode is the periodic structured summary: the
+	// run always ends with one "done" line carrying position and rate,
+	// and never emits the classic per-point lines.
 	var out, errOut strings.Builder
 	if err := runSweep(context.Background(), []string{"-experiment", "fig6"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	progress := errOut.String()
+	if !strings.Contains(progress, `"type":"done"`) || !strings.Contains(progress, `"rate_pps"`) {
+		t.Fatalf("no summary progress line:\n%s", progress)
+	}
+	if strings.Contains(progress, "[1/") {
+		t.Fatalf("per-point lines leaked into summary mode:\n%s", progress)
+	}
+	// Progress must stay off the experiment-output stream.
+	if strings.Contains(out.String(), `"type":"done"`) {
+		t.Fatal("progress leaked into experiment output")
+	}
+}
+
+func TestSweepProgressEvery(t *testing.T) {
+	// -progress-every N restores the classic per-point lines, thinned to
+	// every Nth completion (plus the final one).
+	var out, errOut strings.Builder
+	if err := runSweep(context.Background(), []string{"-experiment", "fig6", "-progress-every", "1"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	progress := errOut.String()
 	if !strings.Contains(progress, "fig6 series") || !strings.Contains(progress, "[1/") {
 		t.Fatalf("no per-point progress lines:\n%s", progress)
 	}
-	// Progress must stay off the experiment-output stream.
+	if strings.Contains(progress, `"type":"done"`) {
+		t.Fatalf("summary line leaked into per-point mode:\n%s", progress)
+	}
 	if strings.Contains(out.String(), "[1/") {
 		t.Fatal("progress leaked into experiment output")
+	}
+
+	// Thinned: every 4th of fig6's points plus the final line.
+	errOut.Reset()
+	if err := runSweep(context.Background(), []string{"-experiment", "fig6", "-progress-every", "4"}, io.Discard, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(errOut.String(), "[")
+	if lines == 0 || lines >= strings.Count(progress, "[") {
+		t.Fatalf("progress-every 4 emitted %d lines, want fewer than every-1's %d and more than 0",
+			lines, strings.Count(progress, "["))
+	}
+
+	// A negative thinning interval is rejected.
+	if err := runSweep(context.Background(), []string{"-experiment", "fig6", "-progress-every", "-1"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("negative -progress-every accepted")
+	}
+}
+
+func TestSweepPprofRequiresDistribute(t *testing.T) {
+	err := runSweep(context.Background(), []string{"-experiment", "fig6", "-pprof"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-pprof requires -distribute") {
+		t.Fatalf("err = %v, want -pprof requires -distribute", err)
 	}
 }
 

@@ -33,6 +33,7 @@ func runServe(ctx context.Context, args []string, out, errOut io.Writer) error {
 		retryAfter = fs.Duration("retry-after", server.DefaultRetryAfter, "advisory Retry-After on backpressure 429s")
 		maxWorkers = fs.Int("max-workers", runtime.GOMAXPROCS(0), "per-request sweep worker cap")
 		verbose    = fs.Bool("verbose", false, "structured JSON access log on stderr, one line per request")
+		pprofOn    = fs.Bool("pprof", false, "register unauthenticated /debug/pprof handlers (debug only; bind loopback)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,8 +67,9 @@ func runServe(ctx context.Context, args []string, out, errOut io.Writer) error {
 			RunQueueDepth:     *runQueue,
 			RetryAfter:        *retryAfter,
 		},
-		MaxWorkers: *maxWorkers,
-		AccessLog:  accessLog,
+		MaxWorkers:  *maxWorkers,
+		AccessLog:   accessLog,
+		EnablePprof: *pprofOn,
 	})
 	if err != nil {
 		return err

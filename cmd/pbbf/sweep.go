@@ -8,16 +8,18 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"time"
 
 	"pbbf/internal/dist"
 	"pbbf/internal/experiments"
 	"pbbf/internal/scenario"
 	"pbbf/internal/server"
+	"pbbf/internal/sweep"
 )
 
 // runSweep implements the sweep subcommand: the same scenario selection
-// and output formats as the default run mode, plus per-point progress
-// lines and two long-run modes that compose freely:
+// and output formats as the default run mode, plus periodic structured
+// progress telemetry and two long-run modes that compose freely:
 //
 //   - -checkpoint FILE makes the run resumable: every completed point
 //     result is persisted (atomically, after each point) and skipped on
@@ -34,18 +36,20 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("pbbf sweep", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		experiment  = fs.String("experiment", "all", "scenario id (e.g. fig8) or \"all\"")
-		scaleName   = fs.String("scale", "quick", "scenario scale: quick, paper, bench, or large")
-		format      = fs.String("format", "table", "output format: table, csv, json, or ndjson")
-		seed        = fs.Uint64("seed", 1, "root random seed")
-		protoName   = fs.String("protocol", "", "broadcast protocol for network scenarios: pbbf (default), sleepsched, or ola")
-		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep (local mode; -distribute uses -outstanding)")
-		checkpoint  = fs.String("checkpoint", "", "checkpoint file for resumable runs (empty = no persistence)")
-		progress    = fs.Bool("progress", true, "print one line per completed point to stderr")
-		distribute  = fs.String("distribute", "", "listen address for a distributed sweep (e.g. :8099); empty = compute locally")
-		leaseTTL    = fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "how long workers hold leased points before requeue (distributed mode)")
-		outstanding = fs.Int("outstanding", 256, "max points leased out concurrently (distributed mode)")
-		verbose     = fs.Bool("verbose", false, "structured access log for coordinator requests on stderr (distributed mode)")
+		experiment    = fs.String("experiment", "all", "scenario id (e.g. fig8) or \"all\"")
+		scaleName     = fs.String("scale", "quick", "scenario scale: quick, paper, bench, or large")
+		format        = fs.String("format", "table", "output format: table, csv, json, or ndjson")
+		seed          = fs.Uint64("seed", 1, "root random seed")
+		protoName     = fs.String("protocol", "", "broadcast protocol for network scenarios: pbbf (default), sleepsched, or ola")
+		workers       = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep (local mode; -distribute uses -outstanding)")
+		checkpoint    = fs.String("checkpoint", "", "checkpoint file for resumable runs (empty = no persistence)")
+		progress      = fs.Bool("progress", true, "periodic JSON progress summaries (done/total, rate, ETA) on stderr")
+		progressEvery = fs.Int("progress-every", 0, "print the classic per-point progress line every N completed points instead of the periodic summary (0 = summary)")
+		distribute    = fs.String("distribute", "", "listen address for a distributed sweep (e.g. :8099); empty = compute locally")
+		pprofOn       = fs.Bool("pprof", false, "register unauthenticated /debug/pprof handlers on the coordinator (distributed mode; bind loopback)")
+		leaseTTL      = fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "how long workers hold leased points before requeue (distributed mode)")
+		outstanding   = fs.Int("outstanding", 256, "max points leased out concurrently (distributed mode)")
+		verbose       = fs.Bool("verbose", false, "structured access log for coordinator requests on stderr (distributed mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +86,12 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if *leaseTTL <= 0 {
 		return fmt.Errorf("lease-ttl must be positive, got %v", *leaseTTL)
 	}
+	if *progressEvery < 0 {
+		return fmt.Errorf("progress-every must be non-negative, got %d", *progressEvery)
+	}
+	if *pprofOn && *distribute == "" {
+		return fmt.Errorf("sweep: -pprof requires -distribute (there is no HTTP surface in local mode)")
+	}
 
 	reg := experiments.Registry()
 	var selected []scenario.Scenario
@@ -111,6 +121,7 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 			Registry:    reg,
 			Coordinator: coord,
 			AccessLog:   accessLog,
+			EnablePprof: *pprofOn,
 		})
 		if err != nil {
 			return err
@@ -212,8 +223,20 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 			return res, false, err
 		}
 	}
-	if *progress {
+	// Progress: the default is a periodic structured summary (one JSON line
+	// with done/total, rate, and ETA every few seconds — plus the per-worker
+	// throughput of a distributed sweep), not a line per point; a paper-scale
+	// run completes thousands of points and the per-point stream buries the
+	// one number an operator wants. -progress-every N restores the classic
+	// per-point lines, thinned to every Nth completion.
+	var reporter *sweep.Reporter
+	switch {
+	case *progress && *progressEvery > 0:
+		every := *progressEvery
 		opts.OnPoint = func(ev scenario.PointEvent) {
+			if ev.Done%every != 0 && ev.Done != ev.Total {
+				return
+			}
 			if ev.Point == nil {
 				fmt.Fprintf(errOut, "[%d/%d] %s table\n", ev.Done, ev.Total, ev.ScenarioID)
 				return
@@ -224,9 +247,35 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 			}
 			fmt.Fprintf(errOut, "[%d/%d] %s %s%s\n", ev.Done, ev.Total, ev.ScenarioID, ev.Point.Label(), suffix)
 		}
+	case *progress:
+		reporter = sweep.NewReporter(errOut, 5*time.Second)
+		if coord != nil {
+			reporter.SetWorkers(func() []sweep.WorkerProgress {
+				snap := coord.Snapshot()
+				ws := make([]sweep.WorkerProgress, 0, len(snap.Workers))
+				for _, w := range snap.Workers {
+					ws = append(ws, sweep.WorkerProgress{
+						ID:          w.ID,
+						Name:        w.Name,
+						Alive:       w.Alive,
+						Quarantined: w.Quarantined,
+						Leased:      w.Leased,
+						Completed:   w.Completed,
+						Failed:      w.Failed,
+					})
+				}
+				return ws
+			})
+		}
+		opts.OnPoint = func(ev scenario.PointEvent) {
+			reporter.Observe(ev.Done, ev.Total, ev.Cached)
+		}
 	}
 
 	outputs, err := scenario.RunAllCtx(ctx, selected, scale, opts)
+	if reporter != nil {
+		reporter.Finish()
+	}
 	if err != nil {
 		if cp != nil {
 			fmt.Fprintf(errOut, "sweep: interrupted with %d point(s) checkpointed in %s; rerun to resume\n",

@@ -9,6 +9,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 
 	"pbbf/internal/scenario"
 	"pbbf/internal/sim"
+	"pbbf/internal/trace"
 )
 
 // SchemaVersion identifies the report layout. Bump when fields change
@@ -123,6 +125,11 @@ type Config struct {
 	Repeats int
 	// Progress, when non-nil, receives one line per finished scenario.
 	Progress io.Writer
+	// TraceProvider, when non-nil, attaches the event recorder to every
+	// simulation run — the trace overhead gate: benchmarking with
+	// trace.DiscardProvider against an untraced baseline bounds the cost
+	// of full instrumentation. nil (the default) measures untraced runs.
+	TraceProvider trace.Provider
 }
 
 // Run benchmarks every scenario in the registry sequentially and returns
@@ -157,6 +164,10 @@ func Run(scenarios []scenario.Scenario, cfg Config) (*Report, error) {
 		Seed:          cfg.Scale.Seed,
 		Scenarios:     make([]ScenarioResult, 0, len(scenarios)),
 	}
+	ctx := context.Background()
+	if cfg.TraceProvider != nil {
+		ctx = trace.WithProvider(ctx, cfg.TraceProvider)
+	}
 	var ms0, ms1 runtime.MemStats
 	total := time.Now()
 	for _, sc := range scenarios {
@@ -171,7 +182,8 @@ func Run(scenarios []scenario.Scenario, cfg Config) (*Report, error) {
 			runtime.ReadMemStats(&ms0)
 			fired0 := sim.TotalFired()
 			start := time.Now()
-			outs, err := scenario.RunAll([]scenario.Scenario{sc}, cfg.Scale, cfg.Workers)
+			outs, err := scenario.RunAllCtx(ctx, []scenario.Scenario{sc}, cfg.Scale,
+				scenario.RunOptions{Workers: cfg.Workers})
 			wall := time.Since(start)
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s: %w", sc.ID, err)
@@ -211,6 +223,131 @@ func Run(scenarios []scenario.Scenario, cfg Config) (*Report, error) {
 	}
 	rep.TotalWallNS = time.Since(total).Nanoseconds()
 	return rep, nil
+}
+
+// OverheadResult is one scenario's paired traced-vs-untraced measurement
+// from RunOverhead.
+type OverheadResult struct {
+	// ID is the scenario's registry handle.
+	ID string `json:"id"`
+	// Points is the number of parameter points per run.
+	Points int `json:"points"`
+	// UntracedNSPerPoint and TracedNSPerPoint are each arm's fastest
+	// repeat.
+	UntracedNSPerPoint int64 `json:"untraced_ns_per_point"`
+	TracedNSPerPoint   int64 `json:"traced_ns_per_point"`
+	// Ratio is Traced/Untraced (1.10 = full instrumentation costs 10%).
+	Ratio float64 `json:"ratio"`
+	// Gated is false when the untraced arm sits under NoiseFloorNS —
+	// recorded for the report, excluded from the gate.
+	Gated bool `json:"gated"`
+}
+
+// OverheadReport is the machine-readable record of a RunOverhead pass.
+type OverheadReport struct {
+	SchemaVersion int              `json:"schema_version"`
+	Scale         string           `json:"scale"`
+	Workers       int              `json:"workers"`
+	Seed          uint64           `json:"seed"`
+	Repeats       int              `json:"repeats"`
+	Results       []OverheadResult `json:"results"`
+}
+
+// WriteFile serializes the overhead report as indented JSON.
+func (r *OverheadReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunOverhead measures the cost of full event instrumentation: each
+// scenario runs Repeats untraced/traced pairs — the traced arm records
+// every event into trace.Discard — alternating within this one process,
+// and each arm keeps its fastest repeat. Pairing the arms back to back
+// cancels the machine drift (thermal state, background load, build
+// cache) that makes two separate bench invocations incomparable, so the
+// ratio can be gated far inside the cross-invocation noise floor.
+// Config.TraceProvider is ignored; the arms define their own.
+func RunOverhead(scenarios []scenario.Scenario, cfg Config) (*OverheadReport, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("bench: workers %d must be positive", cfg.Workers)
+	}
+	if cfg.Repeats == 0 {
+		cfg.Repeats = DefaultRepeats
+	}
+	if cfg.Repeats < 0 {
+		return nil, fmt.Errorf("bench: repeats %d must be positive", cfg.Repeats)
+	}
+	if err := cfg.Scale.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &OverheadReport{
+		SchemaVersion: SchemaVersion,
+		Scale:         cfg.ScaleName,
+		Workers:       cfg.Workers,
+		Seed:          cfg.Scale.Seed,
+		Repeats:       cfg.Repeats,
+		Results:       make([]OverheadResult, 0, len(scenarios)),
+	}
+	plain := context.Background()
+	traced := trace.WithProvider(context.Background(), trace.DiscardProvider)
+	for _, sc := range scenarios {
+		var res OverheadResult
+		for try := 0; try < cfg.Repeats; try++ {
+			pWall, points, err := measureOnce(plain, sc, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", sc.ID, err)
+			}
+			tWall, _, err := measureOnce(traced, sc, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (traced): %w", sc.ID, err)
+			}
+			if try == 0 {
+				res = OverheadResult{ID: sc.ID, Points: points,
+					UntracedNSPerPoint: pWall, TracedNSPerPoint: tWall}
+			} else {
+				res.UntracedNSPerPoint = min(res.UntracedNSPerPoint, pWall)
+				res.TracedNSPerPoint = min(res.TracedNSPerPoint, tWall)
+			}
+		}
+		// The fields hold total wall until here; the noise floor is a
+		// wall-time bound, same as Compare's.
+		res.Gated = res.UntracedNSPerPoint >= NoiseFloorNS
+		res.UntracedNSPerPoint /= int64(res.Points)
+		res.TracedNSPerPoint /= int64(res.Points)
+		if res.UntracedNSPerPoint > 0 {
+			res.Ratio = float64(res.TracedNSPerPoint) / float64(res.UntracedNSPerPoint)
+		}
+		rep.Results = append(rep.Results, res)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "%-12s %12d ns/pt untraced %12d ns/pt traced %6.2fx\n",
+				res.ID, res.UntracedNSPerPoint, res.TracedNSPerPoint, res.Ratio)
+		}
+	}
+	return rep, nil
+}
+
+// measureOnce runs one scenario once under ctx and returns its total wall
+// time in nanoseconds and point count (1 for table scenarios).
+func measureOnce(ctx context.Context, sc scenario.Scenario, cfg Config) (int64, int, error) {
+	runtime.GC() // attribute floating garbage consistently across arms
+	start := time.Now()
+	outs, err := scenario.RunAllCtx(ctx, []scenario.Scenario{sc}, cfg.Scale,
+		scenario.RunOptions{Workers: cfg.Workers})
+	wall := time.Since(start)
+	if err != nil {
+		return 0, 0, err
+	}
+	points := len(outs[0].Points)
+	if points == 0 {
+		points = 1 // TableFn scenarios: one unit of work
+	}
+	return wall.Nanoseconds(), points, nil
 }
 
 // cpuModel returns the processor model string on Linux (best effort; empty

@@ -351,3 +351,43 @@ func TestCompareWorkloadMismatch(t *testing.T) {
 		}
 	}
 }
+
+func TestRunOverheadPairsArms(t *testing.T) {
+	rep, err := RunOverhead(toyScenarios(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scale != "quick" || rep.Workers != 1 || rep.Repeats != DefaultRepeats {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	toy := rep.Results[0]
+	if toy.ID != "toy" || toy.Points != 2 {
+		t.Fatalf("toy result: %+v", toy)
+	}
+	if toy.UntracedNSPerPoint <= 0 || toy.TracedNSPerPoint <= 0 || toy.Ratio <= 0 {
+		t.Fatalf("arms not measured: %+v", toy)
+	}
+	// Toy scenarios finish in microseconds — far under the noise floor,
+	// so they must be recorded but excluded from the gate.
+	for _, r := range rep.Results {
+		if r.Gated {
+			t.Fatalf("%s gated below the noise floor: %+v", r.ID, r)
+		}
+	}
+}
+
+func TestRunOverheadRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Repeats = -1
+	if _, err := RunOverhead(toyScenarios(), cfg); err == nil {
+		t.Fatal("negative repeats accepted")
+	}
+	cfg = testConfig()
+	cfg.Workers = -1
+	if _, err := RunOverhead(toyScenarios(), cfg); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}

@@ -83,6 +83,11 @@ func (b *Bank) EnergyAt(i int, now time.Duration) float64 {
 	return b.joules[i] + b.profile.Power(b.state[i])*(now-b.since[i]).Seconds()
 }
 
+// Joules returns node i's joules accumulated through the last closed
+// interval — the cheap accessor trace instrumentation reads after a
+// SetState call, when the open interval contributes nothing yet.
+func (b *Bank) Joules(i int) float64 { return b.joules[i] }
+
 // TimeIn returns node i's closed-interval time spent in state s.
 func (b *Bank) TimeIn(i int, s State) time.Duration {
 	if s < Sleep || s > Transmit {

@@ -12,6 +12,7 @@ import (
 	"pbbf/internal/scenario"
 	"pbbf/internal/stats"
 	"pbbf/internal/topo"
+	"pbbf/internal/trace"
 )
 
 // netDocs documents the Section 5 sweep space: the pq protocol grid plus
@@ -92,6 +93,10 @@ func runNetPoint(ctx context.Context, s Scale, params core.Params, delta float64
 	}
 	pools, release := poolsFor(ctx)
 	defer release()
+	// A context-carried trace provider hands out one sink per run — the
+	// `pbbf trace` subcommand and the bench overhead gate. No provider
+	// (every sweep/serve path) leaves every Config.Trace nil.
+	tracer := trace.ProviderFrom(ctx)
 	point := &netPoint{
 		LatencyAtHop: make(map[int]*stats.Accumulator, len(s.NetTrackHops)),
 		NodesAtHop:   make(map[int]float64, len(s.NetTrackHops)),
@@ -120,6 +125,10 @@ func runNetPoint(ctx context.Context, s Scale, params core.Params, delta float64
 		macCfg.Adaptive = opts.adaptive
 		// The paper chooses one random node as source per scenario.
 		source := topo.NodeID(r.Intn(field.N()))
+		var sink trace.Sink
+		if tracer != nil {
+			sink = tracer.BeginRun(run)
+		}
 		res, err := pools.net.Run(netsim.Config{
 			Topo:      field,
 			Source:    source,
@@ -132,6 +141,7 @@ func runNetPoint(ctx context.Context, s Scale, params core.Params, delta float64
 			Loss:      opts.loss,
 			Churn:     opts.churn,
 			Hetero:    opts.hetero,
+			Trace:     sink,
 			Seed:      seed,
 		})
 		if err != nil {

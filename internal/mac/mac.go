@@ -43,6 +43,7 @@ import (
 	"pbbf/internal/rng"
 	"pbbf/internal/sim"
 	"pbbf/internal/topo"
+	"pbbf/internal/trace"
 )
 
 // Config parameterizes the MAC.
@@ -76,6 +77,11 @@ type Config struct {
 	// dispatch through (internal/protocol). The zero value is PBBF — the
 	// paper's protocol, byte-identical to the pre-interface MAC.
 	Protocol protocol.Spec
+	// Trace, when non-nil, receives the node's event stream (tx/rx,
+	// sleep/wake, energy transitions, death). Recording is pure
+	// observation: it draws no randomness and changes no decision, so a
+	// traced run computes byte-identical results to an untraced one.
+	Trace trace.Sink
 }
 
 // DefaultConfig returns the Section 5 parameters (Tables 1 and 2) with the
@@ -204,6 +210,11 @@ type Node struct {
 	bank *energy.Bank
 	slot int
 
+	// trace is the optional event sink (Config.Trace); nil when disabled,
+	// and every recording site guards on that so the disabled path costs
+	// one predictable branch and zero allocations.
+	trace trace.Sink
+
 	awake    bool
 	dead     bool // fail-stop: node left the network permanently (churn)
 	mustStay bool // ATIM sent/received or traffic pending this BI
@@ -291,6 +302,7 @@ func (n *Node) init(id topo.NodeID, cfg Config, kernel *sim.Kernel, channel *phy
 	n.rng = r
 	n.bank = bank
 	n.slot = slot
+	n.trace = cfg.Trace
 	n.deliver = deliver
 	if n.seen == nil {
 		n.seen = core.NewDuplicateFilter()
@@ -388,9 +400,12 @@ func (n *Node) Kill() {
 		return
 	}
 	n.dead = true
+	if n.trace != nil {
+		n.trace.Record(trace.Event{T: n.kernel.Now(), Kind: trace.KindDeath, Node: int32(n.id), Peer: -1})
+	}
 	n.setAwake(false)
 	if !n.channel.Transmitting(n.id) {
-		n.bank.SetState(n.slot, energy.Sleep, n.kernel.Now())
+		n.setState(energy.Sleep, n.kernel.Now())
 	} // else txDone drops the meter to sleep when the frame leaves the air
 	n.mustStay = false
 	n.pendingNormal = nil
@@ -413,10 +428,35 @@ func (n *Node) Listening() bool {
 }
 
 // setAwake flips the radio state and mirrors it into the channel's flat
-// listening table (the per-frame fan-out reads the channel copy).
+// listening table (the per-frame fan-out reads the channel copy). Already-
+// matching states return early — the call was always idempotent, and the
+// early return keeps the trace stream to true transitions.
 func (n *Node) setAwake(awake bool) {
+	if awake == n.awake {
+		return
+	}
 	n.awake = awake
 	n.channel.SetListening(n.id, awake)
+	if n.trace != nil {
+		kind := trace.KindWake
+		if !awake {
+			kind = trace.KindSleep
+		}
+		n.trace.Record(trace.Event{T: n.kernel.Now(), Kind: kind, Node: int32(n.id), Peer: -1})
+	}
+}
+
+// setState switches the node's energy account to s and mirrors the
+// transition into the trace stream (the new radio state plus cumulative
+// joules through this instant).
+func (n *Node) setState(s energy.State, now time.Duration) {
+	n.bank.SetState(n.slot, s, now)
+	if n.trace != nil {
+		n.trace.Record(trace.Event{
+			T: now, Kind: trace.KindEnergy, Node: int32(n.id),
+			Peer: int32(s), Value: n.bank.Joules(n.slot),
+		})
+	}
 }
 
 // Broadcast originates a new broadcast from this node (application call);
@@ -437,7 +477,7 @@ func (n *Node) wakeForTraffic() {
 	n.mustStay = true
 	if !n.awake {
 		n.setAwake(true)
-		n.bank.SetState(n.slot, energy.Idle, n.kernel.Now())
+		n.setState(energy.Idle, n.kernel.Now())
 	}
 }
 
@@ -478,6 +518,14 @@ func (n *Node) Announce(pkt Packet) {
 // DeliverToApp hands a decoded packet to the application (and the
 // adaptive loss observer, when enabled).
 func (n *Node) DeliverToApp(pkt Packet, from topo.NodeID) {
+	if n.trace != nil {
+		n.trace.Record(trace.Event{
+			T: n.kernel.Now(), Kind: trace.KindDeliver,
+			Node: int32(n.id), Peer: int32(from),
+			Origin: int32(pkt.Key.Origin), Seq: uint32(pkt.Key.Seq),
+			Value: float64(pkt.Hops),
+		})
+	}
 	n.observeSequence(pkt.Key)
 	n.deliver(pkt, from, n.kernel.Now())
 }
@@ -493,7 +541,7 @@ func (n *Node) SetAwake(awake bool) {
 	if !awake {
 		state = energy.Sleep
 	}
-	n.bank.SetState(n.slot, state, n.kernel.Now())
+	n.setState(state, n.kernel.Now())
 }
 
 // StayThisFrame pins the node awake for the rest of the beacon interval.
@@ -556,7 +604,7 @@ func (n *Node) StartFrame() {
 	if n.usesATIM {
 		now := n.kernel.Now()
 		n.setAwake(true)
-		n.bank.SetState(n.slot, energy.Idle, now)
+		n.setState(energy.Idle, now)
 		n.mustStay = false
 		n.atimOK = false
 		if n.adaptive != nil {
@@ -608,7 +656,7 @@ func (n *Node) EndATIMWindow() {
 	}
 	if !stay {
 		n.setAwake(false)
-		n.bank.SetState(n.slot, energy.Sleep, now)
+		n.setState(energy.Sleep, now)
 	}
 	if n.atimOK && len(n.announced) > 0 {
 		// Announced receivers stay awake for the whole beacon interval, so
@@ -681,6 +729,12 @@ func (n *Node) Deliver(f phy.Frame) {
 	case frameATIM:
 		n.stats.ATIMReceived++
 		n.frameRx++
+		if n.trace != nil {
+			n.trace.Record(trace.Event{
+				T: n.kernel.Now(), Kind: trace.KindRxATIM,
+				Node: int32(n.id), Peer: int32(f.Sender),
+			})
+		}
 		// Stay awake the whole beacon interval to receive announced data.
 		n.mustStay = true
 	case frameData:
@@ -689,6 +743,17 @@ func (n *Node) Deliver(f phy.Frame) {
 		first := n.seen.MarkSeen(w.pkt.Key)
 		if !first {
 			n.stats.Duplicates++
+		}
+		if n.trace != nil {
+			kind := trace.KindRxData
+			if !first {
+				kind = trace.KindDuplicate
+			}
+			n.trace.Record(trace.Event{
+				T: n.kernel.Now(), Kind: kind,
+				Node: int32(n.id), Peer: int32(f.Sender),
+				Origin: int32(w.pkt.Key.Origin), Seq: uint32(w.pkt.Key.Seq),
+			})
 		}
 		pkt := w.pkt
 		pkt.Hops++
@@ -814,11 +879,25 @@ func (n *Node) transmitHead() {
 		airtime = n.cfg.ATIMAirtime()
 		n.stats.ATIMSent++
 		n.atimOK = true
+		if n.trace != nil {
+			n.trace.Record(trace.Event{
+				T: n.kernel.Now(), Kind: trace.KindTxATIM,
+				Node: int32(n.id), Peer: -1, Value: airtime.Seconds(),
+			})
+		}
 	case frameData:
 		airtime = n.cfg.DataAirtime()
 		n.stats.DataSent++
+		if n.trace != nil {
+			n.trace.Record(trace.Event{
+				T: n.kernel.Now(), Kind: trace.KindTxData,
+				Node: int32(n.id), Peer: -1,
+				Origin: int32(n.onAir.pkt.Key.Origin), Seq: uint32(n.onAir.pkt.Key.Seq),
+				Value: airtime.Seconds(),
+			})
+		}
 	}
-	n.bank.SetState(n.slot, energy.Transmit, n.kernel.Now())
+	n.setState(energy.Transmit, n.kernel.Now())
 	err := n.channel.Transmit(phy.Frame{Sender: n.id, Payload: &n.onAir, Airtime: airtime}, n.txDoneFn)
 	if err != nil {
 		// The MAC serializes its own transmissions, so this is a bug, not
@@ -830,13 +909,16 @@ func (n *Node) transmitHead() {
 // txDone runs when this node's frame leaves the air: back to idle power and
 // on to the next queued frame.
 func (n *Node) txDone() {
+	if n.trace != nil {
+		n.trace.Record(trace.Event{T: n.kernel.Now(), Kind: trace.KindTxEnd, Node: int32(n.id), Peer: -1})
+	}
 	if n.dead {
 		// Died mid-airtime: the transmission was billed to completion;
 		// now the dead radio rests at sleep power.
-		n.bank.SetState(n.slot, energy.Sleep, n.kernel.Now())
+		n.setState(energy.Sleep, n.kernel.Now())
 		return
 	}
-	n.bank.SetState(n.slot, energy.Idle, n.kernel.Now())
+	n.setState(energy.Idle, n.kernel.Now())
 	n.attemptTx()
 }
 

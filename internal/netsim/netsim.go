@@ -22,6 +22,7 @@ import (
 	"pbbf/internal/sim"
 	"pbbf/internal/stats"
 	"pbbf/internal/topo"
+	"pbbf/internal/trace"
 )
 
 // LossOptions groups the channel-loss knobs — one option struct per fault/
@@ -73,6 +74,11 @@ type Config struct {
 	// around MAC.Params from a seeded per-node distribution —
 	// heterogeneous duty cycles instead of one global wake probability.
 	Hetero mac.HeteroConfig
+	// Trace, when non-nil, receives the run's event stream (every node's
+	// tx/rx/sleep/wake/energy events plus channel drops). Tracing is pure
+	// observation: traced and untraced runs produce identical Results,
+	// and a nil sink adds no allocations to the hot path.
+	Trace trace.Sink
 	// Seed drives every coin in the run.
 	Seed uint64
 
@@ -121,6 +127,12 @@ func (c Config) normalized() (Config, error) {
 				c.Protocol.Name, c.MAC.Protocol.Name)
 		}
 		c.MAC.Protocol = c.Protocol
+	}
+	if c.Trace != nil {
+		if c.MAC.Trace != nil && c.MAC.Trace != c.Trace {
+			return c, fmt.Errorf("netsim: Trace conflicts with MAC.Trace")
+		}
+		c.MAC.Trace = c.Trace
 	}
 	return c, nil
 }
@@ -203,6 +215,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	kernel := sim.NewKernel()
 	channel := phy.NewChannel(kernel, cfg.Topo)
+	channel.SetTrace(cfg.MAC.Trace)
 	base := rng.New(cfg.Seed)
 	if cfg.Loss.Rate > 0 {
 		if err := channel.SetLoss(cfg.Loss.Rate, base.Split()); err != nil {

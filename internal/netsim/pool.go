@@ -125,6 +125,7 @@ func (p *RunPool) Run(cfg Config) (*Result, error) {
 		p.channel.Reset(cfg.Topo)
 	}
 	channel := p.channel
+	channel.SetTrace(cfg.MAC.Trace)
 	p.base.Reseed(cfg.Seed)
 	base := &p.base
 	if cfg.Loss.Rate > 0 {

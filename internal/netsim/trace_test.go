@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"pbbf/internal/raceflag"
+	"pbbf/internal/trace"
+)
+
+// TestTraceNeutrality: attaching a trace sink must not change anything the
+// simulation computes — recording draws no randomness and mutates no
+// state — and the pooled and unpooled paths must emit the exact same
+// event stream for the same Config.
+func TestTraceNeutrality(t *testing.T) {
+	for i, cfg := range poolTestConfigs(t) {
+		baseline, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("config %d: untraced run: %v", i, err)
+		}
+
+		var freshSlab trace.Slab
+		traced := cfg
+		traced.Trace = &freshSlab
+		got, err := Run(traced)
+		if err != nil {
+			t.Fatalf("config %d: traced run: %v", i, err)
+		}
+		if !reflect.DeepEqual(baseline, got) {
+			t.Errorf("config %d: tracing changed the result\nuntraced: %+v\ntraced:   %+v", i, baseline, got)
+		}
+		if len(freshSlab.Events) == 0 {
+			t.Fatalf("config %d: traced run recorded no events", i)
+		}
+
+		var pooledSlab trace.Slab
+		traced.Trace = &pooledSlab
+		pool := NewRunPool()
+		if _, err := pool.Run(traced); err != nil {
+			t.Fatalf("config %d: pooled traced run: %v", i, err)
+		}
+		if !reflect.DeepEqual(freshSlab.Events, pooledSlab.Events) {
+			t.Errorf("config %d: pooled run emits a different event stream (%d vs %d events)",
+				i, len(pooledSlab.Events), len(freshSlab.Events))
+		}
+	}
+}
+
+// TestTraceNilSinkAllocFree: the nil-sink fast path must add zero
+// allocations — a steady-state pooled run with tracing disabled allocates
+// exactly as much as one recording into the global Discard sink, and both
+// stay inside the pooled kernel's per-run budget. Events are passed by
+// value through a pre-bound sink interface, so the instrumentation itself
+// never touches the heap.
+func TestTraceNilSinkAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts are meaningless under -race")
+	}
+	cfg := poolTestConfigs(t)[0]
+	pool := NewRunPool()
+	if _, err := pool.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	nilAllocs := testing.AllocsPerRun(5, func() {
+		if _, err := pool.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	traced := cfg
+	traced.Trace = trace.Discard
+	if _, err := pool.Run(traced); err != nil {
+		t.Fatal(err)
+	}
+	discardAllocs := testing.AllocsPerRun(5, func() {
+		if _, err := pool.Run(traced); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if nilAllocs != discardAllocs {
+		t.Errorf("tracing machinery allocates: %.0f allocs/run untraced vs %.0f with the discard sink",
+			nilAllocs, discardAllocs)
+	}
+}

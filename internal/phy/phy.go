@@ -17,6 +17,7 @@ import (
 	"pbbf/internal/rng"
 	"pbbf/internal/sim"
 	"pbbf/internal/topo"
+	"pbbf/internal/trace"
 )
 
 // Frame is one on-air transmission. Payload is opaque to the channel.
@@ -89,6 +90,10 @@ type Channel struct {
 	linkLoss *LinkLoss
 	linkRNG  *rng.Source
 
+	// trace, when non-nil, receives reception-drop events (collisions,
+	// fading) — the channel-side slice of the simulation event stream.
+	trace trace.Sink
+
 	// Stats counters (whole-network, for diagnostics and tests).
 	started   int
 	delivered int
@@ -133,8 +138,13 @@ func (c *Channel) Reset(t topo.Topology) {
 	clear(c.listening)
 	c.lossRate, c.lossRNG = 0, nil
 	c.linkLoss, c.linkRNG = nil, nil
+	c.trace = nil
 	c.started, c.delivered, c.collided, c.faded, c.linkFaded = 0, 0, 0, 0, 0
 }
+
+// SetTrace installs the channel's event sink (nil disables tracing).
+// Recording is pure observation; traced and untraced runs are identical.
+func (c *Channel) SetTrace(s trace.Sink) { c.trace = s }
 
 // Register installs the receiver upcall for a node. Registered nodes start
 // listening (simulations begin with every radio awake); the MAC flips the
@@ -262,16 +272,19 @@ func (end *txEnd) run() {
 		*r = reception{}
 		if corrupted {
 			c.collided++
+			c.traceDrop(trace.KindDropCollision, nb, f.Sender)
 			continue
 		}
 		if c.canHear(nb) {
 			if c.lossRate > 0 && c.lossRNG.Bool(c.lossRate) {
 				c.faded++
+				c.traceDrop(trace.KindDropFade, nb, f.Sender)
 				continue
 			}
 			if c.linkLoss != nil {
 				if rate := c.linkLoss.Rate(f.Sender, nb); rate > 0 && c.linkRNG.Bool(rate) {
 					c.linkFaded++
+					c.traceDrop(trace.KindDropLinkFade, nb, f.Sender)
 					continue
 				}
 			}
@@ -287,4 +300,13 @@ func (end *txEnd) run() {
 	if onDone != nil {
 		onDone()
 	}
+}
+
+// traceDrop records one lost reception, guarding the disabled path down
+// to a single branch.
+func (c *Channel) traceDrop(kind trace.Kind, nb, sender topo.NodeID) {
+	if c.trace == nil {
+		return
+	}
+	c.trace.Record(trace.Event{T: c.kernel.Now(), Kind: kind, Node: int32(nb), Peer: int32(sender)})
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"pbbf/internal/dist"
 	"pbbf/internal/store"
 )
 
@@ -88,6 +89,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b strings.Builder
 	s.metrics.writeRequests(&b)
 	s.writeServingMetrics(&b)
+	if s.coord != nil {
+		writeCoordinatorMetrics(&b, s.coord.Snapshot())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String())) //nolint:errcheck // response already committed
 }
@@ -164,6 +168,54 @@ func (s *Server) writeServingMetrics(b *strings.Builder) {
 	fmt.Fprintf(b, "# HELP pbbf_runs_shed_total Runs shed because the admission queue was full.\n# TYPE pbbf_runs_shed_total counter\npbbf_runs_shed_total %d\n", ls.Shed)
 	fmt.Fprintf(b, "# HELP pbbf_runs_running Runs holding an admission slot.\n# TYPE pbbf_runs_running gauge\npbbf_runs_running %d\n", ls.Running)
 	fmt.Fprintf(b, "# HELP pbbf_runs_waiting Runs queued for an admission slot.\n# TYPE pbbf_runs_waiting gauge\npbbf_runs_waiting %d\n", ls.Waiting)
+}
+
+// writeCoordinatorMetrics emits the distributed-sweep families from one
+// coordinator snapshot: queue position, requeue/stale counters, the
+// worker population by state, and per-worker point counters (labeled by
+// worker ID — bounded by the fleet size, which the operator controls).
+func writeCoordinatorMetrics(b *strings.Builder, snap dist.WorkersResponse) {
+	q := snap.Queue
+	fmt.Fprintf(b, "# HELP pbbf_coord_points_pending Points awaiting a lease.\n# TYPE pbbf_coord_points_pending gauge\npbbf_coord_points_pending %d\n", q.Pending)
+	fmt.Fprintf(b, "# HELP pbbf_coord_points_leased Points currently leased to workers.\n# TYPE pbbf_coord_points_leased gauge\npbbf_coord_points_leased %d\n", q.Leased)
+	fmt.Fprintf(b, "# HELP pbbf_coord_points_completed_total Points resolved successfully.\n# TYPE pbbf_coord_points_completed_total counter\npbbf_coord_points_completed_total %d\n", q.Done)
+	fmt.Fprintf(b, "# HELP pbbf_coord_points_failed_total Points resolved as permanent failures.\n# TYPE pbbf_coord_points_failed_total counter\npbbf_coord_points_failed_total %d\n", q.Failed)
+	fmt.Fprintf(b, "# HELP pbbf_coord_points_total Points enqueued over the sweep's lifetime.\n# TYPE pbbf_coord_points_total counter\npbbf_coord_points_total %d\n", q.Total)
+	fmt.Fprintf(b, "# HELP pbbf_coord_requeues_total Leases returned to the queue (expiry, worker death, quarantine, retryable failure).\n# TYPE pbbf_coord_requeues_total counter\npbbf_coord_requeues_total %d\n", q.Requeues)
+	fmt.Fprintf(b, "# HELP pbbf_coord_stale_results_total Duplicate or late results ignored.\n# TYPE pbbf_coord_stale_results_total counter\npbbf_coord_stale_results_total %d\n", q.StaleResults)
+	closed := 0
+	if q.Closed {
+		closed = 1
+	}
+	fmt.Fprintf(b, "# HELP pbbf_coord_closed Whether the sweep has completed and workers are being dismissed.\n# TYPE pbbf_coord_closed gauge\npbbf_coord_closed %d\n", closed)
+
+	var live, dead, quarantined int
+	for _, w := range snap.Workers {
+		switch {
+		case w.Quarantined:
+			quarantined++
+		case w.Alive:
+			live++
+		default:
+			dead++
+		}
+	}
+	b.WriteString("# HELP pbbf_coord_workers Registered workers, by state.\n# TYPE pbbf_coord_workers gauge\n")
+	fmt.Fprintf(b, "pbbf_coord_workers{state=\"live\"} %d\n", live)
+	fmt.Fprintf(b, "pbbf_coord_workers{state=\"dead\"} %d\n", dead)
+	fmt.Fprintf(b, "pbbf_coord_workers{state=\"quarantined\"} %d\n", quarantined)
+
+	workers := make([]dist.WorkerInfo, len(snap.Workers))
+	copy(workers, snap.Workers)
+	sort.Slice(workers, func(i, j int) bool { return workers[i].ID < workers[j].ID })
+	b.WriteString("# HELP pbbf_coord_worker_completed_total Points completed, by worker.\n# TYPE pbbf_coord_worker_completed_total counter\n")
+	for _, w := range workers {
+		fmt.Fprintf(b, "pbbf_coord_worker_completed_total{worker=%q} %d\n", escapeLabel(w.ID), w.Completed)
+	}
+	b.WriteString("# HELP pbbf_coord_worker_failed_total Points failed, by worker.\n# TYPE pbbf_coord_worker_failed_total counter\n")
+	for _, w := range workers {
+		fmt.Fprintf(b, "pbbf_coord_worker_failed_total{worker=%q} %d\n", escapeLabel(w.ID), w.Failed)
+	}
 }
 
 // writeStoreMetrics flattens the store snapshot into per-tier series. A

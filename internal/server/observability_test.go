@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pbbf/internal/dist"
+	"pbbf/internal/scenario"
+)
+
+// TestPprofDisabledByDefault: the debug surface must not exist unless the
+// operator asked for it — the handlers are unauthenticated.
+func TestPprofDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/pprof/ status %d without EnablePprof, want 404", resp.StatusCode)
+	}
+}
+
+// TestPprofEnabled: with EnablePprof the index and the named profiles
+// answer on the server's own mux.
+func TestPprofEnabled(t *testing.T) {
+	srv, err := New(Options{Registry: testRegistry(t), EnablePprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s status %d: %s", path, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestCoordinatorMetrics drives one point through the coordinator and
+// checks that /metrics exposes the pbbf_coord_* families: queue gauges
+// and counters, the worker population by state, and per-worker counters.
+func TestCoordinatorMetrics(t *testing.T) {
+	reg := testRegistry(t)
+	coord := dist.NewCoordinator(dist.Config{LeaseTTL: 5 * time.Second})
+	srv, err := New(Options{Registry: reg, Coordinator: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	w := coord.Register("metrics-worker")
+	sc, err := reg.ByID("fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := scenario.Point{Series: "a", X: 2, Params: map[string]float64{"x": 2}}
+	spec := scenario.NewPointSpec(sc, scenario.Quick(), pt)
+	doErr := make(chan error, 1)
+	go func() {
+		_, err := coord.Do(context.Background(), spec)
+		doErr <- err
+	}()
+	var grant dist.LeaseResponse
+	for i := 0; i < 200 && len(grant.Points) == 0; i++ {
+		time.Sleep(5 * time.Millisecond)
+		if grant, err = coord.Lease(dist.LeaseRequest{WorkerID: w.WorkerID}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(grant.Points) != 1 {
+		t.Fatalf("lease grant: %+v", grant)
+	}
+
+	// Mid-flight: the point is leased, the worker is live.
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	mid := scrape()
+	for _, want := range []string{
+		"pbbf_coord_points_leased 1",
+		"pbbf_coord_points_pending 0",
+		`pbbf_coord_workers{state="live"} 1`,
+		`pbbf_coord_workers{state="dead"} 0`,
+		`pbbf_coord_workers{state="quarantined"} 0`,
+		"pbbf_coord_closed 0",
+	} {
+		if !strings.Contains(mid, want) {
+			t.Errorf("mid-flight /metrics missing %q", want)
+		}
+	}
+
+	if _, err := coord.Result(dist.ResultRequest{
+		WorkerID: w.WorkerID, LeaseID: grant.LeaseID,
+		Results: []dist.PointResult{{Key: spec.Key, Result: scenario.Result{Y: 20}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-doErr; err != nil {
+		t.Fatal(err)
+	}
+
+	done := scrape()
+	wid := fmt.Sprintf("%q", w.WorkerID)
+	for _, want := range []string{
+		"pbbf_coord_points_completed_total 1",
+		"pbbf_coord_points_failed_total 0",
+		"pbbf_coord_points_leased 0",
+		"pbbf_coord_requeues_total 0",
+		"pbbf_coord_stale_results_total 0",
+		"pbbf_coord_worker_completed_total{worker=" + wid + "} 1",
+		"pbbf_coord_worker_failed_total{worker=" + wid + "} 0",
+	} {
+		if !strings.Contains(done, want) {
+			t.Errorf("post-run /metrics missing %q", want)
+		}
+	}
+
+	// The exposition stays parseable: every non-comment line ends in a
+	// numeric sample value (label values may contain spaces).
+	for _, line := range strings.Split(strings.TrimSpace(done), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed metrics line %q", line)
+		}
+		if !json.Valid([]byte(line[i+1:])) {
+			t.Fatalf("non-numeric metric value in %q", line)
+		}
+	}
+}
+
+// TestMetricsWithoutCoordinator: a plain serve process exposes no
+// pbbf_coord_* families — the section appears only when the coordinator
+// exists.
+func TestMetricsWithoutCoordinator(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), "pbbf_coord_") {
+		t.Fatal("coordinator families leaked into a coordinator-less /metrics")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -126,6 +127,12 @@ type Options struct {
 	// request (method, path, status, bytes, duration, remote address) —
 	// the `-verbose` flag.
 	AccessLog io.Writer
+	// EnablePprof registers the net/http/pprof debug handlers under
+	// /debug/pprof/. The handlers are unauthenticated and expose process
+	// internals (goroutine dumps, heap contents, CPU profiles); enable
+	// them only on loopback or otherwise-trusted listeners. Off by
+	// default.
+	EnablePprof bool
 
 	// Deprecated: Cache injects a prebuilt memory cache — the pre-store
 	// API. It conflicts with Results and with non-zero Mem sizing; use
@@ -287,6 +294,16 @@ func New(o Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
 	s.mux.HandleFunc("POST /v1/work/lease", s.handleWorkLease)
 	s.mux.HandleFunc("POST /v1/work/result", s.handleWorkResult)
+	if o.EnablePprof {
+		// Registered on the private mux, not http.DefaultServeMux, so the
+		// debug surface exists only when asked for. No method pattern:
+		// /debug/pprof/symbol accepts POST too.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.metrics = newMetricSet()
 	// Unregistered routes fall through to the mux's own handling, which
 	// also answers wrong-method requests with 405 + Allow.

@@ -1,0 +1,145 @@
+package sweep
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// WorkerProgress is one worker's contribution to a progress report — the
+// distributed coordinator's per-worker throughput view, adapted from its
+// snapshot by the caller.
+type WorkerProgress struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name,omitempty"`
+	Alive       bool    `json:"alive"`
+	Quarantined bool    `json:"quarantined,omitempty"`
+	Leased      int     `json:"leased"`
+	Completed   int     `json:"completed"`
+	Failed      int     `json:"failed,omitempty"`
+	RatePPS     float64 `json:"rate_pps"`
+}
+
+// Progress is one structured progress line: the sweep's position, overall
+// throughput, and the remaining-time estimate. Type is "progress" for
+// periodic reports and "done" for the final line.
+type Progress struct {
+	Type     string           `json:"type"`
+	Done     int              `json:"done"`
+	Total    int              `json:"total"`
+	Cached   int              `json:"cached,omitempty"`
+	ElapsedS float64          `json:"elapsed_s"`
+	RatePPS  float64          `json:"rate_pps"`
+	EtaS     float64          `json:"eta_s,omitempty"`
+	Workers  []WorkerProgress `json:"workers,omitempty"`
+}
+
+// Reporter replaces line-per-point progress spam with periodic structured
+// summaries: at most one JSON line per interval carrying points done/total,
+// completion rate, an ETA, and — when a workers source is attached — the
+// per-worker throughput of a distributed sweep. Observe is safe for
+// concurrent use (the scenario engine serializes OnPoint, but the reporter
+// does not rely on it).
+type Reporter struct {
+	// Now is the reporter's clock; nil selects time.Now. Tests inject a
+	// fake to make interval gating deterministic.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	w        io.Writer
+	interval time.Duration
+	workers  func() []WorkerProgress
+	start    time.Time
+	last     time.Time
+	done     int
+	total    int
+	cached   int
+}
+
+// NewReporter returns a reporter writing to w at most once per interval
+// (non-positive intervals report on every Observe).
+func NewReporter(w io.Writer, interval time.Duration) *Reporter {
+	return &Reporter{w: w, interval: interval}
+}
+
+// SetWorkers attaches the per-worker progress source (the distributed
+// coordinator's snapshot adapter). fn is called during emission, at most
+// once per interval.
+func (r *Reporter) SetWorkers(fn func() []WorkerProgress) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.workers = fn
+}
+
+// Observe records one completed point and emits a progress line when the
+// interval has elapsed since the last one.
+func (r *Reporter) Observe(done, total int, cached bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	if r.start.IsZero() {
+		r.start = now
+		r.last = now
+	}
+	r.done, r.total = done, total
+	if cached {
+		r.cached++
+	}
+	if now.Sub(r.last) < r.interval {
+		return
+	}
+	r.last = now
+	r.emitLocked(now, "progress")
+}
+
+// Finish emits the final "done" line with the sweep's overall stats.
+func (r *Reporter) Finish() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	if r.start.IsZero() {
+		r.start = now
+	}
+	r.emitLocked(now, "done")
+}
+
+func (r *Reporter) now() time.Time {
+	if r.Now != nil {
+		return r.Now()
+	}
+	return time.Now()
+}
+
+// emitLocked writes one progress line; r.mu must be held.
+func (r *Reporter) emitLocked(now time.Time, typ string) {
+	elapsed := now.Sub(r.start).Seconds()
+	p := Progress{
+		Type:     typ,
+		Done:     r.done,
+		Total:    r.total,
+		Cached:   r.cached,
+		ElapsedS: elapsed,
+	}
+	if elapsed > 0 {
+		p.RatePPS = float64(r.done) / elapsed
+	}
+	if remaining := r.total - r.done; remaining > 0 && p.RatePPS > 0 {
+		p.EtaS = float64(remaining) / p.RatePPS
+	}
+	if r.workers != nil {
+		p.Workers = r.workers()
+		if elapsed > 0 {
+			for i := range p.Workers {
+				p.Workers[i].RatePPS = float64(p.Workers[i].Completed) / elapsed
+			}
+		}
+	}
+	// A progress line is advisory; if the writer fails there is nobody
+	// better to tell, so the error is dropped by design.
+	b, err := json.Marshal(p)
+	if err != nil {
+		return
+	}
+	r.w.Write(append(b, '\n'))
+}

@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a Reporter's clock deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func parseProgress(t *testing.T, stream []byte) []Progress {
+	t.Helper()
+	var out []Progress
+	sc := bufio.NewScanner(bytes.NewReader(stream))
+	for sc.Scan() {
+		var p Progress
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("bad progress line %q: %v", sc.Text(), err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestReporterIntervalGating: a 100-point sweep through a 10s-interval
+// reporter must emit a handful of summary lines, not 100 — that is the
+// whole point of replacing per-point progress.
+func TestReporterIntervalGating(t *testing.T) {
+	var buf bytes.Buffer
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewReporter(&buf, 10*time.Second)
+	r.Now = clock.now
+
+	const total = 100
+	for i := 1; i <= total; i++ {
+		clock.advance(500 * time.Millisecond) // 2 points/s
+		r.Observe(i, total, i%4 == 0)
+	}
+	r.Finish()
+
+	lines := parseProgress(t, buf.Bytes())
+	// 100 points at 0.5s each = 50s = 4 interval boundaries + the final
+	// done line (the first observation opens the window without emitting).
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	for i, p := range lines[:len(lines)-1] {
+		if p.Type != "progress" {
+			t.Errorf("line %d type %q, want progress", i, p.Type)
+		}
+		if p.Total != total {
+			t.Errorf("line %d total %d, want %d", i, p.Total, total)
+		}
+		if p.RatePPS < 1.9 || p.RatePPS > 2.1 {
+			t.Errorf("line %d rate %v pps, want ~2", i, p.RatePPS)
+		}
+		if p.Done < total && p.EtaS <= 0 {
+			t.Errorf("line %d has no ETA: %+v", i, p)
+		}
+	}
+	final := lines[len(lines)-1]
+	if final.Type != "done" || final.Done != total || final.EtaS != 0 {
+		t.Errorf("final line %+v", final)
+	}
+	if final.Cached != total/4 {
+		t.Errorf("final cached %d, want %d", final.Cached, total/4)
+	}
+}
+
+// TestReporterWorkers: an attached workers source contributes the
+// per-worker view with derived throughput.
+func TestReporterWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	r := NewReporter(&buf, 0)
+	r.Now = clock.now
+	r.SetWorkers(func() []WorkerProgress {
+		return []WorkerProgress{
+			{ID: "w1", Name: "alpha", Alive: true, Leased: 2, Completed: 30},
+			{ID: "w2", Alive: false, Quarantined: true, Completed: 10, Failed: 3},
+		}
+	})
+	r.Observe(1, 80, false) // opens the clock window at t=0
+	clock.advance(10 * time.Second)
+	r.Observe(40, 80, false)
+
+	lines := parseProgress(t, buf.Bytes())
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	ws := lines[1].Workers
+	if len(ws) != 2 {
+		t.Fatalf("got %d workers, want 2", len(ws))
+	}
+	if ws[0].RatePPS != 3 {
+		t.Errorf("worker w1 rate %v, want 3", ws[0].RatePPS)
+	}
+	if !ws[1].Quarantined || ws[1].Failed != 3 {
+		t.Errorf("worker w2 state lost: %+v", ws[1])
+	}
+	if !strings.Contains(buf.String(), `"id":"w1"`) {
+		t.Errorf("missing worker id in %s", buf.String())
+	}
+}
+
+// TestReporterFinishWithoutObserve: Finish on an untouched reporter must
+// not panic or divide by zero.
+func TestReporterFinishWithoutObserve(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewReporter(&buf, time.Second)
+	r.Finish()
+	lines := parseProgress(t, buf.Bytes())
+	if len(lines) != 1 || lines[0].Type != "done" || lines[0].RatePPS != 0 {
+		t.Fatalf("unexpected final line: %s", buf.String())
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strconv"
+	"time"
+)
+
+// NodeSummary aggregates one node's activity over a traced run: the
+// per-node table the `pbbf trace` subcommand prints after the event
+// stream.
+type NodeSummary struct {
+	// Node is the node ID.
+	Node int32
+	// Awake is total radio-on time over the run.
+	Awake time.Duration
+	// Frame counters, split by kind.
+	TxData, TxATIM int
+	RxData, RxATIM int
+	Duplicates     int
+	Delivered      int
+	Drops          int
+	// EnergyJ is cumulative joules at the node's last metered transition
+	// (the run-final FinishMetering tail is not an event).
+	EnergyJ float64
+	// Died marks a fail-stop death during the run.
+	Died bool
+}
+
+// Summarize folds a run's event stream into per-node summaries, indexed
+// by node ID (every node in [0, maxNode] gets an entry). duration closes
+// the awake accounting for radios still on at the end of the run; nodes
+// start awake at t=0, which is the simulator's initial condition.
+func Summarize(events []Event, duration time.Duration) []NodeSummary {
+	max := int32(-1)
+	for i := range events {
+		if events[i].Node > max {
+			max = events[i].Node
+		}
+	}
+	if max < 0 {
+		return nil
+	}
+	out := make([]NodeSummary, max+1)
+	awakeSince := make([]time.Duration, max+1) // valid while awake[i]
+	awake := make([]bool, max+1)
+	for i := range out {
+		out[i].Node = int32(i)
+		awake[i] = true
+	}
+	for i := range events {
+		ev := &events[i]
+		s := &out[ev.Node]
+		switch ev.Kind {
+		case KindTxData:
+			s.TxData++
+		case KindTxATIM:
+			s.TxATIM++
+		case KindRxData:
+			s.RxData++
+		case KindRxATIM:
+			s.RxATIM++
+		case KindDuplicate:
+			s.Duplicates++
+		case KindDeliver:
+			s.Delivered++
+		case KindDropCollision, KindDropFade, KindDropLinkFade:
+			s.Drops++
+		case KindWake:
+			if !awake[ev.Node] {
+				awake[ev.Node] = true
+				awakeSince[ev.Node] = ev.T
+			}
+		case KindSleep:
+			if awake[ev.Node] {
+				awake[ev.Node] = false
+				s.Awake += ev.T - awakeSince[ev.Node]
+			}
+		case KindEnergy:
+			s.EnergyJ = ev.Value
+		case KindDeath:
+			s.Died = true
+		}
+	}
+	for i := range out {
+		if awake[i] {
+			out[i].Awake += duration - awakeSince[i]
+		}
+	}
+	return out
+}
+
+// AppendSummaryNDJSON appends one node summary as a single NDJSON line
+// (including the trailing newline) in the committed trace-golden schema.
+func AppendSummaryNDJSON(dst []byte, run int, s NodeSummary) []byte {
+	dst = append(dst, `{"type":"node","run":`...)
+	dst = strconv.AppendInt(dst, int64(run), 10)
+	dst = append(dst, `,"node":`...)
+	dst = strconv.AppendInt(dst, int64(s.Node), 10)
+	dst = append(dst, `,"awake_ns":`...)
+	dst = strconv.AppendInt(dst, int64(s.Awake), 10)
+	dst = append(dst, `,"tx_data":`...)
+	dst = strconv.AppendInt(dst, int64(s.TxData), 10)
+	dst = append(dst, `,"tx_atim":`...)
+	dst = strconv.AppendInt(dst, int64(s.TxATIM), 10)
+	dst = append(dst, `,"rx_data":`...)
+	dst = strconv.AppendInt(dst, int64(s.RxData), 10)
+	dst = append(dst, `,"rx_atim":`...)
+	dst = strconv.AppendInt(dst, int64(s.RxATIM), 10)
+	dst = append(dst, `,"duplicates":`...)
+	dst = strconv.AppendInt(dst, int64(s.Duplicates), 10)
+	dst = append(dst, `,"delivered":`...)
+	dst = strconv.AppendInt(dst, int64(s.Delivered), 10)
+	dst = append(dst, `,"drops":`...)
+	dst = strconv.AppendInt(dst, int64(s.Drops), 10)
+	dst = append(dst, `,"energy_j":`...)
+	dst = strconv.AppendFloat(dst, s.EnergyJ, 'g', -1, 64)
+	if s.Died {
+		dst = append(dst, `,"died":true`...)
+	}
+	dst = append(dst, "}\n"...)
+	return dst
+}
