@@ -122,6 +122,8 @@ func runCtx(ctx context.Context, args []string, out, errOut io.Writer) error {
 		seed       = fs.Uint64("seed", 1, "root random seed")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep")
 		protoName  = fs.String("protocol", "", "broadcast protocol for network scenarios: pbbf (default), sleepsched, or ola")
+		energyJ    = fs.Float64("energy", 0, "mean initial battery capacity in joules for network scenarios (0 = infinite battery)")
+		harvestW   = fs.Float64("harvest", 0, "constant per-node energy-harvest rate in watts (requires -energy)")
 		list       = fs.Bool("list", false, "list available scenarios with their metadata and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -141,6 +143,11 @@ func runCtx(ctx context.Context, args []string, out, errOut io.Writer) error {
 	}
 	scale.Seed = *seed
 	if scale.Protocol, err = resolveProtocol(*protoName); err != nil {
+		return err
+	}
+	scale.EnergyJ = *energyJ
+	scale.HarvestW = *harvestW
+	if err := scale.Validate(); err != nil {
 		return err
 	}
 

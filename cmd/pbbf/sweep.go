@@ -41,6 +41,8 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 		format        = fs.String("format", "table", "output format: table, csv, json, or ndjson")
 		seed          = fs.Uint64("seed", 1, "root random seed")
 		protoName     = fs.String("protocol", "", "broadcast protocol for network scenarios: pbbf (default), sleepsched, or ola")
+		energyJ       = fs.Float64("energy", 0, "mean initial battery capacity in joules for network scenarios (0 = infinite battery)")
+		harvestW      = fs.Float64("harvest", 0, "constant per-node energy-harvest rate in watts (requires -energy)")
 		workers       = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the point sweep (local mode; -distribute uses -outstanding)")
 		checkpoint    = fs.String("checkpoint", "", "checkpoint file for resumable runs (empty = no persistence)")
 		progress      = fs.Bool("progress", true, "periodic JSON progress summaries (done/total, rate, ETA) on stderr")
@@ -72,6 +74,11 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 	}
 	scale.Seed = *seed
 	if scale.Protocol, err = resolveProtocol(*protoName); err != nil {
+		return err
+	}
+	scale.EnergyJ = *energyJ
+	scale.HarvestW = *harvestW
+	if err := scale.Validate(); err != nil {
 		return err
 	}
 	if err := validFormat(*format); err != nil {
@@ -158,17 +165,21 @@ func runSweep(ctx context.Context, args []string, out, errOut io.Writer) error {
 	}
 
 	// Load or create the checkpoint. Identity (experiment, scale, seed,
-	// protocol) must match: resuming a different workload from recorded
-	// results would silently mix runs.
+	// protocol, energy axis) must match: resuming a different workload from
+	// recorded results would silently mix runs.
 	var cp *scenario.Checkpoint
 	if *checkpoint != "" {
+		id := scenario.Identity{
+			Experiment: *experiment, Scale: *scaleName, Seed: *seed,
+			Protocol: scale.Protocol, EnergyJ: scale.EnergyJ, HarvestW: scale.HarvestW,
+		}
 		cp, err = scenario.LoadCheckpoint(*checkpoint)
 		if err != nil {
 			return err
 		}
 		if cp == nil {
-			cp = scenario.NewCheckpoint(*experiment, *scaleName, *seed, scale.Protocol)
-		} else if err := cp.Matches(*experiment, *scaleName, *seed, scale.Protocol); err != nil {
+			cp = scenario.NewCheckpointFor(id)
+		} else if err := cp.MatchesIdentity(id); err != nil {
 			return err
 		}
 		if len(cp.Results) > 0 {

@@ -35,15 +35,11 @@ type traceHeader struct {
 // traceResult is the final NDJSON line: the point's aggregate result plus
 // the event accounting (total recorded vs emitted after -events filtering).
 type traceResult struct {
-	Type          string  `json:"type"`
-	Y             float64 `json:"y"`
-	Skip          bool    `json:"skip,omitempty"`
-	EnergyJ       float64 `json:"energy_j,omitempty"`
-	LatencyS      float64 `json:"latency_s,omitempty"`
-	Delivery      float64 `json:"delivery,omitempty"`
-	Runs          int     `json:"runs"`
-	EventsTotal   int     `json:"events_total"`
-	EventsEmitted int     `json:"events_emitted"`
+	Type string `json:"type"`
+	scenario.Result
+	Runs          int `json:"runs"`
+	EventsTotal   int `json:"events_total"`
+	EventsEmitted int `json:"events_emitted"`
 }
 
 // runTrace implements the trace subcommand: run one parameter point of one
@@ -167,11 +163,7 @@ func runTrace(args []string, out io.Writer) error {
 	}
 	if err := enc.Encode(traceResult{
 		Type:          "result",
-		Y:             res.Y,
-		Skip:          res.Skip,
-		EnergyJ:       res.EnergyJ,
-		LatencyS:      res.LatencyS,
-		Delivery:      res.Delivery,
+		Result:        res,
 		Runs:          len(slabs),
 		EventsTotal:   total,
 		EventsEmitted: emitted,

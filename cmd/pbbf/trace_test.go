@@ -21,6 +21,7 @@ type traceLine struct {
 	Origin int32   `json:"origin"`
 	Seq    uint32  `json:"seq"`
 	Value  float64 `json:"value"`
+	Cause  string  `json:"cause"`
 
 	// result-line fields
 	Delivery      float64 `json:"delivery"`
@@ -161,16 +162,53 @@ func checkTraceInvariants(t *testing.T, stream []byte) {
 	}
 
 	// Pass 2: walk the stream in simulation order, tracking each radio's
-	// awake state (every node starts awake), and check each decoded
-	// reception against its peer's transmissions.
+	// awake state (every node starts awake) and deaths, and check each
+	// decoded reception against its peer's transmissions. Death is fail-stop:
+	// a dead node may finish one frame it had already committed to the air
+	// (the trailing tx_end of a mid-transmission death) but must never start
+	// a transmission, decode, deliver, or wake again.
 	awake := make(map[int32]bool)
 	isAwake := func(n int32) bool {
 		a, seen := awake[n]
 		return !seen || a
 	}
+	dead := make(map[int32]bool)
+	committedTx := make(map[int32]bool) // dead with a frame still on the air
 	rxChecked := 0
 	for _, ev := range events {
+		if dead[ev.Node] {
+			switch ev.Kind {
+			case "tx_end":
+				if !committedTx[ev.Node] {
+					t.Fatalf("dead node %d emits tx_end at t=%d with no committed frame", ev.Node, ev.TNS)
+				}
+				committedTx[ev.Node] = false
+			case "tx_data", "tx_atim", "rx_data", "rx_atim", "duplicate", "deliver", "wake":
+				t.Fatalf("dead node %d still active: %s at t=%d", ev.Node, ev.Kind, ev.TNS)
+			}
+		}
 		switch ev.Kind {
+		case "death":
+			if dead[ev.Node] {
+				t.Fatalf("node %d died twice (t=%d)", ev.Node, ev.TNS)
+			}
+			if ev.Cause != "" && ev.Cause != "depleted" {
+				t.Fatalf("death of node %d carries unknown cause %q", ev.Node, ev.Cause)
+			}
+			dead[ev.Node] = true
+			// A frame started but not yet ended at death time may complete.
+			starts, ends := 0, 0
+			for _, tx := range txStarts[ev.Node] {
+				if tx.TNS <= ev.TNS {
+					starts++
+				}
+			}
+			for end := range txEnds {
+				if end.node == ev.Node && end.t <= ev.TNS {
+					ends++
+				}
+			}
+			committedTx[ev.Node] = starts > ends
 		case "wake":
 			awake[ev.Node] = true
 		case "sleep":
@@ -207,6 +245,35 @@ func checkTraceInvariants(t *testing.T, stream []byte) {
 	}
 	if rxChecked == 0 {
 		t.Fatal("trace stream has no receptions to check")
+	}
+}
+
+// TestTraceLifetimeDepletion traces one finite-battery extlifetime point
+// end to end and proves the acceptance property in the stream itself:
+// batteries run dry, every death carries the depleted cause, and — via
+// checkTraceInvariants' death tracking — no depleted node transmits,
+// decodes, delivers, or wakes afterwards.
+func TestTraceLifetimeDepletion(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"trace", "-scenario", "extlifetime", "-point", "0",
+		"-runs", "1", "-events", "packet,radio"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+	checkTraceInvariants(t, stream)
+	deaths := 0
+	for _, l := range parseTrace(t, stream) {
+		if l.Type != "event" || l.Kind != "death" {
+			continue
+		}
+		if l.Cause != "depleted" {
+			t.Fatalf("extlifetime death of node %d carries cause %q, want depleted", l.Node, l.Cause)
+		}
+		deaths++
+	}
+	if deaths == 0 {
+		t.Fatal("no depletion deaths in a 0.5 J extlifetime trace")
 	}
 }
 

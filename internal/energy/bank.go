@@ -1,13 +1,16 @@
 package energy
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // Bank is the struct-of-arrays counterpart of Meter: one energy account per
 // node of a simulation, with the per-node clock (since), accumulated joules,
 // and radio state each living in its own flat slice. The hot accounting path
 // of a large field — thousands of SetState calls per beacon interval —
 // then walks dense arrays instead of chasing per-node Meter pointers, and a
-// pooled simulation reuses one Bank across runs with a single Reset.
+// pooled simulation reuses one Bank across runs with a single Init.
 //
 // The accounting arithmetic is exactly Meter's: every state change closes
 // the open interval [since, now) at the old state's power draw. A Bank slot
@@ -18,32 +21,65 @@ type Bank struct {
 	since   []time.Duration
 	joules  []float64
 	inState [][Transmit + 1]time.Duration
+
+	// Per-node battery (all-zero slots are infinite batteries).
+	capacity []float64
+	harvestW []float64
+	level    []float64
 }
 
-// NewBank returns an empty bank; size it with Reset.
+// NewBank returns an empty bank; size it with Init.
 func NewBank() *Bank { return &Bank{} }
 
-// Reset sizes the bank for n nodes, all starting in the given state at time
-// start, reusing the slices when capacity allows.
-func (b *Bank) Reset(n int, profile Profile, initial State, start time.Duration) {
-	b.profile = profile
+// Init sizes the bank for n nodes from cfg — every account opens in
+// cfg.Initial at cfg.Start with cfg.Budget's battery — reusing the slices
+// when capacity allows. Per-node budgets (heterogeneous capacities) are
+// applied afterwards with SetBudget.
+func (b *Bank) Init(n int, cfg Config) {
+	b.profile = cfg.Profile
 	if cap(b.state) < n {
 		b.state = make([]State, n)
 		b.since = make([]time.Duration, n)
 		b.joules = make([]float64, n)
 		b.inState = make([][Transmit + 1]time.Duration, n)
+		b.capacity = make([]float64, n)
+		b.harvestW = make([]float64, n)
+		b.level = make([]float64, n)
 	} else {
 		b.state = b.state[:n]
 		b.since = b.since[:n]
 		b.joules = b.joules[:n]
 		b.inState = b.inState[:n]
+		b.capacity = b.capacity[:n]
+		b.harvestW = b.harvestW[:n]
+		b.level = b.level[:n]
 	}
 	for i := 0; i < n; i++ {
-		b.state[i] = initial
-		b.since[i] = start
+		b.state[i] = cfg.Initial
+		b.since[i] = cfg.Start
+		b.capacity[i] = cfg.Budget.CapacityJ
+		b.harvestW[i] = cfg.Budget.HarvestW
+		b.level[i] = cfg.Budget.CapacityJ
 	}
 	clear(b.joules)
 	clear(b.inState)
+}
+
+// Reset sizes the bank for n infinite-battery nodes, all starting in the
+// given state at time start.
+//
+// Deprecated: use Init with a Config.
+func (b *Bank) Reset(n int, profile Profile, initial State, start time.Duration) {
+	b.Init(n, Config{Profile: profile, Initial: initial, Start: start})
+}
+
+// SetBudget replaces node i's battery budget, recharged to full. Call it
+// after Init and before the account accrues — typically while constructing
+// a fleet with per-node jittered capacities.
+func (b *Bank) SetBudget(i int, bg Budget) {
+	b.capacity[i] = bg.CapacityJ
+	b.harvestW[i] = bg.HarvestW
+	b.level[i] = bg.CapacityJ
 }
 
 // N returns the number of accounts.
@@ -70,11 +106,34 @@ func (b *Bank) accrue(i int, now time.Duration) {
 		now = b.since[i]
 	}
 	dt := now - b.since[i]
-	b.joules[i] += b.profile.Power(b.state[i]) * dt.Seconds()
+	power := b.profile.Power(b.state[i])
+	b.joules[i] += power * dt.Seconds()
+	if b.capacity[i] > 0 {
+		b.level[i] = charge(b.level[i], b.capacity[i], b.harvestW[i], power, dt.Seconds())
+	}
 	if s := b.state[i]; s >= Sleep && s <= Transmit {
 		b.inState[i][s] += dt
 	}
 	b.since[i] = now
+}
+
+// Finite reports whether node i's battery can run out.
+func (b *Bank) Finite(i int) bool { return b.capacity[i] > 0 }
+
+// RemainingAt returns node i's battery charge in joules at time now,
+// including the currently open interval (clamped at capacity); +Inf for an
+// infinite battery.
+func (b *Bank) RemainingAt(i int, now time.Duration) float64 {
+	if b.capacity[i] == 0 {
+		return math.Inf(1)
+	}
+	return charge(b.level[i], b.capacity[i], b.harvestW[i], b.profile.Power(b.state[i]),
+		(now - b.since[i]).Seconds())
+}
+
+// Depleted reports whether node i's finite battery has run out by time now.
+func (b *Bank) Depleted(i int, now time.Duration) bool {
+	return b.capacity[i] > 0 && b.RemainingAt(i, now) <= 0
 }
 
 // EnergyAt returns node i's total joules consumed up to time now, including

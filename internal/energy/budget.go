@@ -1,0 +1,60 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Budget bounds a node's battery. The zero value is the legacy infinite
+// battery: the meter integrates consumption forever and never depletes.
+type Budget struct {
+	// CapacityJ is the battery's initial charge and clamp ceiling in
+	// joules; 0 means an infinite battery.
+	CapacityJ float64
+	// HarvestW recharges the battery at a constant rate (solar/vibration
+	// harvesting), credited lazily whenever an interval is accrued and
+	// clamped at CapacityJ. Requires a finite battery.
+	HarvestW float64
+}
+
+// Finite reports whether the battery can run out.
+func (b Budget) Finite() bool { return b.CapacityJ > 0 }
+
+// Validate checks the budget.
+func (b Budget) Validate() error {
+	if b.CapacityJ < 0 || math.IsNaN(b.CapacityJ) || math.IsInf(b.CapacityJ, 0) {
+		return fmt.Errorf("energy: battery capacity %v must be finite and non-negative", b.CapacityJ)
+	}
+	if b.HarvestW < 0 || math.IsNaN(b.HarvestW) || math.IsInf(b.HarvestW, 0) {
+		return fmt.Errorf("energy: harvest rate %v must be finite and non-negative", b.HarvestW)
+	}
+	if b.HarvestW > 0 && b.CapacityJ == 0 {
+		return fmt.Errorf("energy: harvest rate %v requires a finite battery capacity", b.HarvestW)
+	}
+	return nil
+}
+
+// Config seeds a Meter or a Bank: the power profile, the opening radio
+// state and clock, and the battery budget. It replaces the positional
+// (profile, initial, start) constructor parameters so new knobs extend the
+// struct instead of every call site.
+type Config struct {
+	Profile Profile
+	Initial State
+	Start   time.Duration
+	Budget  Budget
+}
+
+// charge advances a battery level across one accrued interval: drain at the
+// interval's power, credit harvest, clamp at capacity. Within an interval
+// both rates are constant, so the level is linear and clamping the endpoint
+// is exact: a level that touches the ceiling mid-interval under a positive
+// net rate stays there.
+func charge(level, capacity, harvestW, powerW, seconds float64) float64 {
+	level += (harvestW - powerW) * seconds
+	if level > capacity {
+		level = capacity
+	}
+	return level
+}

@@ -6,6 +6,7 @@ package energy
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -75,18 +76,42 @@ func (p Profile) Power(s State) float64 {
 
 // Meter integrates a single node's energy use across radio state changes.
 // It is driven by the simulation clock: every state change (and final
-// reading) supplies the current simulated time.
+// reading) supplies the current simulated time. A Meter with a finite
+// Budget additionally tracks the remaining battery charge — drained by the
+// same intervals the consumption accounting closes, recharged at the
+// harvest rate, clamped at capacity — and answers depletion queries.
 type Meter struct {
 	profile Profile
 	state   State
 	since   time.Duration
 	joules  float64
 	inState [Transmit + 1]time.Duration
+
+	// Battery (zero Budget = infinite, all three stay 0).
+	capacityJ float64
+	harvestW  float64
+	level     float64
 }
 
-// NewMeter returns a meter that starts in the given state at time start.
+// New returns a meter configured by cfg — the primary constructor; the
+// battery opens fully charged at Budget.CapacityJ.
+func New(cfg Config) *Meter {
+	return &Meter{
+		profile:   cfg.Profile,
+		state:     cfg.Initial,
+		since:     cfg.Start,
+		capacityJ: cfg.Budget.CapacityJ,
+		harvestW:  cfg.Budget.HarvestW,
+		level:     cfg.Budget.CapacityJ,
+	}
+}
+
+// NewMeter returns an infinite-battery meter that starts in the given state
+// at time start.
+//
+// Deprecated: use New with a Config.
 func NewMeter(profile Profile, initial State, start time.Duration) *Meter {
-	return &Meter{profile: profile, state: initial, since: start}
+	return New(Config{Profile: profile, Initial: initial, Start: start})
 }
 
 // State returns the current radio state.
@@ -107,11 +132,33 @@ func (m *Meter) accrue(now time.Duration) {
 		now = m.since
 	}
 	dt := now - m.since
-	m.joules += m.profile.Power(m.state) * dt.Seconds()
+	power := m.profile.Power(m.state)
+	m.joules += power * dt.Seconds()
+	if m.capacityJ > 0 {
+		m.level = charge(m.level, m.capacityJ, m.harvestW, power, dt.Seconds())
+	}
 	if m.state >= Sleep && m.state <= Transmit {
 		m.inState[m.state] += dt
 	}
 	m.since = now
+}
+
+// Finite reports whether the meter's battery can run out.
+func (m *Meter) Finite() bool { return m.capacityJ > 0 }
+
+// RemainingAt returns the battery charge in joules at time now, including
+// the currently open interval (clamped at capacity); +Inf for an infinite
+// battery. Negative values mean the battery ran dry before now.
+func (m *Meter) RemainingAt(now time.Duration) float64 {
+	if m.capacityJ == 0 {
+		return math.Inf(1)
+	}
+	return charge(m.level, m.capacityJ, m.harvestW, m.profile.Power(m.state), (now - m.since).Seconds())
+}
+
+// Depleted reports whether a finite battery has run out by time now.
+func (m *Meter) Depleted(now time.Duration) bool {
+	return m.capacityJ > 0 && m.RemainingAt(now) <= 0
 }
 
 // EnergyAt returns total joules consumed up to time now, including the

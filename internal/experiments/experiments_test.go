@@ -109,8 +109,8 @@ func TestAllIDsUnique(t *testing.T) {
 			t.Fatalf("experiment %q incomplete", e.ID)
 		}
 	}
-	if len(seen) != 29 {
-		t.Fatalf("registry has %d entries, want 29 (2 tables + 15 figures + 12 extensions)", len(seen))
+	if len(seen) != 31 {
+		t.Fatalf("registry has %d entries, want 31 (2 tables + 15 figures + 14 extensions)", len(seen))
 	}
 }
 

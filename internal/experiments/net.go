@@ -43,6 +43,14 @@ type netPoint struct {
 	Latency      stats.Accumulator
 	LatencyAtHop map[int]*stats.Accumulator
 	NodesAtHop   map[int]float64 // mean per scenario
+
+	// Network-lifetime accumulators, fed only on finite-energy runs
+	// (per-run seconds / fractions / counts from netsim.Result).
+	FirstDeath stats.Accumulator // time to first death, censored at horizon
+	HalfDead   stats.Accumulator // time to half the nodes dead, censored
+	AliveFrac  stats.Accumulator // alive-node fraction at the horizon
+	Depleted   stats.Accumulator // battery-depletion death count
+	EnergyVar  stats.Accumulator // per-node consumed-joules variance
 }
 
 // netOpts are extension hooks for runNetPoint; the zero value reproduces
@@ -64,6 +72,11 @@ type netOpts struct {
 	loss   netsim.LossOptions
 	churn  netsim.ChurnOptions
 	hetero mac.HeteroConfig
+
+	// energy pins the finite-battery options for this scenario (the
+	// lifetime/harvest families sweep them per point). Zero means: honor
+	// the scale-wide Scale.EnergyJ/HarvestW axis.
+	energy netsim.EnergyOptions
 }
 
 // fieldBuilder draws one deployment for a run. delta is the target density
@@ -90,6 +103,12 @@ func runNetPoint(ctx context.Context, s Scale, params core.Params, delta float64
 		if proto, err = protocol.SpecFor(s.Protocol); err != nil {
 			return nil, err
 		}
+	}
+	// Resolve the energy axis the same way: a scenario pin wins, then the
+	// scale-wide selection.
+	energyOpts := opts.energy
+	if !energyOpts.Enabled() && s.EnergyJ > 0 {
+		energyOpts = netsim.EnergyOptions{InitialJ: s.EnergyJ, HarvestW: s.HarvestW}
 	}
 	pools, release := poolsFor(ctx)
 	defer release()
@@ -141,6 +160,7 @@ func runNetPoint(ctx context.Context, s Scale, params core.Params, delta float64
 			Loss:      opts.loss,
 			Churn:     opts.churn,
 			Hetero:    opts.hetero,
+			Energy:    energyOpts,
 			Trace:     sink,
 			Seed:      seed,
 		})
@@ -158,6 +178,13 @@ func runNetPoint(ctx context.Context, s Scale, params core.Params, delta float64
 			}
 			point.NodesAtHop[h] += float64(res.NodesAtHop[h]) / float64(s.NetRuns)
 		}
+		if energyOpts.Enabled() {
+			point.FirstDeath.Add(res.TimeToFirstDeathS)
+			point.HalfDead.Add(res.TimeToHalfDeadS)
+			point.AliveFrac.Add(res.CoverageOverTime[len(res.CoverageOverTime)-1])
+			point.Depleted.Add(float64(res.NodesDepleted))
+			point.EnergyVar.Add(res.EnergyVarianceJ2)
+		}
 	}
 	return point, nil
 }
@@ -173,6 +200,13 @@ func netResult(point *netPoint, y float64, ok bool) scenario.Result {
 	}
 	if point.Latency.N() > 0 {
 		out.LatencyS = point.Latency.Mean()
+	}
+	if point.FirstDeath.N() > 0 {
+		out.FirstDeathS = point.FirstDeath.Mean()
+		out.HalfDeadS = point.HalfDead.Mean()
+		out.AliveFrac = point.AliveFrac.Mean()
+		out.Depleted = point.Depleted.Mean()
+		out.EnergyVarJ2 = point.EnergyVar.Mean()
 	}
 	return out
 }

@@ -104,10 +104,13 @@ func Registry() *scenario.Registry {
 		for _, sc := range diversityScenarios() {
 			registry.MustRegister(sc)
 		}
-		// extcompare registers last: registration order is NDJSON output
-		// order, so appending keeps every earlier golden line a stable
-		// prefix.
+		// extcompare and the lifetime families register last, newest at the
+		// end: registration order is NDJSON output order, so appending keeps
+		// every earlier golden line a stable prefix.
 		for _, sc := range compareScenarios() {
+			registry.MustRegister(sc)
+		}
+		for _, sc := range lifetimeScenarios() {
 			registry.MustRegister(sc)
 		}
 	})
@@ -188,3 +191,6 @@ func ExtChurn(s Scale) (*stats.Table, error)    { return runByID("extchurn", s) 
 func ExtHetero(s Scale) (*stats.Table, error)   { return runByID("exthetero", s) }
 
 func ExtCompare(s Scale) (*stats.Table, error) { return runByID("extcompare", s) }
+
+func ExtLifetime(s Scale) (*stats.Table, error) { return runByID("extlifetime", s) }
+func ExtHarvest(s Scale) (*stats.Table, error)  { return runByID("extharvest", s) }

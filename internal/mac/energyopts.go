@@ -1,0 +1,38 @@
+package mac
+
+import (
+	"fmt"
+
+	"pbbf/internal/energy"
+)
+
+// EnergyOptions gives the node a finite battery: the radio's consumption
+// drains it, an optional harvest rate recharges it (clamped at capacity),
+// and the MAC polls depletion at its state-transition sites — beacon
+// starts, ATIM window ends, and transmission completions — killing the
+// node fail-stop (the Kill machinery) the moment the charge is gone. The
+// zero value is the paper's infinite battery and changes nothing.
+type EnergyOptions struct {
+	// InitialJ is the battery's initial capacity in joules; 0 keeps the
+	// legacy infinite battery.
+	InitialJ float64
+	// HarvestW recharges the battery at a constant rate, clamped at
+	// InitialJ. Requires a finite battery.
+	HarvestW float64
+}
+
+// Enabled reports whether the node's battery is finite.
+func (e EnergyOptions) Enabled() bool { return e.InitialJ > 0 }
+
+// Budget converts the options to the energy package's battery budget.
+func (e EnergyOptions) Budget() energy.Budget {
+	return energy.Budget{CapacityJ: e.InitialJ, HarvestW: e.HarvestW}
+}
+
+// Validate checks the options.
+func (e EnergyOptions) Validate() error {
+	if err := e.Budget().Validate(); err != nil {
+		return fmt.Errorf("mac: %w", err)
+	}
+	return nil
+}

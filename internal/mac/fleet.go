@@ -33,7 +33,7 @@ func NewFleet() *Fleet { return &Fleet{bank: energy.NewBank()} }
 // (and their retained buffers) are kept; new slots are filled with fresh
 // nodes. Every slot must be reinitialized with InitNode before use.
 func (f *Fleet) Reset(n int, profile energy.Profile, now time.Duration) {
-	f.bank.Reset(n, profile, energy.Idle, now)
+	f.bank.Init(n, energy.Config{Profile: profile, Initial: energy.Idle, Start: now})
 	nodes := f.nodes
 	if cap(nodes) >= n {
 		nodes = nodes[:n]

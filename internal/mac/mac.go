@@ -67,6 +67,11 @@ type Config struct {
 	CWSlots int
 	// Profile is the radio power model.
 	Profile energy.Profile
+	// Energy, when enabled, bounds the node's battery: InitialJ joules at
+	// t=0, drained by Profile's draw, optionally harvested back, and
+	// fail-stop death on depletion. The zero value is the paper's
+	// infinite battery.
+	Energy EnergyOptions
 	// Adaptive, when non-nil, replaces the static Params with a per-node
 	// controller that adjusts p from overheard activity and q from
 	// detected broadcast losses — the paper's future-work extension
@@ -122,6 +127,9 @@ func (c Config) Validate() error {
 	if c.ATIMAirtime() >= c.Timing.Active {
 		return fmt.Errorf("mac: ATIM airtime %v does not fit the ATIM window %v",
 			c.ATIMAirtime(), c.Timing.Active)
+	}
+	if err := c.Energy.Validate(); err != nil {
+		return err
 	}
 	if err := c.Protocol.Validate(); err != nil {
 		return err
@@ -216,9 +224,11 @@ type Node struct {
 	trace trace.Sink
 
 	awake    bool
-	dead     bool // fail-stop: node left the network permanently (churn)
+	dead     bool // fail-stop: node left the network permanently
+	depleted bool // the death was a drained battery, not injected churn
 	mustStay bool // ATIM sent/received or traffic pending this BI
 	atimOK   bool // this frame's ATIM made it onto the air
+	diedAt   time.Duration
 
 	pendingNormal []Packet // waiting for the next ATIM window
 	announced     []Packet // announced this BI; data goes out after the window
@@ -275,7 +285,7 @@ func NewNode(id topo.NodeID, cfg Config, kernel *sim.Kernel, channel *phy.Channe
 	r *rng.Source, deliver DeliveryFunc) (*Node, error) {
 	n := &Node{}
 	bank := energy.NewBank()
-	bank.Reset(1, cfg.Profile, energy.Idle, kernel.Now())
+	bank.Init(1, energy.Config{Profile: cfg.Profile, Initial: energy.Idle, Start: kernel.Now()})
 	if err := n.init(id, cfg, kernel, channel, bank, 0, r, deliver); err != nil {
 		return nil, err
 	}
@@ -311,8 +321,11 @@ func (n *Node) init(id topo.NodeID, cfg Config, kernel *sim.Kernel, channel *phy
 	}
 	n.awake = true
 	n.dead = false
+	n.depleted = false
+	n.diedAt = 0
 	n.mustStay = false
 	n.atimOK = false
+	bank.SetBudget(slot, cfg.Energy.Budget())
 	n.pendingNormal = n.pendingNormal[:0] // nil-safe; Kill may have dropped it
 	n.announced = n.announced[:0]
 	n.txQueue = n.txQueue[:0]
@@ -395,13 +408,24 @@ func (n *Node) Dead() bool { return n.dead }
 // airtime ends (the radio was committed to it); from then on the meter
 // sits at sleep power, modelling a depleted battery rather than a node
 // that vanished retroactively.
-func (n *Node) Kill() {
+func (n *Node) Kill() { n.kill(false) }
+
+// kill is the fail-stop machinery behind Kill (injected churn) and
+// pollDepletion (a drained battery); depleted selects the death cause the
+// trace event carries.
+func (n *Node) kill(depleted bool) {
 	if n.dead {
 		return
 	}
 	n.dead = true
+	n.depleted = depleted
+	n.diedAt = n.kernel.Now()
 	if n.trace != nil {
-		n.trace.Record(trace.Event{T: n.kernel.Now(), Kind: trace.KindDeath, Node: int32(n.id), Peer: -1})
+		ev := trace.Event{T: n.kernel.Now(), Kind: trace.KindDeath, Node: int32(n.id), Peer: -1}
+		if depleted {
+			ev.Value = trace.DeathCauseDepleted
+		}
+		n.trace.Record(ev)
 	}
 	n.setAwake(false)
 	if !n.channel.Transmitting(n.id) {
@@ -413,6 +437,31 @@ func (n *Node) Kill() {
 	n.txQueue = nil
 	n.txBusy = false
 }
+
+// pollDepletion checks the battery at a state-transition site and applies
+// the fail-stop death when it has run dry, reporting whether the node is
+// dead afterwards. With an infinite battery (the legacy configuration) the
+// check is one predictable branch and draws nothing, so untouched runs
+// stay byte-identical.
+func (n *Node) pollDepletion() bool {
+	if n.dead {
+		return true
+	}
+	if !n.bank.Finite(n.slot) {
+		return false
+	}
+	if n.bank.Depleted(n.slot, n.kernel.Now()) {
+		n.kill(true)
+		return true
+	}
+	return false
+}
+
+// Depleted reports whether the node died of a drained battery.
+func (n *Node) Depleted() bool { return n.depleted }
+
+// DiedAt returns when the node died; meaningful only when Dead.
+func (n *Node) DiedAt() time.Duration { return n.diedAt }
 
 // EnergyAt returns the node's cumulative energy use at time now.
 func (n *Node) EnergyAt(now time.Duration) float64 { return n.bank.EnergyAt(n.slot, now) }
@@ -598,7 +647,7 @@ func (rec *timerRec) run() {
 // channel; protocols without the PSM substrate own the radio schedule and
 // only get their OnFrameStart hook.
 func (n *Node) StartFrame() {
-	if n.dead {
+	if n.pollDepletion() {
 		return
 	}
 	if n.usesATIM {
@@ -645,7 +694,7 @@ func (n *Node) sendATIM() {
 // announced traffic, the release of data frames to contend for the
 // channel. A no-op for protocols without the PSM substrate.
 func (n *Node) EndATIMWindow() {
-	if n.dead || !n.usesATIM {
+	if n.pollDepletion() || !n.usesATIM {
 		return
 	}
 	now := n.kernel.Now()
@@ -919,6 +968,13 @@ func (n *Node) txDone() {
 		return
 	}
 	n.setState(energy.Idle, n.kernel.Now())
+	// A battery can run dry mid-transmission; the committed frame completes
+	// and is billed in full (the radio's capacitors carry it out), and the
+	// depletion fires here — after the tx_end event, so the trace never
+	// shows a dead node transmitting.
+	if n.pollDepletion() {
+		return
+	}
 	n.attemptTx()
 }
 

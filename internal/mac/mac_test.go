@@ -113,6 +113,9 @@ func TestConfigValidation(t *testing.T) {
 			c.Adaptive = &core.AdaptiveConfig{}
 			c.Protocol = protocol.Spec{Name: protocol.NameOLA}
 		},
+		// Bad battery budgets.
+		func(c *Config) { c.Energy = EnergyOptions{InitialJ: -1} },
+		func(c *Config) { c.Energy = EnergyOptions{HarvestW: 0.01} },
 	}
 	for i, mutate := range mutations {
 		cfg := DefaultConfig(core.PSM())

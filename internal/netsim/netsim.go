@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"pbbf/internal/codedist"
@@ -44,6 +45,57 @@ type ChurnOptions struct {
 	FailFraction float64
 }
 
+// EnergyOptions groups the finite-battery knobs. The zero value is the
+// paper's infinite battery: no extra random draws, byte-identical runs.
+type EnergyOptions struct {
+	// InitialJ is the mean per-node initial battery capacity in joules;
+	// 0 keeps every battery infinite.
+	InitialJ float64
+	// JitterFrac, when positive, spreads per-node capacities uniformly in
+	// [InitialJ·(1−JitterFrac), InitialJ·(1+JitterFrac)) from a dedicated
+	// seeded split — a field of mixed battery ages instead of one
+	// factory-fresh fleet. Must stay below 1 so every node keeps a
+	// positive (finite) budget.
+	JitterFrac float64
+	// HarvestW recharges every battery at a constant rate, clamped at its
+	// capacity.
+	HarvestW float64
+}
+
+// Enabled reports whether batteries are finite.
+func (e EnergyOptions) Enabled() bool { return e.InitialJ > 0 }
+
+// Validate checks the options.
+func (e EnergyOptions) Validate() error {
+	if e.InitialJ < 0 {
+		return fmt.Errorf("netsim: initial energy %v must be non-negative", e.InitialJ)
+	}
+	if e.JitterFrac < 0 || e.JitterFrac >= 1 {
+		return fmt.Errorf("netsim: energy jitter %v outside [0,1)", e.JitterFrac)
+	}
+	if e.JitterFrac > 0 && e.InitialJ == 0 {
+		return fmt.Errorf("netsim: energy jitter %v requires a positive initial energy", e.JitterFrac)
+	}
+	if e.HarvestW < 0 {
+		return fmt.Errorf("netsim: harvest rate %v must be non-negative", e.HarvestW)
+	}
+	if e.HarvestW > 0 && e.InitialJ == 0 {
+		return fmt.Errorf("netsim: harvest rate %v requires a positive initial energy", e.HarvestW)
+	}
+	return nil
+}
+
+// Sample draws one node's battery options, consuming one draw from r only
+// when jitter is configured (the hetero sampler pattern), so homogeneous
+// fleets keep deterministic per-node streams.
+func (e EnergyOptions) Sample(r *rng.Source) mac.EnergyOptions {
+	out := mac.EnergyOptions{InitialJ: e.InitialJ, HarvestW: e.HarvestW}
+	if e.JitterFrac > 0 {
+		out.InitialJ = e.InitialJ * (1 + (2*r.Float64()-1)*e.JitterFrac)
+	}
+	return out
+}
+
 // Config parameterizes one scenario run (one topology, one seed).
 type Config struct {
 	// Topo is the deployment; Section 5 uses 50 nodes placed uniformly at
@@ -74,6 +126,13 @@ type Config struct {
 	// around MAC.Params from a seeded per-node distribution —
 	// heterogeneous duty cycles instead of one global wake probability.
 	Hetero mac.HeteroConfig
+	// Energy, when enabled, gives every node a finite battery (mean
+	// initial capacity, optional per-node jitter, optional harvesting)
+	// with fail-stop death on depletion; Result then reports the
+	// network-lifetime metrics. The per-node budgets are threaded into
+	// each node's MAC config, so setting this alongside a non-zero
+	// MAC.Energy is a conflict.
+	Energy EnergyOptions
 	// Trace, when non-nil, receives the run's event stream (every node's
 	// tx/rx/sleep/wake/energy events plus channel drops). Tracing is pure
 	// observation: traced and untraced runs produce identical Results,
@@ -134,6 +193,11 @@ func (c Config) normalized() (Config, error) {
 		}
 		c.MAC.Trace = c.Trace
 	}
+	if c.Energy != (EnergyOptions{}) && c.MAC.Energy != (mac.EnergyOptions{}) {
+		// Energy folds per node (jitter draws a budget for each), not
+		// here; a hand-set MAC budget would be silently overwritten.
+		return c, fmt.Errorf("netsim: Energy conflicts with MAC.Energy; set one")
+	}
 	return c, nil
 }
 
@@ -178,6 +242,9 @@ func (c Config) validateNormalized() error {
 	if err := c.Hetero.Validate(); err != nil {
 		return err
 	}
+	if err := c.Energy.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -198,10 +265,63 @@ type Result struct {
 	LatencyAtHop map[int]*stats.Accumulator
 	// NodesAtHop counts nodes at each tracked distance in this scenario.
 	NodesAtHop map[int]int
-	// NodesDied counts fail-stop churn deaths during the run.
+	// NodesDied counts externally injected (churn) fail-stop deaths
+	// during the run; depletion deaths are counted separately so churn
+	// scenarios report unchanged numbers under the finite-energy API.
 	NodesDied int
+	// NodesDepleted counts battery-depletion deaths (finite-energy runs).
+	NodesDepleted int
+	// Network-lifetime metrics, populated only for finite-energy runs
+	// (Config.Energy enabled); the times cover deaths of either cause and
+	// are censored at the horizon — a network that never reached the
+	// event reports Duration.
+	//
+	// TimeToFirstDeathS is when the first node died.
+	TimeToFirstDeathS float64
+	// TimeToHalfDeadS is when half the nodes (rounded up) were dead.
+	TimeToHalfDeadS float64
+	// CoverageOverTime samples the alive-node fraction at 11 evenly
+	// spaced instants from t=0 through the horizon.
+	CoverageOverTime []float64
+	// EnergyVarianceJ2 is the population variance of per-node consumed
+	// joules — the load-balance axis of the max-lifetime literature.
+	EnergyVarianceJ2 float64
 	// Channel-level counters (diagnostics).
 	FramesStarted, FramesDelivered, FramesCollided int
+}
+
+// lifetimeMetrics fills the network-lifetime fields of res from the
+// fleet's death times. buf is scratch for the sorted times; the
+// possibly-grown buffer is returned so a pooled caller can reuse it.
+func lifetimeMetrics(res *Result, cfg *Config, nodes []*mac.Node, buf []time.Duration) []time.Duration {
+	buf = buf[:0]
+	for _, node := range nodes {
+		if node.Dead() {
+			buf = append(buf, node.DiedAt())
+		}
+	}
+	slices.Sort(buf)
+	horizon := cfg.Duration.Seconds()
+	res.TimeToFirstDeathS = horizon
+	res.TimeToHalfDeadS = horizon
+	if len(buf) > 0 {
+		res.TimeToFirstDeathS = buf[0].Seconds()
+	}
+	n := len(nodes)
+	if half := (n + 1) / 2; len(buf) >= half {
+		res.TimeToHalfDeadS = buf[half-1].Seconds()
+	}
+	const coverageSamples = 11
+	res.CoverageOverTime = make([]float64, coverageSamples)
+	k := 0
+	for s := 0; s < coverageSamples; s++ {
+		t := time.Duration(float64(cfg.Duration) * float64(s) / float64(coverageSamples-1))
+		for k < len(buf) && buf[k] <= t {
+			k++
+		}
+		res.CoverageOverTime[s] = float64(n-k) / float64(n)
+	}
+	return buf
 }
 
 // Run executes one scenario.
@@ -238,6 +358,10 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Hetero.Enabled() {
 		heteroRNG = base.Split()
 	}
+	var energyRNG *rng.Source
+	if cfg.Energy.Enabled() {
+		energyRNG = base.Split()
+	}
 
 	n := cfg.Topo.N()
 	trackers := make([]*codedist.Tracker, n)
@@ -248,6 +372,9 @@ func Run(cfg Config) (*Result, error) {
 		nodeCfg := cfg.MAC
 		if heteroRNG != nil {
 			nodeCfg.Params = cfg.Hetero.Sample(cfg.MAC.Params, heteroRNG)
+		}
+		if energyRNG != nil {
+			nodeCfg.Energy = cfg.Energy.Sample(energyRNG)
 		}
 		node, err := mac.NewNode(topo.NodeID(i), nodeCfg, kernel, channel, base.Split(),
 			func(pkt mac.Packet, _ topo.NodeID, now time.Duration) {
@@ -350,13 +477,19 @@ func harvest(cfg Config, nodes []*mac.Node, trackers []*codedist.Tracker,
 		}
 	}
 
-	var energyTotal float64
+	var energyTotal, energySq float64
 	var fraction stats.Accumulator
 	for i, node := range nodes {
 		node.FinishMetering(cfg.Duration)
-		energyTotal += node.EnergyAt(cfg.Duration)
+		e := node.EnergyAt(cfg.Duration)
+		energyTotal += e
+		energySq += e * e
 		if node.Dead() {
-			res.NodesDied++
+			if node.Depleted() {
+				res.NodesDepleted++
+			} else {
+				res.NodesDied++
+			}
 		}
 		if topo.NodeID(i) == cfg.Source {
 			continue
@@ -380,6 +513,11 @@ func harvest(cfg Config, nodes []*mac.Node, trackers []*codedist.Tracker,
 	}
 	if generated > 0 {
 		res.EnergyPerUpdateJ = energyTotal / float64(len(nodes)) / float64(generated)
+	}
+	mean := energyTotal / float64(len(nodes))
+	res.EnergyVarianceJ2 = energySq/float64(len(nodes)) - mean*mean
+	if cfg.Energy.Enabled() {
+		lifetimeMetrics(res, &cfg, nodes, nil)
 	}
 	res.UpdatesReceivedFraction = fraction.Mean()
 	res.FramesStarted, res.FramesDelivered, res.FramesCollided = channel.Stats()

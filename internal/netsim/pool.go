@@ -41,10 +41,12 @@ type RunPool struct {
 	fillRNG   rng.Source
 	linkRNG   rng.Source
 	heteroRNG rng.Source
+	energyRNG rng.Source
 	churnRNG  rng.Source
 
 	permBuf []int
 	victims []topo.NodeID
+	deaths  []time.Duration
 
 	// cfg is the in-flight run's configuration; the pre-bound generate and
 	// beacon callbacks read it through the pool.
@@ -149,6 +151,11 @@ func (p *RunPool) Run(cfg Config) (*Result, error) {
 		base.SplitInto(&p.heteroRNG)
 		heteroRNG = &p.heteroRNG
 	}
+	var energyRNG *rng.Source
+	if cfg.Energy.Enabled() {
+		base.SplitInto(&p.energyRNG)
+		energyRNG = &p.energyRNG
+	}
 
 	n := cfg.Topo.N()
 	p.fleet.Reset(n, cfg.MAC.Profile, kernel.Now())
@@ -162,6 +169,9 @@ func (p *RunPool) Run(cfg Config) (*Result, error) {
 		nodeCfg := cfg.MAC
 		if heteroRNG != nil {
 			nodeCfg.Params = cfg.Hetero.Sample(cfg.MAC.Params, heteroRNG)
+		}
+		if energyRNG != nil {
+			nodeCfg.Energy = cfg.Energy.Sample(energyRNG)
 		}
 		if err := p.fleet.InitNode(i, topo.NodeID(i), nodeCfg, kernel, channel, base, p.deliverFor(i)); err != nil {
 			return nil, err
@@ -228,14 +238,20 @@ func (p *RunPool) harvest() *Result {
 		}
 	}
 
-	var energyTotal float64
+	var energyTotal, energySq float64
 	var fraction stats.Accumulator
 	nodes := p.fleet.Nodes()
 	for i, node := range nodes {
 		node.FinishMetering(cfg.Duration)
-		energyTotal += node.EnergyAt(cfg.Duration)
+		e := node.EnergyAt(cfg.Duration)
+		energyTotal += e
+		energySq += e * e
 		if node.Dead() {
-			res.NodesDied++
+			if node.Depleted() {
+				res.NodesDepleted++
+			} else {
+				res.NodesDied++
+			}
 		}
 		if topo.NodeID(i) == cfg.Source {
 			continue
@@ -259,6 +275,11 @@ func (p *RunPool) harvest() *Result {
 	}
 	if generated > 0 {
 		res.EnergyPerUpdateJ = energyTotal / float64(len(nodes)) / float64(generated)
+	}
+	mean := energyTotal / float64(len(nodes))
+	res.EnergyVarianceJ2 = energySq/float64(len(nodes)) - mean*mean
+	if cfg.Energy.Enabled() {
+		p.deaths = lifetimeMetrics(res, cfg, nodes, p.deaths)
 	}
 	res.UpdatesReceivedFraction = fraction.Mean()
 	res.FramesStarted, res.FramesDelivered, res.FramesCollided = p.channel.Stats()

@@ -48,6 +48,12 @@ func poolTestConfigs(t *testing.T) []Config {
 		mk(24, 4, func(c *Config) { c.ChurnFailFraction = 0.25 }),
 		mk(24, 5, func(c *Config) { c.Hetero = mac.HeteroConfig{QSpread: 0.2} }),
 		mk(20, 6, func(c *Config) { c.MAC.Adaptive = &adaptive }),
+		mk(24, 7, func(c *Config) {
+			// Batteries sized to deplete part of the fleet mid-run, so the
+			// equivalence matrix covers the energy RNG split, depletion
+			// deaths, and the lifetime metrics.
+			c.Energy = EnergyOptions{InitialJ: 0.4, JitterFrac: 0.2, HarvestW: 0.002}
+		}),
 	}
 }
 

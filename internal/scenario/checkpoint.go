@@ -26,28 +26,43 @@ const CheckpointVersion = 1
 // killed mid-append loses at most its torn final line, which
 // LoadCheckpoint tolerates and the resumed run recomputes.
 type Checkpoint struct {
-	Version    int
-	Experiment string
-	Scale      string
-	Seed       uint64
-	// Protocol is the canonical protocol selection the sweep ran under
-	// (empty = PBBF). Part of the identity: a PBBF checkpoint must not
-	// resume a sleepsched sweep even when every flag matches.
-	Protocol string
+	Version int
+	Identity
 	// Results maps PointKey to the completed result.
 	Results map[string]Result
 }
 
-// checkpointHeader is the journal's first line. Protocol is omitempty so
-// journals written for the default protocol keep the exact header bytes of
-// the pre-protocol format — old files load, and default-protocol files
+// Identity is the workload a resumable sweep computes: everything that
+// selects which points exist and what their results are. A checkpoint must
+// never resume a different workload. New axes extend this struct (with a
+// zero value meaning the pre-axis default) instead of growing positional
+// constructor parameters.
+type Identity struct {
+	Experiment string
+	Scale      string
+	Seed       uint64
+	// Protocol is the canonical protocol selection the sweep ran under
+	// (empty = PBBF). A PBBF checkpoint must not resume a sleepsched
+	// sweep even when every other flag matches.
+	Protocol string
+	// EnergyJ and HarvestW are the Scale's finite-energy axis
+	// (0 = infinite battery, the only workload older journals describe).
+	EnergyJ  float64
+	HarvestW float64
+}
+
+// checkpointHeader is the journal's first line. Protocol and the energy
+// fields are omitempty so journals written for the defaults keep the exact
+// header bytes of the earlier formats — old files load, and default files
 // written today load in old builds.
 type checkpointHeader struct {
-	Version    int    `json:"version"`
-	Experiment string `json:"experiment"`
-	Scale      string `json:"scale"`
-	Seed       uint64 `json:"seed"`
-	Protocol   string `json:"protocol,omitempty"`
+	Version    int     `json:"version"`
+	Experiment string  `json:"experiment"`
+	Scale      string  `json:"scale"`
+	Seed       uint64  `json:"seed"`
+	Protocol   string  `json:"protocol,omitempty"`
+	EnergyJ    float64 `json:"energy_j,omitempty"`
+	HarvestW   float64 `json:"harvest_w,omitempty"`
 }
 
 // checkpointEntry is one completed point, one journal line.
@@ -56,27 +71,40 @@ type checkpointEntry struct {
 	Result Result `json:"result"`
 }
 
-// NewCheckpoint returns an empty checkpoint for the given run identity.
-// protocol is the canonical protocol name; pass "" for the PBBF default.
-func NewCheckpoint(experiment, scale string, seed uint64, protocol string) *Checkpoint {
+// NewCheckpointFor returns an empty checkpoint for the given run identity.
+func NewCheckpointFor(id Identity) *Checkpoint {
 	return &Checkpoint{
-		Version:    CheckpointVersion,
-		Experiment: experiment,
-		Scale:      scale,
-		Seed:       seed,
-		Protocol:   protocol,
-		Results:    make(map[string]Result),
+		Version:  CheckpointVersion,
+		Identity: id,
+		Results:  make(map[string]Result),
 	}
 }
 
-// Matches reports whether the checkpoint was recorded for the same run
-// identity, with a descriptive error when it was not.
-func (c *Checkpoint) Matches(experiment, scale string, seed uint64, protocol string) error {
-	if c.Experiment != experiment || c.Scale != scale || c.Seed != seed || c.Protocol != protocol {
-		return fmt.Errorf("checkpoint records run (experiment=%s scale=%s seed=%d protocol=%s), requested (experiment=%s scale=%s seed=%d protocol=%s): delete the file or match its flags",
-			c.Experiment, c.Scale, c.Seed, protoLabel(c.Protocol), experiment, scale, seed, protoLabel(protocol))
+// NewCheckpoint returns an empty checkpoint for the given run identity
+// with the default (infinite-battery) energy axis.
+//
+// Deprecated: use NewCheckpointFor with an Identity.
+func NewCheckpoint(experiment, scale string, seed uint64, protocol string) *Checkpoint {
+	return NewCheckpointFor(Identity{Experiment: experiment, Scale: scale, Seed: seed, Protocol: protocol})
+}
+
+// MatchesIdentity reports whether the checkpoint was recorded for the same
+// run identity, with a descriptive error when it was not.
+func (c *Checkpoint) MatchesIdentity(id Identity) error {
+	if c.Identity != id {
+		return fmt.Errorf("checkpoint records run (experiment=%s scale=%s seed=%d protocol=%s energy=%g harvest=%g), requested (experiment=%s scale=%s seed=%d protocol=%s energy=%g harvest=%g): delete the file or match its flags",
+			c.Experiment, c.Scale, c.Seed, protoLabel(c.Protocol), c.EnergyJ, c.HarvestW,
+			id.Experiment, id.Scale, id.Seed, protoLabel(id.Protocol), id.EnergyJ, id.HarvestW)
 	}
 	return nil
+}
+
+// Matches reports whether the checkpoint was recorded for the same run
+// identity with the default energy axis.
+//
+// Deprecated: use MatchesIdentity with an Identity.
+func (c *Checkpoint) Matches(experiment, scale string, seed uint64, protocol string) error {
+	return c.MatchesIdentity(Identity{Experiment: experiment, Scale: scale, Seed: seed, Protocol: protocol})
 }
 
 // protoLabel names the default protocol in error messages; an empty string
@@ -115,7 +143,10 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if hdr.Version != CheckpointVersion {
 		return nil, fmt.Errorf("checkpoint %s: version %d, want %d", path, hdr.Version, CheckpointVersion)
 	}
-	c := NewCheckpoint(hdr.Experiment, hdr.Scale, hdr.Seed, hdr.Protocol)
+	c := NewCheckpointFor(Identity{
+		Experiment: hdr.Experiment, Scale: hdr.Scale, Seed: hdr.Seed,
+		Protocol: hdr.Protocol, EnergyJ: hdr.EnergyJ, HarvestW: hdr.HarvestW,
+	})
 	for i, line := range lines[1:] {
 		var e checkpointEntry
 		if err := json.Unmarshal(line, &e); err != nil {
@@ -142,7 +173,7 @@ func (c *Checkpoint) WriteFile(path string) error {
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(checkpointHeader{
 		Version: c.Version, Experiment: c.Experiment, Scale: c.Scale, Seed: c.Seed,
-		Protocol: c.Protocol,
+		Protocol: c.Protocol, EnergyJ: c.EnergyJ, HarvestW: c.HarvestW,
 	}); err != nil {
 		return err
 	}
@@ -210,7 +241,7 @@ func (c *Checkpoint) OpenWriter(path string) (*CheckpointWriter, error) {
 	if size == 0 {
 		hdr, err := json.Marshal(checkpointHeader{
 			Version: c.Version, Experiment: c.Experiment, Scale: c.Scale, Seed: c.Seed,
-			Protocol: c.Protocol,
+			Protocol: c.Protocol, EnergyJ: c.EnergyJ, HarvestW: c.HarvestW,
 		})
 		if err != nil {
 			f.Close()

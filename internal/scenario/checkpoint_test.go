@@ -261,3 +261,67 @@ func TestCheckpointMatches(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckpointIdentityEnergy: the energy axis is part of the run
+// identity — a default-axis checkpoint must not resume a finite-energy
+// sweep or vice versa — while the default axis stays interchangeable with
+// the deprecated four-field constructors (old journals keep loading).
+func TestCheckpointIdentityEnergy(t *testing.T) {
+	id := Identity{Experiment: "all", Scale: "quick", Seed: 1}
+	cp := NewCheckpointFor(id)
+	if err := cp.MatchesIdentity(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Matches("all", "quick", 1, ""); err != nil {
+		t.Fatalf("deprecated Matches rejected the default axis: %v", err)
+	}
+	energized := id
+	energized.EnergyJ = 1.5
+	if err := cp.MatchesIdentity(energized); err == nil {
+		t.Fatal("default-axis checkpoint accepted a finite-energy workload")
+	}
+	harvest := energized
+	harvest.HarvestW = 0.005
+	ecp := NewCheckpointFor(energized)
+	if err := ecp.MatchesIdentity(harvest); err == nil {
+		t.Fatal("harvest-free checkpoint accepted a harvesting workload")
+	}
+	if err := ecp.MatchesIdentity(energized); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointHeaderBackCompat: a default-axis header written today must
+// byte-match the pre-energy format (omitempty keeps old builds reading new
+// defaults and vice versa), and a finite-energy header must round-trip.
+func TestCheckpointHeaderBackCompat(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.ckpt")
+	cp := NewCheckpoint("all", "quick", 7, "")
+	if err := cp.WriteFile(plain); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := `{"version":1,"experiment":"all","scale":"quick","seed":7}` + "\n"
+	if string(data) != wantHeader {
+		t.Fatalf("default header changed — old journals orphaned:\ngot  %q\nwant %q", data, wantHeader)
+	}
+
+	keyed := filepath.Join(dir, "energy.ckpt")
+	id := Identity{Experiment: "all", Scale: "quick", Seed: 7, EnergyJ: 1.5, HarvestW: 0.005}
+	ecp := NewCheckpointFor(id)
+	ecp.Results["k"] = Result{Y: 2}
+	if err := ecp.WriteFile(keyed); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(keyed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back == nil || back.Identity != id {
+		t.Fatalf("energy identity lost in round trip: %+v", back)
+	}
+}

@@ -74,10 +74,19 @@ func writeScaleKey(sb *strings.Builder, s Scale) {
 	if s.Protocol != "" {
 		fmt.Fprintf(sb, "|proto=%s", s.Protocol)
 	}
+	// The energy fields follow the same omit-when-default rule: an
+	// infinite-battery workload (the only kind that existed before finite
+	// energy) keys exactly as it always did.
+	if s.EnergyJ != 0 {
+		fmt.Fprintf(sb, "|energy=%s", strconv.FormatFloat(s.EnergyJ, 'g', -1, 64))
+	}
+	if s.HarvestW != 0 {
+		fmt.Fprintf(sb, "|harvest=%s", strconv.FormatFloat(s.HarvestW, 'g', -1, 64))
+	}
 }
 
 // scaleKeyFields is the number of Scale fields writeScaleKey serializes.
-const scaleKeyFields = 18
+const scaleKeyFields = 20
 
 // SplitKey decomposes a canonical PointKey into its three segments: the
 // scenario ID, the scale serialization (everything from the grid field up

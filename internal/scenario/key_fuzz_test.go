@@ -15,12 +15,14 @@ import (
 // reject a tampered key. This is the property the result cache, resumable
 // checkpoints, and coordinator/worker dispatch all lean on.
 func FuzzPointKeyRoundTrip(f *testing.F) {
-	f.Add("fig13", "PBBF-0.25", "delta", 0.5, 10.0, uint64(1), 30, "")
-	f.Add("extchurn", "PSM", "churn", 0.25, 0.3, uint64(42), 10000, "sleepsched")
-	f.Add("fig8", "NO PSM", "q", 1.0, 0.0, uint64(0), 1, "ola")
-	f.Add("", "series with spaces|x=9", "", math.Copysign(0, -1), math.MaxFloat64, uint64(1)<<63, 0, "proto=|x")
-	f.Fuzz(func(t *testing.T, id, series, pname string, x, pval float64, seed uint64, nodes int, proto string) {
-		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(pval) || math.IsInf(pval, 0) {
+	f.Add("fig13", "PBBF-0.25", "delta", 0.5, 10.0, uint64(1), 30, "", 0.0, 0.0)
+	f.Add("extchurn", "PSM", "churn", 0.25, 0.3, uint64(42), 10000, "sleepsched", 0.0, 0.0)
+	f.Add("fig8", "NO PSM", "q", 1.0, 0.0, uint64(0), 1, "ola", 0.0, 0.0)
+	f.Add("extlifetime", "PBBF-0.5", "energy_j", 1.0, 1.0, uint64(3), 30, "", 1.5, 0.005)
+	f.Add("", "series with spaces|x=9", "", math.Copysign(0, -1), math.MaxFloat64, uint64(1)<<63, 0, "proto=|x", -1.0, 1e300)
+	f.Fuzz(func(t *testing.T, id, series, pname string, x, pval float64, seed uint64, nodes int, proto string, energyJ, harvestW float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(pval) || math.IsInf(pval, 0) ||
+			math.IsNaN(energyJ) || math.IsInf(energyJ, 0) || math.IsNaN(harvestW) || math.IsInf(harvestW, 0) {
 			t.Skip("JSON cannot carry non-finite floats")
 		}
 		// JSON cannot carry invalid UTF-8 either: encoding/json replaces
@@ -35,6 +37,8 @@ func FuzzPointKeyRoundTrip(f *testing.F) {
 		s.Seed = seed
 		s.NetNodes = nodes
 		s.Protocol = proto
+		s.EnergyJ = energyJ
+		s.HarvestW = harvestW
 		pt := Point{Series: series, X: x, Params: map[string]float64{pname: pval}}
 		spec := NewPointSpec(Scenario{ID: id}, s, pt)
 		if err := spec.Verify(); err != nil {

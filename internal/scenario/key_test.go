@@ -32,12 +32,18 @@ func TestPointKeyDiscriminates(t *testing.T) {
 	scaled.NetNodes++
 	protocoled := s
 	protocoled.Protocol = "ola"
+	energized := s
+	energized.EnergyJ = 2
+	harvesting := energized
+	harvesting.HarvestW = 0.005
 	variants := map[string]string{
 		"scenario ID": PointKey("fig9", s, samplePoint()),
 		"param value": PointKey("fig8", s, other),
 		"seed":        PointKey("fig8", seeded, samplePoint()),
 		"scale field": PointKey("fig8", scaled, samplePoint()),
 		"protocol":    PointKey("fig8", protocoled, samplePoint()),
+		"energy":      PointKey("fig8", energized, samplePoint()),
+		"harvest":     PointKey("fig8", harvesting, samplePoint()),
 		"series": PointKey("fig8", s, Point{
 			Series: "p=0.75", X: 0.3, Params: samplePoint().Params,
 		}),
@@ -80,6 +86,37 @@ func TestPointKeyProtocolBackCompat(t *testing.T) {
 	keyed := PointKey("fig8", s, samplePoint())
 	if !strings.Contains(keyed, "|seed=1|proto=sleepsched|series=") {
 		t.Fatalf("non-default protocol missing from the key: %q", keyed)
+	}
+}
+
+// TestPointKeyEnergyBackCompat pins the same contract for the finite-energy
+// axis: the zero value (infinite batteries, the only workload that existed
+// before the axis) must not appear in the key, and a finite budget must.
+func TestPointKeyEnergyBackCompat(t *testing.T) {
+	s := Quick()
+	base := PointKey("fig8", s, samplePoint())
+	if strings.Contains(base, "energy=") || strings.Contains(base, "harvest=") {
+		t.Fatalf("zero energy axis leaked into the key: %q", base)
+	}
+	s.EnergyJ = 1.5
+	energized := PointKey("fig8", s, samplePoint())
+	if !strings.Contains(energized, "|seed=1|energy=1.5|series=") {
+		t.Fatalf("finite energy missing from the key: %q", energized)
+	}
+	s.HarvestW = 0.005
+	harvesting := PointKey("fig8", s, samplePoint())
+	if !strings.Contains(harvesting, "|energy=1.5|harvest=0.005|series=") {
+		t.Fatalf("harvest rate missing from the key: %q", harvesting)
+	}
+	// All three variants must parse back into the same three segments.
+	for _, key := range []string{base, energized, harvesting} {
+		id, scaleKey, pointKey, err := SplitKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id+"|"+scaleKey+"|"+pointKey != key {
+			t.Fatalf("segments do not reassemble %q", key)
+		}
 	}
 }
 

@@ -51,6 +51,16 @@ type Scale struct {
 	// valid. Scenarios that pin their own protocol (the adaptive-control
 	// family, the cross-protocol comparison) ignore it.
 	Protocol string `json:",omitempty"`
+	// EnergyJ, when positive, gives every node of a network scenario a
+	// finite battery with this mean initial capacity in joules; 0 keeps
+	// the paper's infinite battery. Like Protocol, the zero value is
+	// omitted from keys and checkpoints so every pre-finite-energy
+	// identity remains valid. Scenarios that pin their own energy axis
+	// (the lifetime/harvest families) ignore it.
+	EnergyJ float64 `json:",omitempty"`
+	// HarvestW recharges finite batteries at a constant per-node rate in
+	// watts (requires EnergyJ > 0).
+	HarvestW float64 `json:",omitempty"`
 }
 
 // Paper returns the paper's dimensions. A full run of every scenario at
@@ -219,6 +229,15 @@ func (s Scale) Validate() error {
 		if d <= 0 || d > 1 {
 			return fmt.Errorf("scenario: duty cycle %v outside (0,1]", d)
 		}
+	}
+	if s.EnergyJ < 0 {
+		return fmt.Errorf("scenario: initial energy %v must be non-negative", s.EnergyJ)
+	}
+	if s.HarvestW < 0 {
+		return fmt.Errorf("scenario: harvest rate %v must be non-negative", s.HarvestW)
+	}
+	if s.HarvestW > 0 && s.EnergyJ == 0 {
+		return fmt.Errorf("scenario: harvest rate %v requires a positive initial energy", s.HarvestW)
 	}
 	return nil
 }

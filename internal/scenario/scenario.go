@@ -63,6 +63,21 @@ type Result struct {
 	LatencyS float64 `json:"latency_s,omitempty"`
 	// Delivery is the delivered fraction in [0,1] (0 when not measured).
 	Delivery float64 `json:"delivery,omitempty"`
+
+	// Network-lifetime block, populated only on finite-energy workloads
+	// (all zero — and omitted from the wire — on the infinite-battery
+	// runs that existed before the energy axis).
+	//
+	// FirstDeathS and HalfDeadS are censored at the simulation horizon.
+	FirstDeathS float64 `json:"first_death_s,omitempty"`
+	HalfDeadS   float64 `json:"half_dead_s,omitempty"`
+	// AliveFrac is the alive-node fraction at the horizon.
+	AliveFrac float64 `json:"alive_frac,omitempty"`
+	// Depleted is the mean battery-depletion death count per run.
+	Depleted float64 `json:"depleted,omitempty"`
+	// EnergyVarJ2 is the population variance of per-node consumed joules
+	// — how (un)evenly the protocol spreads its spending.
+	EnergyVarJ2 float64 `json:"energy_var_j2,omitempty"`
 }
 
 // Scenario is one registrable workload. Exactly one execution mode must be

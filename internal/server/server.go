@@ -540,19 +540,28 @@ type RunRequest struct {
 	// Protocol selects the broadcast protocol for network scenarios;
 	// empty means PBBF. See GET /v1/protocols.
 	Protocol string `json:"protocol,omitempty"`
+	// EnergyJ gives every node of a network scenario a finite battery with
+	// this mean initial capacity in joules; 0 (the default) keeps the
+	// paper's infinite battery.
+	EnergyJ float64 `json:"energy_j,omitempty"`
+	// HarvestW recharges finite batteries at a constant per-node rate in
+	// watts (requires energy_j > 0).
+	HarvestW float64 `json:"harvest_w,omitempty"`
 }
 
 // Stream line types. Every NDJSON line carries "type" so clients can
 // dispatch without peeking at other fields.
 type runHeader struct {
-	Type       string `json:"type"` // "run"
-	Experiment string `json:"experiment"`
-	Scale      string `json:"scale"`
-	Seed       uint64 `json:"seed"`
-	Protocol   string `json:"protocol,omitempty"`
-	Workers    int    `json:"workers"`
-	Scenarios  int    `json:"scenarios"`
-	Jobs       int    `json:"jobs"`
+	Type       string  `json:"type"` // "run"
+	Experiment string  `json:"experiment"`
+	Scale      string  `json:"scale"`
+	Seed       uint64  `json:"seed"`
+	Protocol   string  `json:"protocol,omitempty"`
+	EnergyJ    float64 `json:"energy_j,omitempty"`
+	HarvestW   float64 `json:"harvest_w,omitempty"`
+	Workers    int     `json:"workers"`
+	Scenarios  int     `json:"scenarios"`
+	Jobs       int     `json:"jobs"`
 }
 
 type pointLine struct {
@@ -615,6 +624,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		scale.Protocol = sp.Canonical()
 	}
+	scale.EnergyJ = req.EnergyJ
+	scale.HarvestW = req.HarvestW
+	if err := scale.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	workers := req.Workers
 	if workers <= 0 || workers > s.maxWorkers {
 		workers = s.maxWorkers
@@ -661,6 +676,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeLine(runHeader{
 		Type: "run", Experiment: req.Experiment, Scale: req.Scale,
 		Seed: scale.Seed, Protocol: scale.Protocol,
+		EnergyJ: scale.EnergyJ, HarvestW: scale.HarvestW,
 		Workers: workers, Scenarios: len(selected), Jobs: jobs,
 	})
 

@@ -60,10 +60,22 @@ const (
 	// (node, peer = new state index per energy.State, value = cumulative
 	// joules consumed so far).
 	KindEnergy
-	// KindDeath marks a fail-stop node death (node).
+	// KindDeath marks a fail-stop node death (node, value = the death
+	// cause: DeathCauseChurn or DeathCauseDepleted).
 	KindDeath
 
 	kindCount
+)
+
+// Death causes carried in a KindDeath event's Value field. Churn is the
+// zero value so pre-finite-energy death events — and their committed golden
+// bytes, which omit zero values — are unchanged.
+const (
+	// DeathCauseChurn marks an externally injected fail-stop death.
+	DeathCauseChurn = 0
+	// DeathCauseDepleted marks a battery running dry; the NDJSON line
+	// carries `"cause":"depleted"`.
+	DeathCauseDepleted = 1
 )
 
 var kindNames = [kindCount]string{
@@ -234,7 +246,15 @@ func AppendNDJSON(dst []byte, run int, ev Event) []byte {
 		dst = append(dst, `,"seq":`...)
 		dst = strconv.AppendUint(dst, uint64(ev.Seq), 10)
 	}
-	if ev.Value != 0 {
+	switch {
+	case ev.Kind == KindDeath:
+		// The death cause rides in Value; name it instead of emitting a
+		// bare number. Churn deaths (the zero cause) keep their original
+		// bytes with no cause field at all.
+		if ev.Value == DeathCauseDepleted {
+			dst = append(dst, `,"cause":"depleted"`...)
+		}
+	case ev.Value != 0:
 		dst = append(dst, `,"value":`...)
 		dst = strconv.AppendFloat(dst, ev.Value, 'g', -1, 64)
 	}
